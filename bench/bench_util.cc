@@ -1,0 +1,92 @@
+#include "bench/bench_util.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tcs {
+
+BenchFlags::BenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unknown argument: %s (expected --key=value)\n", arg);
+      std::exit(2);
+    }
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) {
+      kv_.emplace_back(std::string(arg + 2), "1");
+    } else {
+      kv_.emplace_back(std::string(arg + 2, eq), std::string(eq + 1));
+    }
+  }
+}
+
+bool BenchFlags::Has(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t BenchFlags::GetU64(const std::string& key, std::uint64_t def) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) {
+      return std::strtoull(v.c_str(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+bool BenchFlags::GetBool(const std::string& key, bool def) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) {
+      return v != "0" && v != "false";
+    }
+  }
+  return def;
+}
+
+TrialStats Summarize(const std::vector<double>& samples) {
+  TrialStats s;
+  if (samples.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  for (double v : samples) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double v : samples) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("# %s\n# %s\n", figure.c_str(), description.c_str());
+}
+
+void PrintColumns(const std::vector<std::string>& cols) {
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    std::printf("%s%-14s", i == 0 ? "" : " ", cols[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace tcs

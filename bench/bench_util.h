@@ -1,0 +1,42 @@
+// Shared benchmark-harness utilities: flag parsing, timing statistics, and
+// aligned table output matching the paper's figure series.
+#ifndef TCS_BENCH_BENCH_UTIL_H_
+#define TCS_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcs {
+
+// Minimal --key=value flag parser. Unrecognized flags abort with usage text.
+class BenchFlags {
+ public:
+  BenchFlags(int argc, char** argv);
+
+  // Returns the flag value or `def` when absent.
+  std::uint64_t GetU64(const std::string& key, std::uint64_t def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  bool Has(const std::string& key) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+struct TrialStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+TrialStats Summarize(const std::vector<double>& samples);
+
+double NowSec();
+
+// Prints a row of the form the paper's plots are built from.
+void PrintHeader(const std::string& figure, const std::string& description);
+void PrintColumns(const std::vector<std::string>& cols);
+
+}  // namespace tcs
+
+#endif  // TCS_BENCH_BENCH_UTIL_H_

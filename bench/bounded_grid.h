@@ -1,0 +1,36 @@
+// The bounded-buffer micro-benchmark grid behind Figures 2.3-2.5: producers ×
+// consumers × buffer size × mechanism, reporting seconds per trial exactly as the
+// paper's panels plot them.
+#ifndef TCS_BENCH_BOUNDED_GRID_H_
+#define TCS_BENCH_BOUNDED_GRID_H_
+
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "src/tm/tm_config.h"
+
+namespace tcs {
+
+struct BoundedGridOptions {
+  Backend backend = Backend::kEagerStm;
+  // Figures 2.3/2.4 include Retry-Orig; Figure 2.5 (HTM) cannot (§2.1).
+  bool include_retry_orig = true;
+  // Total elements produced (and consumed) per trial. The paper uses 2^20; the
+  // default here is scaled down for container-class hardware (override with
+  // --ops). The buffer is half-filled before each trial (§2.4.1).
+  std::uint64_t ops = 1 << 14;
+  std::uint64_t trials = 3;
+  // Keep oversubscribed panels bounded on tiny machines: skip producer/consumer
+  // counts above this (override with --max_threads).
+  int max_side = 8;
+};
+
+// Runs the full grid and prints one row per (panel, buffer size, mechanism).
+void RunBoundedGrid(const char* figure_name, const BoundedGridOptions& opts);
+
+// Applies --ops/--trials/--max_side/--paper flags.
+BoundedGridOptions ApplyFlags(BoundedGridOptions opts, const BenchFlags& flags);
+
+}  // namespace tcs
+
+#endif  // TCS_BENCH_BOUNDED_GRID_H_

@@ -1,0 +1,14 @@
+// Figure 2.3: bounded buffer performance with eager STM.
+// 16 panels (p ∈ {1,2,4,8} × c ∈ {1,2,4,8}), buffer ∈ {4,16,128}, 7 mechanisms.
+// Flags: --ops=N --trials=N --max_side=N --paper (2^20 ops, 5 trials).
+#include "bench/bounded_grid.h"
+
+int main(int argc, char** argv) {
+  tcs::BenchFlags flags(argc, argv);
+  tcs::BoundedGridOptions opts;
+  opts.backend = tcs::Backend::kEagerStm;
+  opts.include_retry_orig = true;
+  opts = tcs::ApplyFlags(opts, flags);
+  tcs::RunBoundedGrid("Figure 2.3 (bounded buffer, eager STM)", opts);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 2.4: bounded buffer performance with lazy STM.
+// Flags: --ops=N --trials=N --max_side=N --paper (2^20 ops, 5 trials).
+#include "bench/bounded_grid.h"
+
+int main(int argc, char** argv) {
+  tcs::BenchFlags flags(argc, argv);
+  tcs::BoundedGridOptions opts;
+  opts.backend = tcs::Backend::kLazyStm;
+  opts.include_retry_orig = true;
+  opts = tcs::ApplyFlags(opts, flags);
+  tcs::RunBoundedGrid("Figure 2.4 (bounded buffer, lazy STM)", opts);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 2.5: bounded buffer performance with (simulated) HTM.
+// Retry-Orig is omitted: it requires STM metadata (§2.1).
+// Flags: --ops=N --trials=N --max_side=N --paper (2^20 ops, 5 trials).
+#include "bench/bounded_grid.h"
+
+int main(int argc, char** argv) {
+  tcs::BenchFlags flags(argc, argv);
+  tcs::BoundedGridOptions opts;
+  opts.backend = tcs::Backend::kSimHtm;
+  opts.include_retry_orig = false;
+  opts = tcs::ApplyFlags(opts, flags);
+  tcs::RunBoundedGrid("Figure 2.5 (bounded buffer, simulated HTM)", opts);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 2.6: mini-PARSEC performance with eager STM.
+// 8 apps × threads {1,2,4,8} × 7 mechanisms.
+// Flags: --scale=N --trials=N --max_threads=N --paper.
+#include "bench/parsec_grid.h"
+
+int main(int argc, char** argv) {
+  tcs::BenchFlags flags(argc, argv);
+  tcs::ParsecGridOptions opts;
+  opts.backend = tcs::Backend::kEagerStm;
+  opts = tcs::ApplyParsecFlags(opts, flags);
+  tcs::RunParsecGrid("Figure 2.6 (mini-PARSEC, eager STM)", opts);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 2.7: mini-PARSEC performance with lazy STM.
+// Flags: --scale=N --trials=N --max_threads=N --paper.
+#include "bench/parsec_grid.h"
+
+int main(int argc, char** argv) {
+  tcs::BenchFlags flags(argc, argv);
+  tcs::ParsecGridOptions opts;
+  opts.backend = tcs::Backend::kLazyStm;
+  opts = tcs::ApplyParsecFlags(opts, flags);
+  tcs::RunParsecGrid("Figure 2.7 (mini-PARSEC, lazy STM)", opts);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 2.8: mini-PARSEC performance with (simulated) HTM.
+// Retry-Orig is omitted (STM-only, §2.1).
+// Flags: --scale=N --trials=N --max_threads=N --paper.
+#include "bench/parsec_grid.h"
+
+int main(int argc, char** argv) {
+  tcs::BenchFlags flags(argc, argv);
+  tcs::ParsecGridOptions opts;
+  opts.backend = tcs::Backend::kSimHtm;
+  opts.include_retry_orig = false;
+  opts = tcs::ApplyParsecFlags(opts, flags);
+  tcs::RunParsecGrid("Figure 2.8 (mini-PARSEC, simulated HTM)", opts);
+  return 0;
+}

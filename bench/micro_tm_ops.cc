@@ -1,0 +1,113 @@
+// google-benchmark microbenchmarks: raw costs of the TM substrates' primitive
+// operations per backend. These bound the instrumentation overhead discussed in
+// §2.4.1 (the "roughly 3x latency overhead of STM instrumentation").
+#include <benchmark/benchmark.h>
+
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+
+namespace tcs {
+namespace {
+
+Backend BackendOf(const benchmark::State& state) {
+  return static_cast<Backend>(state.range(0));
+}
+
+TmConfig MicroConfig(Backend b) {
+  TmConfig cfg;
+  cfg.backend = b;
+  cfg.max_threads = 8;
+  return cfg;
+}
+
+void BM_ReadOnlyTx(benchmark::State& state) {
+  Runtime rt(MicroConfig(BackendOf(state)));
+  std::uint64_t x = 42;
+  for (auto _ : state) {
+    std::uint64_t v = Atomically(rt.sys(), [&](Tx& tx) { return tx.Load(x); });
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ReadOnlyTx)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_WriterTx(benchmark::State& state) {
+  Runtime rt(MicroConfig(BackendOf(state)));
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(x, tx.Load(x) + 1); });
+  }
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_WriterTx)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Tx10Reads(benchmark::State& state) {
+  Runtime rt(MicroConfig(BackendOf(state)));
+  std::uint64_t xs[10] = {};
+  for (auto _ : state) {
+    std::uint64_t sum = Atomically(rt.sys(), [&](Tx& tx) {
+      std::uint64_t s = 0;
+      for (auto& x : xs) {
+        s += tx.Load(x);
+      }
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_Tx10Reads)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Tx10Writes(benchmark::State& state) {
+  Runtime rt(MicroConfig(BackendOf(state)));
+  std::uint64_t xs[10] = {};
+  for (auto _ : state) {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      for (auto& x : xs) {
+        tx.Store(x, tx.Load(x) + 1);
+      }
+    });
+  }
+}
+BENCHMARK(BM_Tx10Writes)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ReadOwnWrite(benchmark::State& state) {
+  Runtime rt(MicroConfig(BackendOf(state)));
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.Store(x, std::uint64_t{1});
+      benchmark::DoNotOptimize(tx.Load(x));
+    });
+  }
+}
+BENCHMARK(BM_ReadOwnWrite)->Arg(0)->Arg(1)->Arg(2);
+
+// The writer fast path when no waiter exists: the commit-side overhead that the
+// paper's design keeps off in-flight (hardware) transactions.
+void BM_WriterCommitNoWaiters(benchmark::State& state) {
+  Runtime rt(MicroConfig(BackendOf(state)));
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(x, tx.Load(x) + 1); });
+  }
+  if (rt.AggregateStats().Get(Counter::kWakeChecks) != 0) {
+    state.SkipWithError("unexpected wake checks");
+  }
+}
+BENCHMARK(BM_WriterCommitNoWaiters)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TxAllocFree(benchmark::State& state) {
+  Runtime rt(MicroConfig(BackendOf(state)));
+  for (auto _ : state) {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      void* p = tx.AllocBytes(64);
+      benchmark::DoNotOptimize(p);
+      tx.FreeBytes(p);
+    });
+  }
+}
+BENCHMARK(BM_TxAllocFree)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace tcs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+#include "bench/parsec_grid.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/assert.h"
+#include "src/miniparsec/app_common.h"
+
+namespace tcs {
+
+ParsecGridOptions ApplyParsecFlags(ParsecGridOptions opts, const BenchFlags& flags) {
+  opts.scale = flags.GetU64("scale", opts.scale);
+  opts.trials = flags.GetU64("trials", opts.trials);
+  opts.max_threads = static_cast<int>(flags.GetU64("max_threads", opts.max_threads));
+  if (flags.GetBool("paper", false)) {
+    opts.scale = 8;
+    opts.trials = 5;
+  }
+  return opts;
+}
+
+void RunParsecGrid(const char* figure_name, const ParsecGridOptions& opts) {
+  PrintHeader(figure_name,
+              "mini-PARSEC: time in seconds; rows = app x threads x mechanism; "
+              "checksums verified against the Pthreads reference");
+  std::printf("# backend=%s scale=%llu trials=%llu\n", BackendName(opts.backend),
+              static_cast<unsigned long long>(opts.scale),
+              static_cast<unsigned long long>(opts.trials));
+  PrintColumns({"app", "threads", "mechanism", "mean_s", "stddev_s"});
+
+  for (const AppInfo& app : MiniParsecApps()) {
+    for (int threads : {1, 2, 4, 8}) {
+      if (threads > opts.max_threads) {
+        continue;
+      }
+      std::uint64_t reference = 0;
+      bool have_reference = false;
+      for (Mechanism m : kAllMechanisms) {
+        if (m == Mechanism::kRetryOrig &&
+            (!opts.include_retry_orig || opts.backend == Backend::kSimHtm)) {
+          continue;
+        }
+        std::vector<double> samples;
+        std::uint64_t checksum = 0;
+        for (std::uint64_t t = 0; t < opts.trials; ++t) {
+          AppConfig cfg;
+          cfg.mech = m;
+          cfg.backend = opts.backend;
+          cfg.threads = threads;
+          cfg.scale = static_cast<int>(opts.scale);
+          AppResult r = app.run(cfg);
+          samples.push_back(r.seconds);
+          checksum = r.checksum;
+        }
+        if (!have_reference) {
+          reference = checksum;
+          have_reference = true;
+        } else {
+          TCS_CHECK_MSG(checksum == reference,
+                        "mechanism changed an app checksum — synchronization bug");
+        }
+        TrialStats s = Summarize(samples);
+        char mean[32];
+        char dev[32];
+        std::snprintf(mean, sizeof(mean), "%.4f", s.mean);
+        std::snprintf(dev, sizeof(dev), "%.4f", s.stddev);
+        PrintColumns({app.name, std::to_string(threads), MechanismName(m), mean,
+                      dev});
+      }
+    }
+  }
+}
+
+}  // namespace tcs

@@ -1,0 +1,25 @@
+// The mini-PARSEC sweep behind Figures 2.6-2.8: app × thread count × mechanism,
+// reporting seconds (the paper's bar heights).
+#ifndef TCS_BENCH_PARSEC_GRID_H_
+#define TCS_BENCH_PARSEC_GRID_H_
+
+#include "bench/bench_util.h"
+#include "src/tm/tm_config.h"
+
+namespace tcs {
+
+struct ParsecGridOptions {
+  Backend backend = Backend::kEagerStm;
+  bool include_retry_orig = true;
+  std::uint64_t scale = 4;
+  std::uint64_t trials = 3;
+  int max_threads = 8;
+};
+
+void RunParsecGrid(const char* figure_name, const ParsecGridOptions& opts);
+
+ParsecGridOptions ApplyParsecFlags(ParsecGridOptions opts, const BenchFlags& flags);
+
+}  // namespace tcs
+
+#endif  // TCS_BENCH_PARSEC_GRID_H_

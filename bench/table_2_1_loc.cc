@@ -1,0 +1,199 @@
+// Table 2.1: lines of code added and removed for different condition-
+// synchronization mechanisms in (mini-)PARSEC.
+//
+// The paper counts source lines changed when porting each benchmark from
+// condition variables to WaitPred / Await / Retry. This harness regenerates the
+// analogous table from *measured* source: for each app, it sums — over the app's
+// synchronization points (whose kinds mirror the original benchmark's structure)
+// — the per-mechanism arm of the adapter operation implementing that point, and
+// reports the pthread/condvar code those arms replace as "Removed". Counts are
+// parsed from the adapter sources at src/sync/ on every run, so the table tracks
+// the code.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/assert.h"
+#include "src/miniparsec/app_common.h"
+
+namespace tcs {
+namespace {
+
+#ifndef TCS_SOURCE_DIR
+#error "TCS_SOURCE_DIR must be defined by the build"
+#endif
+
+std::vector<std::string> ReadLines(const std::string& rel_path) {
+  std::string path = std::string(TCS_SOURCE_DIR) + "/" + rel_path;
+  std::ifstream in(path);
+  TCS_CHECK_MSG(in.good(), "cannot open adapter source for line counting");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+// Index of the line containing `needle`, starting at `from`; -1 if absent.
+int FindLine(const std::vector<std::string>& lines, const std::string& needle,
+             int from = 0) {
+  for (int i = from; i < static_cast<int>(lines.size()); ++i) {
+    if (lines[i].find(needle) != std::string::npos) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+// Given the index of a line that opens a block, returns the index of the line
+// closing it (brace tracking).
+int BlockEnd(const std::vector<std::string>& lines, int open_idx) {
+  int depth = 0;
+  for (int i = open_idx; i < static_cast<int>(lines.size()); ++i) {
+    for (char c : lines[i]) {
+      if (c == '{') {
+        depth++;
+      } else if (c == '}') {
+        depth--;
+        if (depth == 0) {
+          return i;
+        }
+      }
+    }
+  }
+  TCS_CHECK_MSG(false, "unbalanced braces in adapter source");
+  return -1;
+}
+
+int CountNonBlank(const std::vector<std::string>& lines, int first, int last) {
+  int n = 0;
+  for (int i = first; i <= last; ++i) {
+    bool blank = true;
+    for (char c : lines[i]) {
+      if (c != ' ' && c != '\t') {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) {
+      n++;
+    }
+  }
+  return n;
+}
+
+struct OpSource {
+  std::string file;       // relative to the repo root
+  std::string signature;  // locates the operation's function
+};
+
+// The adapter operation implementing each synchronization-point kind.
+const std::map<SyncKind, OpSource>& OpSources() {
+  static const auto* m = new std::map<SyncKind, OpSource>{
+      {SyncKind::kQueuePop,
+       {"src/sync/work_queue.cc", "std::optional<std::uint64_t> WorkQueue::Pop()"}},
+      {SyncKind::kQueuePush, {"src/sync/work_queue.cc", "void WorkQueue::Push("}},
+      {SyncKind::kBarrier,
+       {"src/sync/phase_barrier.cc", "void PhaseBarrier::ArriveAndWait()"}},
+      {SyncKind::kGate, {"src/sync/ticket_gate.cc", "void TicketGate::WaitFor("}},
+  };
+  return *m;
+}
+
+struct KindCounts {
+  int waitpred = 0;
+  int await = 0;
+  int retry = 0;
+  int removed = 0;  // pthread mutex/condvar lines the mechanism arms replace
+};
+
+// Lines of the `case Mechanism::kX:` arm inside [first, last].
+int ArmLines(const std::vector<std::string>& lines, int first, int last,
+             const std::string& label) {
+  int start = FindLine(lines, "case Mechanism::" + label + ":", first);
+  if (start < 0 || start > last) {
+    return 0;
+  }
+  int end = start;
+  for (int i = start + 1; i <= last; ++i) {
+    if (lines[i].find("case Mechanism::") != std::string::npos ||
+        lines[i].find("default:") != std::string::npos) {
+      break;
+    }
+    end = i;
+  }
+  return CountNonBlank(lines, start, end);
+}
+
+// Pthread-path lines of one adapter operation: the dedicated *Pthreads helper if
+// the operation has one, otherwise the inline `if (mech_ == kPthreads)` block.
+int PthreadLines(const std::vector<std::string>& lines, const OpSource& op) {
+  if (op.signature.find("WorkQueue::Pop") != std::string::npos) {
+    int f = FindLine(lines, "std::optional<std::uint64_t> WorkQueue::PopPthreads()");
+    return CountNonBlank(lines, f, BlockEnd(lines, f));
+  }
+  if (op.signature.find("WorkQueue::Push") != std::string::npos) {
+    int f = FindLine(lines, "void WorkQueue::PushPthreads(");
+    return CountNonBlank(lines, f, BlockEnd(lines, f));
+  }
+  int f = FindLine(lines, op.signature);
+  TCS_CHECK(f >= 0);
+  int body_end = BlockEnd(lines, f);
+  int p = FindLine(lines, "Mechanism::kPthreads", f);
+  TCS_CHECK(p >= 0 && p <= body_end);
+  return CountNonBlank(lines, p, BlockEnd(lines, p));
+}
+
+KindCounts CountsForKind(SyncKind kind) {
+  const OpSource& op = OpSources().at(kind);
+  std::vector<std::string> lines = ReadLines(op.file);
+  int f = FindLine(lines, op.signature);
+  TCS_CHECK_MSG(f >= 0, "adapter operation signature not found");
+  int end = BlockEnd(lines, f);
+  KindCounts k;
+  k.waitpred = ArmLines(lines, f, end, "kWaitPred");
+  k.await = ArmLines(lines, f, end, "kAwait");
+  k.retry = ArmLines(lines, f, end, "kRetry");
+  k.removed = PthreadLines(lines, op);
+  return k;
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  using namespace tcs;
+  std::printf(
+      "# Table 2.1: lines of code added and removed for different condition\n"
+      "# synchronization mechanisms in mini-PARSEC. Numbers in parentheses are\n"
+      "# the unique condition-synchronization points per benchmark (matching the\n"
+      "# original PARSEC counts). Counts are measured from src/sync/ sources.\n");
+  std::printf("%-20s %-9s %-7s %-7s %-8s\n", "benchmark", "WaitPred", "Await",
+              "Retry", "Removed");
+
+  std::map<int, KindCounts> cache;
+  for (const AppInfo& app : MiniParsecApps()) {
+    KindCounts total;
+    for (const SyncPointInfo& sp : app.sync_points) {
+      int key = static_cast<int>(sp.kind);
+      if (cache.find(key) == cache.end()) {
+        cache[key] = CountsForKind(sp.kind);
+      }
+      const KindCounts& k = cache[key];
+      total.waitpred += k.waitpred;
+      total.await += k.await;
+      total.retry += k.retry;
+      total.removed += k.removed;
+    }
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s (%zu)", app.name,
+                  app.sync_points.size());
+    std::printf("%-20s %-9d %-7d %-7d %-8d\n", name, total.waitpred, total.await,
+                total.retry, total.removed);
+  }
+  return 0;
+}

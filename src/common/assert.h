@@ -1,0 +1,40 @@
+// Lightweight always-on invariant checks for the tcsync runtime.
+//
+// TCS_CHECK is enabled in all build types: a violated runtime invariant in a TM
+// implementation silently corrupts user data, so the cost of the branch is always
+// worth it on the paths where we use it (slow paths, commit-time validation
+// plumbing). TCS_DCHECK compiles away outside debug builds and may be used on
+// per-access fast paths.
+#ifndef TCS_COMMON_ASSERT_H_
+#define TCS_COMMON_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TCS_CHECK(cond)                                                              \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "TCS_CHECK failed: %s at %s:%d\n", #cond, __FILE__,       \
+                   __LINE__);                                                        \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define TCS_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "TCS_CHECK failed: %s (%s) at %s:%d\n", #cond, msg,       \
+                   __FILE__, __LINE__);                                              \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#ifndef NDEBUG
+#define TCS_DCHECK(cond) TCS_CHECK(cond)
+#else
+#define TCS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // TCS_COMMON_ASSERT_H_

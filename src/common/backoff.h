@@ -1,0 +1,46 @@
+// Randomized exponential backoff for transaction restart loops.
+#ifndef TCS_COMMON_BACKOFF_H_
+#define TCS_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/common/cpu.h"
+#include "src/common/random.h"
+
+namespace tcs {
+
+// One instance per restart loop. Pause() spins for a randomized, exponentially
+// growing number of iterations and yields beyond a threshold so that conflicting
+// transactions on an oversubscribed machine eventually deschedule.
+class Backoff {
+ public:
+  explicit Backoff(std::uint64_t seed) : rng_(seed | 1) {}
+
+  void Pause() {
+    std::uint64_t spins = rng_.NextBounded(limit_) + 1;
+    if (limit_ < kMaxLimit) {
+      limit_ <<= 1;
+    }
+    if (spins > kYieldThreshold) {
+      CpuYield();
+      return;
+    }
+    for (std::uint64_t i = 0; i < spins; ++i) {
+      CpuRelax();
+    }
+  }
+
+  void Reset() { limit_ = kInitialLimit; }
+
+ private:
+  static constexpr std::uint64_t kInitialLimit = 32;
+  static constexpr std::uint64_t kMaxLimit = 1 << 16;
+  static constexpr std::uint64_t kYieldThreshold = 1 << 12;
+
+  SplitMix64 rng_;
+  std::uint64_t limit_ = kInitialLimit;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_COMMON_BACKOFF_H_

@@ -1,0 +1,20 @@
+// Cache-line geometry shared by the TM substrates and the padded per-thread tables.
+#ifndef TCS_COMMON_CACHE_LINE_H_
+#define TCS_COMMON_CACHE_LINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tcs {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Identifier of the cache line containing `addr`. The simulated HTM detects
+// conflicts at this granularity, like real best-effort HTM.
+inline std::uintptr_t CacheLineOf(const void* addr) {
+  return reinterpret_cast<std::uintptr_t>(addr) / kCacheLineBytes;
+}
+
+}  // namespace tcs
+
+#endif  // TCS_COMMON_CACHE_LINE_H_

@@ -1,0 +1,32 @@
+// Small deterministic PRNGs for workload generation and randomized backoff.
+// Workloads need reproducible streams that are cheap enough to call inside
+// measured regions; std::mt19937 is too heavy for that.
+#ifndef TCS_COMMON_RANDOM_H_
+#define TCS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace tcs {
+
+// SplitMix64: tiny, statistically solid, and seedable from any 64-bit value.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t NextBounded(std::uint64_t bound) { return Next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_COMMON_RANDOM_H_

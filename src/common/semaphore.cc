@@ -1,0 +1,41 @@
+#include "src/common/semaphore.h"
+
+#include <cerrno>
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+Semaphore::Semaphore(unsigned initial) {
+  int rc = sem_init(&sem_, /*pshared=*/0, initial);
+  TCS_CHECK_MSG(rc == 0, "sem_init failed");
+}
+
+Semaphore::~Semaphore() { sem_destroy(&sem_); }
+
+void Semaphore::Wait() {
+  int rc;
+  do {
+    rc = sem_wait(&sem_);
+  } while (rc != 0 && errno == EINTR);
+  TCS_CHECK_MSG(rc == 0, "sem_wait failed");
+}
+
+bool Semaphore::TryWait() {
+  int rc;
+  do {
+    rc = sem_trywait(&sem_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc == 0) {
+    return true;
+  }
+  TCS_CHECK_MSG(errno == EAGAIN, "sem_trywait failed");
+  return false;
+}
+
+void Semaphore::Post() {
+  int rc = sem_post(&sem_);
+  TCS_CHECK_MSG(rc == 0, "sem_post failed");
+}
+
+}  // namespace tcs

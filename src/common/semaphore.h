@@ -1,0 +1,37 @@
+// Counting semaphore used to put descheduled threads to sleep and wake them.
+//
+// The paper's Deschedule mechanism parks each waiting thread on a per-thread
+// semaphore (Algorithm 4): the registration transaction and the waker's check run
+// inside transactions, but the actual sleep/wake transitions happen strictly
+// outside any transaction, so a plain POSIX semaphore is the right tool.
+#ifndef TCS_COMMON_SEMAPHORE_H_
+#define TCS_COMMON_SEMAPHORE_H_
+
+#include <semaphore.h>
+
+namespace tcs {
+
+class Semaphore {
+ public:
+  explicit Semaphore(unsigned initial = 0);
+  ~Semaphore();
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  // Blocks until the count is positive, then decrements it.
+  void Wait();
+
+  // Returns true if the count was positive and was decremented.
+  bool TryWait();
+
+  // Increments the count, waking one waiter if any.
+  void Post();
+
+ private:
+  sem_t sem_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_COMMON_SEMAPHORE_H_

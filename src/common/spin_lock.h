@@ -1,0 +1,62 @@
+// Test-and-test-and-set spin lock with yield fallback.
+//
+// Used only on slow paths (the simulated HTM's serial-irrevocable mode and the
+// Retry-Orig global waiting lock from Algorithm 1). Yields after a bounded spin so
+// that oversubscribed configurations (more threads than cores) make progress.
+#ifndef TCS_COMMON_SPIN_LOCK_H_
+#define TCS_COMMON_SPIN_LOCK_H_
+
+#include <atomic>
+
+#include "src/common/cpu.h"
+
+namespace tcs {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    int spins = 0;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins < kSpinLimit) {
+          CpuRelax();
+        } else {
+          CpuYield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinLimit = 128;
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard, analogous to std::lock_guard.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_COMMON_SPIN_LOCK_H_

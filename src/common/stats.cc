@@ -1,0 +1,53 @@
+#include "src/common/stats.h"
+
+namespace tcs {
+
+std::string_view CounterName(Counter c) {
+  switch (c) {
+    case Counter::kCommits:
+      return "commits";
+    case Counter::kReadOnlyCommits:
+      return "read_only_commits";
+    case Counter::kAborts:
+      return "aborts";
+    case Counter::kExplicitRestarts:
+      return "explicit_restarts";
+    case Counter::kRetryRestarts:
+      return "retry_restarts";
+    case Counter::kDeschedules:
+      return "deschedules";
+    case Counter::kSleeps:
+      return "sleeps";
+    case Counter::kWakeups:
+      return "wakeups";
+    case Counter::kWakeChecks:
+      return "wake_checks";
+    case Counter::kFalseWakeups:
+      return "false_wakeups";
+    case Counter::kHtmFallbacks:
+      return "htm_fallbacks";
+    case Counter::kHtmCapacityAborts:
+      return "htm_capacity_aborts";
+    case Counter::kHtmConflictAborts:
+      return "htm_conflict_aborts";
+    case Counter::kHtmExplicitAborts:
+      return "htm_explicit_aborts";
+    case Counter::kCondVarWaits:
+      return "condvar_waits";
+    case Counter::kCondVarSignals:
+      return "condvar_signals";
+    case Counter::kTimestampExtensions:
+      return "timestamp_extensions";
+    case Counter::kHtmPredTableFastPath:
+      return "htm_pred_table_fast_path";
+    case Counter::kWaitsetEntries:
+      return "waitset_entries";
+    case Counter::kQuiesceCalls:
+      return "quiesce_calls";
+    case Counter::kNumCounters:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace tcs

@@ -1,0 +1,59 @@
+// Per-thread event counters for the TM runtime and the condition-synchronization
+// mechanisms. Counters feed the ablation benchmarks (wakeup precision, waitset
+// sizes) and let tests assert behavioral properties (e.g. "a silent store must not
+// wake the waiter") instead of timing.
+#ifndef TCS_COMMON_STATS_H_
+#define TCS_COMMON_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tcs {
+
+enum class Counter : int {
+  kCommits = 0,
+  kReadOnlyCommits,
+  kAborts,            // conflict/validation aborts
+  kExplicitRestarts,  // Restart mechanism re-executions
+  kRetryRestarts,     // first Retry() pass that re-executes to build the waitset
+  kDeschedules,       // times a thread published itself and considered sleeping
+  kSleeps,            // times a thread actually blocked on its semaphore
+  kWakeups,           // semaphore posts issued by wakeWaiters
+  kWakeChecks,        // waitfunc evaluations performed by writers
+  kFalseWakeups,      // woken but condition still unsatisfied on re-execution
+  kHtmFallbacks,      // simulated HTM transitions to serial-irrevocable mode
+  kHtmCapacityAborts,
+  kHtmConflictAborts,
+  kHtmExplicitAborts,
+  kCondVarWaits,
+  kCondVarSignals,
+  kTimestampExtensions,  // eager STM reads salvaged by extending the timestamp
+  kHtmPredTableFastPath,  // WaitPred deschedules taken via the 8-bit abort code
+  kWaitsetEntries,  // total addr/value pairs logged across deschedules
+  kQuiesceCalls,
+  kNumCounters,
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
+
+std::string_view CounterName(Counter c);
+
+// Plain per-thread tally; aggregation across threads happens in StatsRegistry.
+struct TxStats {
+  std::array<std::uint64_t, kNumCounters> counts{};
+
+  void Bump(Counter c, std::uint64_t n = 1) { counts[static_cast<int>(c)] += n; }
+  std::uint64_t Get(Counter c) const { return counts[static_cast<int>(c)]; }
+  void Reset() { counts.fill(0); }
+
+  void MergeFrom(const TxStats& other) {
+    for (int i = 0; i < kNumCounters; ++i) {
+      counts[i] += other.counts[i];
+    }
+  }
+};
+
+}  // namespace tcs
+
+#endif  // TCS_COMMON_STATS_H_

@@ -1,0 +1,105 @@
+// Deschedule (Algorithm 4) and wakeWaiters: the paper's abstract HTM-friendly
+// condition-synchronization mechanism. Retry, Await, and WaitPred all reduce to
+// Deschedule(f, p): roll back, double-check f(p) inside a registration
+// transaction, publish ⟨f, p⟩, sleep, and on wakeup restart the whole transaction.
+#include "src/condsync/waiter_registry.h"
+#include "src/tm/tm_system.h"
+
+namespace tcs {
+
+bool FindChangesPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* ws = reinterpret_cast<const WaitSet*>(args.v[0]);
+  for (const WaitSet::Entry& e : ws->entries()) {
+    if (sys.Read(e.addr) != e.val) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TmSystem::Deschedule(WaitPredFn fn, const WaitArgs& args) {
+  TxDesc& d = Desc();
+  d.stats.Bump(Counter::kDeschedules);
+  d.stats.Bump(Counter::kWaitsetEntries, d.waitset.Size());
+  if (d.woke_from_sleep) {
+    // We were woken, re-executed, and are about to sleep again: the wakeup did
+    // not establish our precondition (a broadcast-style false wakeup, §2.4.1).
+    d.stats.Bump(Counter::kFalseWakeups);
+  }
+
+  // Figure 2.1, time 1: undo all effects. Memory is now indistinguishable from
+  // the transaction never having run; only the thread's published precondition
+  // remains (allocations the waitset points into are kept alive until wakeup).
+  RollbackForDeschedule(d);
+
+  WaiterSlot& slot = waiters_->slot(d.tid);
+  slot.Prepare(fn, args, &d.sem);
+  // The presence bit must be visible before the registration transaction can
+  // commit; committing writers order their peek against it through the clock.
+  waiters_->MarkRegistered(d.tid);
+
+  // The registration transaction: re-evaluate the precondition and, only if it
+  // still fails, publish the slot. Expressing the condition as f(p) means no
+  // TM-metadata validation is needed here — if a writer establishes the
+  // precondition concurrently, either this transaction aborts and re-runs (and
+  // then sees the new state), or it serializes first and the writer's
+  // wakeWaiters sees the slot. Either way the wakeup cannot be lost.
+  bool sleep = false;
+  RunInternalTx([&] {
+    if (fn(*this, args)) {
+      sleep = false;
+      return;
+    }
+    Write(&slot.active, 1);
+    Write(&slot.asleep, 1);
+    sleep = true;
+  });
+
+  if (sleep) {
+    d.stats.Bump(Counter::kSleeps);
+    d.sem.Wait();
+    // Figure 2.1, time 4 approach: deregister before restarting so no writer
+    // wastes work on this slot ("on wakeup, prevent future notifications").
+    RunInternalTx([&] { Write(&slot.active, 0); });
+    d.woke_from_sleep = true;
+  }
+  waiters_->UnmarkRegistered(d.tid);
+
+  d.mem.ReclaimDeferred();
+  d.skip_backoff = true;
+  throw TxRestart{};
+}
+
+void TmSystem::WakeWaiters() {
+  TxDesc& d = Desc();
+  bool stop = false;
+  waiters_->ForEachRegistered([&](int tid, WaiterSlot& slot) {
+    if (tid == d.tid || stop) {
+      return !stop;
+    }
+    bool wake = false;
+    RunInternalTx([&] {
+      wake = false;
+      if (Read(&slot.active) == 0 || Read(&slot.asleep) == 0) {
+        return;
+      }
+      d.stats.Bump(Counter::kWakeChecks);
+      if (slot.fn(*this, slot.args)) {
+        Write(&slot.asleep, 0);
+        wake = true;
+      }
+    });
+    if (wake) {
+      // The semaphore post is an escape action, so it happens strictly after the
+      // wake-check transaction commits (Algorithm 4, line 9).
+      slot.sem->Post();
+      d.stats.Bump(Counter::kWakeups);
+      if (cfg_.wake_single) {
+        stop = true;
+      }
+    }
+    return !stop;
+  });
+}
+
+}  // namespace tcs

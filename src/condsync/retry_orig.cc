@@ -1,0 +1,86 @@
+#include "src/condsync/retry_orig.h"
+
+#include <unordered_set>
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+RetryOrigRegistry::RetryOrigRegistry(int max_threads) {
+  entries_.resize(static_cast<std::size_t>(max_threads));
+}
+
+void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
+                                       std::vector<const Orec*> read_orecs,
+                                       std::uint64_t start,
+                                       const std::vector<ReleasedOrec>& released) {
+  Entry& e = entries_[static_cast<std::size_t>(d.tid)];
+  // The count is raised before validation; a committing writer that reads zero is
+  // thereby guaranteed to have released its orecs before our validation loads,
+  // so validation will observe its commit (Dekker pairing with OnWriterCommit).
+  count_.fetch_add(1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  bool slept = false;
+  {
+    SpinLockGuard g(lock_);
+    bool valid = true;
+    for (const Orec* o : read_orecs) {
+      std::uint64_t w = o->word.load(std::memory_order_seq_cst);
+      if (!Orec::IsLocked(w) && Orec::Version(w) <= start) {
+        continue;
+      }
+      // An orec this transaction itself wrote was bumped by our own rollback;
+      // that does not constitute a change (see header).
+      bool own_release = false;
+      for (const ReleasedOrec& r : released) {
+        if (r.orec == o && r.word_after_release == w) {
+          own_release = true;
+          break;
+        }
+      }
+      if (!own_release) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      e.reads = std::move(read_orecs);
+      e.sem = &d.sem;
+      e.sleeping = true;
+      slept = true;
+    }
+  }
+  if (slept) {
+    d.stats.Bump(Counter::kSleeps);
+    d.sem.Wait();
+    SpinLockGuard g(lock_);
+    e.sleeping = false;
+    e.reads.clear();
+  }
+  count_.fetch_sub(1, std::memory_order_seq_cst);
+  d.stats.Bump(Counter::kDeschedules);
+}
+
+void RetryOrigRegistry::OnWriterCommit(const std::vector<const Orec*>& write_orecs) {
+  if (write_orecs.empty()) {
+    return;
+  }
+  // Build the intersection probe once per commit.
+  std::unordered_set<const Orec*> writes(write_orecs.begin(), write_orecs.end());
+  SpinLockGuard g(lock_);
+  for (Entry& e : entries_) {
+    if (!e.sleeping) {
+      continue;
+    }
+    for (const Orec* o : e.reads) {
+      if (writes.count(o) != 0) {
+        e.sleeping = false;
+        e.sem->Post();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace tcs

@@ -1,0 +1,71 @@
+// Retry-Orig: the original STM-coupled Retry mechanism (Algorithm 1), adapted from
+// Harris et al.'s Haskell design. Used as the evaluation's baseline "Retry-Orig".
+//
+// A retrying transaction publishes the *ownership records* of its read set to a
+// global waiting list (under the global waiting lock, exactly as Algorithm 1
+// presents it); every subsequent writer commit intersects its write-orec set with
+// each sleeper's read-orec set and signals on overlap. This is the mechanism the
+// paper argues against: it is tied to STM metadata (so it is orec-granular and
+// wakes on silent stores) and is incompatible with HTM, which exposes no write set.
+//
+// One refinement over the pseudocode: Algorithm 1 validates `reads` under the
+// waiting lock with the transaction's start time, but an eager transaction that
+// wrote some of the locations it read has just release-for-abort-bumped those
+// orecs itself. Validation therefore accepts an orec whose current word equals the
+// value this thread's own rollback stored ("released" below); any later writer
+// commit moves the orec past that value, so the check stays conservative.
+#ifndef TCS_CONDSYNC_RETRY_ORIG_H_
+#define TCS_CONDSYNC_RETRY_ORIG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/semaphore.h"
+#include "src/common/spin_lock.h"
+#include "src/tm/orec_table.h"
+#include "src/tm/tx_desc.h"
+
+namespace tcs {
+
+class RetryOrigRegistry {
+ public:
+  explicit RetryOrigRegistry(int max_threads);
+
+  RetryOrigRegistry(const RetryOrigRegistry&) = delete;
+  RetryOrigRegistry& operator=(const RetryOrigRegistry&) = delete;
+
+  // Conservative fast-path check used by committing writers.
+  bool HasWaiters() const { return count_.load(std::memory_order_seq_cst) > 0; }
+
+  // Algorithm 1, Retry lines 3-8: under the waiting lock, re-validate the read
+  // orecs against `start` (honoring `released`, see above); if still valid,
+  // publish the read set and sleep on d.sem. Returns after wakeup, or immediately
+  // when validation failed. The caller restarts the transaction either way.
+  struct ReleasedOrec {
+    const Orec* orec;
+    std::uint64_t word_after_release;
+  };
+  void WaitForOverlap(TxDesc& d, std::vector<const Orec*> read_orecs,
+                      std::uint64_t start, const std::vector<ReleasedOrec>& released);
+
+  // Algorithm 1, TxCommit lines 10-15: wake every sleeper whose read-orec set
+  // intersects this writer's write-orec set.
+  void OnWriterCommit(const std::vector<const Orec*>& write_orecs);
+
+ private:
+  struct Entry {
+    std::vector<const Orec*> reads;
+    Semaphore* sem = nullptr;
+    bool sleeping = false;
+  };
+
+  SpinLock lock_;  // Algorithm 1's global `waiting` lock
+  std::vector<Entry> entries_;
+  std::atomic<int> count_{0};
+};
+
+}  // namespace tcs
+
+#endif  // TCS_CONDSYNC_RETRY_ORIG_H_

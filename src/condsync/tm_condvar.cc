@@ -1,0 +1,94 @@
+#include "src/condsync/tm_condvar.h"
+
+#include "src/common/assert.h"
+#include "src/tm/tm_system.h"
+
+namespace tcs {
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+TmCondVar::TmCondVar(int capacity) : cap_(RoundUpPow2(static_cast<std::size_t>(capacity) + 1)) {
+  ring_ = std::make_unique<TmWord[]>(cap_);
+}
+
+void TmCondVar::Wait(TmSystem& sys) {
+  TxDesc& d = sys.Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "TmCondVar::Wait outside transaction");
+  d.stats.Bump(Counter::kCondVarWaits);
+  // Enqueue as part of the in-flight transaction: the predicate the caller just
+  // tested and this enqueue commit atomically, so a signal from any writer that
+  // serializes later cannot be lost.
+  TmWord t = sys.Read(&tail_);
+  sys.Write(&ring_[t & (cap_ - 1)], static_cast<TmWord>(d.tid));
+  sys.Write(&tail_, t + 1);
+  // The atomicity break: whatever the transaction did before this wait becomes
+  // visible now.
+  sys.CommitInFlight();
+  d.sem.Wait();
+  d.skip_backoff = true;
+  d.woke_from_sleep = true;
+  throw TxRestart{};
+}
+
+void TmCondVar::Signal(TmSystem& sys) {
+  TxDesc& d = sys.Desc();
+  d.stats.Bump(Counter::kCondVarSignals);
+  if (d.nesting > 0) {
+    sys.DeferSignal({this, /*broadcast=*/false});
+    return;
+  }
+  SignalNow(sys);
+}
+
+void TmCondVar::Broadcast(TmSystem& sys) {
+  TxDesc& d = sys.Desc();
+  d.stats.Bump(Counter::kCondVarSignals);
+  if (d.nesting > 0) {
+    sys.DeferSignal({this, /*broadcast=*/true});
+    return;
+  }
+  BroadcastNow(sys);
+}
+
+int TmCondVar::PopOne(TmSystem& sys) {
+  int tid = -1;
+  sys.RunInternalTx([&] {
+    tid = -1;
+    TmWord h = sys.Read(&head_);
+    TmWord t = sys.Read(&tail_);
+    if (h == t) {
+      return;
+    }
+    tid = static_cast<int>(sys.Read(&ring_[h & (cap_ - 1)]));
+    sys.Write(&head_, h + 1);
+  });
+  return tid;
+}
+
+void TmCondVar::SignalNow(TmSystem& sys) {
+  int tid = PopOne(sys);
+  if (tid >= 0) {
+    sys.SemOf(tid).Post();
+  }
+}
+
+void TmCondVar::BroadcastNow(TmSystem& sys) {
+  for (;;) {
+    int tid = PopOne(sys);
+    if (tid < 0) {
+      return;
+    }
+    sys.SemOf(tid).Post();
+  }
+}
+
+}  // namespace tcs

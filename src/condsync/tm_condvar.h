@@ -1,0 +1,61 @@
+// Transaction-safe condition variables (the evaluation's "TMCondVar" baseline,
+// after Wang et al., SPAA 2014).
+//
+// Unlike Retry/Await/WaitPred, a condvar wait *breaks atomicity*: Wait() commits
+// the in-flight transaction at the wait point — exposing any partial updates — then
+// sleeps, and after wakeup the atomic block restarts from the top (the explicit
+// `while(true)` retry loop of the paper's Algorithm 2, folded into Atomically()).
+// Signals issued inside a transaction are deferred until that transaction commits.
+//
+// The waiter queue itself is transactional state: the enqueue is part of the
+// committing transaction, so a waiter can never miss a signal from a writer whose
+// commit serialized after its wait-commit (the predicate it tested and the enqueue
+// are one atomic action).
+#ifndef TCS_CONDSYNC_TM_CONDVAR_H_
+#define TCS_CONDSYNC_TM_CONDVAR_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "src/tm/word.h"
+
+namespace tcs {
+
+class TmSystem;
+
+class TmCondVar {
+ public:
+  // `capacity` must be at least the number of threads that may wait concurrently
+  // (each thread has at most one queue entry at a time).
+  explicit TmCondVar(int capacity);
+
+  TmCondVar(const TmCondVar&) = delete;
+  TmCondVar& operator=(const TmCondVar&) = delete;
+
+  // Must be called inside a transaction. Transactionally enqueues the caller,
+  // commits the in-flight transaction (atomicity break), sleeps until signaled,
+  // then restarts the atomic block.
+  [[noreturn]] void Wait(TmSystem& sys);
+
+  // Wake one / all waiters. Inside a transaction the signal is deferred to commit;
+  // outside it takes effect immediately.
+  void Signal(TmSystem& sys);
+  void Broadcast(TmSystem& sys);
+
+  // Post-commit execution of a deferred signal (called by the runtime).
+  void SignalNow(TmSystem& sys);
+  void BroadcastNow(TmSystem& sys);
+
+ private:
+  // Pops one waiting tid (inside an internal transaction); -1 if none.
+  int PopOne(TmSystem& sys);
+
+  std::size_t cap_;
+  std::unique_ptr<TmWord[]> ring_;  // waiting tids
+  TmWord head_ = 0;
+  TmWord tail_ = 0;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_CONDSYNC_TM_CONDVAR_H_

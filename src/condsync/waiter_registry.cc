@@ -1,0 +1,18 @@
+#include "src/condsync/waiter_registry.h"
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+WaiterRegistry::WaiterRegistry(int max_threads) : capacity_(max_threads) {
+  TCS_CHECK(max_threads > 0);
+  mask_words_ = (max_threads + 63) / 64;
+  slots_ = std::make_unique<WaiterSlot[]>(static_cast<std::size_t>(max_threads));
+  mask_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(mask_words_));
+  for (int w = 0; w < mask_words_; ++w) {
+    mask_[w].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tcs

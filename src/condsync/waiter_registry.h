@@ -1,0 +1,105 @@
+// The global list of descheduled threads (Algorithm 4's `waiters`), as a fixed slab
+// of per-thread slots.
+//
+// Slot state (`active`, `asleep`, `waitfunc`) is read and written through the TM
+// itself — registration and wake checks are transactions, exactly as Algorithm 4
+// presents them — so the TM's conflict detection serializes a waiter's registration
+// against writer commits and closes the lost-wakeup window.
+//
+// A writer that committed must not pay a scan when nobody waits. The registry keeps
+// a conservative bitmap of possibly-registered slots: a waiter sets its bit (seq_cst)
+// *before* its registration transaction begins and clears it after deregistering.
+// Writer commits and the bitmap load are ordered through the global version clock's
+// RMW chain, so "registration serialized before my commit" implies "I see the bit".
+// The no-waiters fast path is therefore a handful of relaxed loads — the paper's
+// "no overhead on in-flight hardware transactions".
+#ifndef TCS_CONDSYNC_WAITER_REGISTRY_H_
+#define TCS_CONDSYNC_WAITER_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/cache_line.h"
+#include "src/common/semaphore.h"
+#include "src/tm/tx_desc.h"
+#include "src/tm/word.h"
+
+namespace tcs {
+
+struct alignas(kCacheLineBytes) WaiterSlot {
+  // Transactional words, accessed through TmSystem::Read/Write only.
+  TmWord active = 0;
+  TmWord asleep = 0;
+
+  // Published with plain stores before the registration transaction commits; the
+  // commit's release ordering makes them visible to any waker that observes
+  // active == 1 transactionally.
+  WaitPredFn fn = nullptr;
+  WaitArgs args;
+  Semaphore* sem = nullptr;
+
+  void Prepare(WaitPredFn f, const WaitArgs& a, Semaphore* s) {
+    fn = f;
+    args = a;
+    sem = s;
+  }
+};
+
+class WaiterRegistry {
+ public:
+  explicit WaiterRegistry(int max_threads);
+
+  WaiterRegistry(const WaiterRegistry&) = delete;
+  WaiterRegistry& operator=(const WaiterRegistry&) = delete;
+
+  WaiterSlot& slot(int tid) { return slots_[tid]; }
+  int capacity() const { return capacity_; }
+
+  // Conservative "anyone possibly waiting?" peek for the writer fast path.
+  bool HasWaiters() const {
+    for (int w = 0; w < mask_words_; ++w) {
+      if (mask_[w].load(std::memory_order_seq_cst) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void MarkRegistered(int tid) {
+    mask_[tid / 64].fetch_or(std::uint64_t{1} << (tid % 64),
+                             std::memory_order_seq_cst);
+  }
+
+  void UnmarkRegistered(int tid) {
+    mask_[tid / 64].fetch_and(~(std::uint64_t{1} << (tid % 64)),
+                              std::memory_order_seq_cst);
+  }
+
+  // Invokes fn(tid, slot) for every possibly-registered slot; fn returns false to
+  // stop the scan early (wake_single ablation).
+  template <typename Fn>
+  void ForEachRegistered(Fn&& fn) {
+    for (int w = 0; w < mask_words_; ++w) {
+      std::uint64_t bits = mask_[w].load(std::memory_order_seq_cst);
+      while (bits != 0) {
+        int bit = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        int tid = w * 64 + bit;
+        if (!fn(tid, slots_[tid])) {
+          return;
+        }
+      }
+    }
+  }
+
+ private:
+  int capacity_;
+  int mask_words_;
+  std::unique_ptr<WaiterSlot[]> slots_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> mask_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_CONDSYNC_WAITER_REGISTRY_H_

@@ -1,0 +1,52 @@
+// The seven condition-synchronization mechanisms compared in the evaluation
+// (§2.4): the Pthreads and TMCondVar baselines, the paper's three Deschedule-based
+// mechanisms, the original STM-coupled Retry, and the abort-and-respin strawman.
+#ifndef TCS_CORE_MECHANISM_H_
+#define TCS_CORE_MECHANISM_H_
+
+#include <array>
+
+namespace tcs {
+
+enum class Mechanism : int {
+  kPthreads = 0,   // pthread mutex + condition variables (no TM)
+  kTmCondVar = 1,  // transaction-safe condition variables (breaks atomicity)
+  kWaitPred = 2,   // Algorithm 7: explicit predicate
+  kAwait = 3,      // Algorithm 6: explicit address list
+  kRetry = 4,      // Algorithm 5: dynamic read-set waitset
+  kRetryOrig = 5,  // Algorithm 1: orec-intersection retry (STM only)
+  kRestart = 6,    // abort and immediately re-execute
+};
+
+inline constexpr std::array<Mechanism, 7> kAllMechanisms = {
+    Mechanism::kPthreads,  Mechanism::kTmCondVar, Mechanism::kWaitPred,
+    Mechanism::kAwait,     Mechanism::kRetry,     Mechanism::kRetryOrig,
+    Mechanism::kRestart,
+};
+
+constexpr const char* MechanismName(Mechanism m) {
+  switch (m) {
+    case Mechanism::kPthreads:
+      return "Pthreads";
+    case Mechanism::kTmCondVar:
+      return "TMCondVar";
+    case Mechanism::kWaitPred:
+      return "WaitPred";
+    case Mechanism::kAwait:
+      return "Await";
+    case Mechanism::kRetry:
+      return "Retry";
+    case Mechanism::kRetryOrig:
+      return "Retry-Orig";
+    case Mechanism::kRestart:
+      return "Restart";
+  }
+  return "unknown";
+}
+
+// True if the mechanism runs on top of transactions (everything but Pthreads).
+constexpr bool MechanismUsesTm(Mechanism m) { return m != Mechanism::kPthreads; }
+
+}  // namespace tcs
+
+#endif  // TCS_CORE_MECHANISM_H_

@@ -1,0 +1,9 @@
+#include "src/core/runtime.h"
+
+namespace tcs {
+
+Runtime::Runtime(const TmConfig& config) : sys_(TmSystem::Create(config)) {}
+
+Runtime::~Runtime() = default;
+
+}  // namespace tcs

@@ -1,0 +1,43 @@
+// tcs::Runtime — the top-level owner of one TM domain.
+//
+// Quickstart:
+//
+//   tcs::Runtime rt({.backend = tcs::Backend::kEagerStm});
+//   tcs::Atomically(rt.sys(), [&](tcs::Tx& tx) {
+//     if (tx.Load(count) == 0) { tx.Retry(); }
+//     tx.Store(count, tx.Load(count) - 1);
+//   });
+#ifndef TCS_CORE_RUNTIME_H_
+#define TCS_CORE_RUNTIME_H_
+
+#include <memory>
+
+#include "src/core/mechanism.h"
+#include "src/core/transaction.h"
+#include "src/tm/tm_config.h"
+#include "src/tm/tm_system.h"
+
+namespace tcs {
+
+class Runtime {
+ public:
+  explicit Runtime(const TmConfig& config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  TmSystem& sys() { return *sys_; }
+  const TmConfig& config() const { return sys_->config(); }
+  Backend backend() const { return sys_->backend(); }
+
+  TxStats AggregateStats() const { return sys_->AggregateStats(); }
+  void ResetStats() { sys_->ResetStats(); }
+
+ private:
+  std::unique_ptr<TmSystem> sys_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_CORE_RUNTIME_H_

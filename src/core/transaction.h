@@ -1,0 +1,155 @@
+// The public transactional programming surface: the Tx handle passed to
+// transaction bodies, and the Atomically() execution loop.
+//
+// A body may execute any number of times (conflict aborts, Retry re-executions,
+// deschedule wakeups), so it must be side-effect-free except through Tx operations
+// — the standard TM programming model. Re-invoking the body lambda plays the role
+// of the paper's checkpoint restore.
+#ifndef TCS_CORE_TRANSACTION_H_
+#define TCS_CORE_TRANSACTION_H_
+
+#include <cstring>
+#include <initializer_list>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/assert.h"
+#include "src/condsync/tm_condvar.h"
+#include "src/tm/tm_system.h"
+#include "src/tm/tx_exceptions.h"
+
+namespace tcs {
+
+class Tx {
+ public:
+  explicit Tx(TmSystem& sys) : sys_(sys) {}
+
+  // --- transactional data access ---
+  // T must be trivially copyable, at most word-sized, and must not straddle an
+  // aligned 8-byte boundary. Sub-word accesses are spliced into the containing
+  // word, which is how word-granular STMs handle them.
+  template <typename T>
+  T Load(const T& src) const {
+    CheckType<T>();
+    auto a = reinterpret_cast<std::uintptr_t>(&src);
+    if constexpr (sizeof(T) == sizeof(TmWord)) {
+      TCS_DCHECK(a % sizeof(TmWord) == 0);
+      TmWord w = sys_.Read(reinterpret_cast<const TmWord*>(a));
+      T out;
+      std::memcpy(&out, &w, sizeof(T));
+      return out;
+    } else {
+      std::uintptr_t base = a & ~(sizeof(TmWord) - 1);
+      std::size_t off = a - base;
+      TCS_DCHECK(off + sizeof(T) <= sizeof(TmWord));
+      TmWord w = sys_.Read(reinterpret_cast<const TmWord*>(base));
+      T out;
+      std::memcpy(&out, reinterpret_cast<const char*>(&w) + off, sizeof(T));
+      return out;
+    }
+  }
+
+  template <typename T>
+  void Store(T& dst, T val) const {
+    CheckType<T>();
+    auto a = reinterpret_cast<std::uintptr_t>(&dst);
+    if constexpr (sizeof(T) == sizeof(TmWord)) {
+      TCS_DCHECK(a % sizeof(TmWord) == 0);
+      TmWord w;
+      std::memcpy(&w, &val, sizeof(T));
+      sys_.Write(reinterpret_cast<TmWord*>(a), w);
+    } else {
+      std::uintptr_t base = a & ~(sizeof(TmWord) - 1);
+      std::size_t off = a - base;
+      TCS_DCHECK(off + sizeof(T) <= sizeof(TmWord));
+      TmWord w = sys_.Read(reinterpret_cast<TmWord*>(base));
+      std::memcpy(reinterpret_cast<char*>(&w) + off, &val, sizeof(T));
+      sys_.Write(reinterpret_cast<TmWord*>(base), w);
+    }
+  }
+
+  // --- transactional allocation ---
+  void* AllocBytes(std::size_t n) const { return sys_.TxAlloc(n); }
+  void FreeBytes(void* p) const { sys_.TxFree(p); }
+
+  // --- condition synchronization ---
+  [[noreturn]] void Retry() const { sys_.Retry(); }
+
+  // Await on the words containing the given variables (Algorithm 6).
+  template <typename... Ts>
+  [[noreturn]] void Await(const Ts&... vars) const {
+    const TmWord* addrs[] = {WordAddrOf(vars)...};
+    sys_.Await(addrs, sizeof...(Ts));
+  }
+
+  [[noreturn]] void WaitPred(WaitPredFn fn, const WaitArgs& args) const {
+    sys_.WaitPred(fn, args);
+  }
+
+  [[noreturn]] void RetryOrig() const { sys_.RetryOrig(); }
+  [[noreturn]] void RestartNow() const { sys_.RestartNow(); }
+
+  // --- transactional condition variables (baseline) ---
+  [[noreturn]] void CondWait(TmCondVar& cv) const { cv.Wait(sys_); }
+  void CondSignal(TmCondVar& cv) const { cv.Signal(sys_); }
+  void CondBroadcast(TmCondVar& cv) const { cv.Broadcast(sys_); }
+
+  TmSystem& sys() const { return sys_; }
+
+ private:
+  template <typename T>
+  static constexpr void CheckType() {
+    static_assert(std::is_trivially_copyable_v<T>, "transactional data must be POD");
+    static_assert(sizeof(T) <= sizeof(TmWord), "word-granularity TM: sizeof(T) <= 8");
+  }
+
+  template <typename T>
+  static const TmWord* WordAddrOf(const T& var) {
+    CheckType<T>();
+    auto a = reinterpret_cast<std::uintptr_t>(&var);
+    return reinterpret_cast<const TmWord*>(a & ~(sizeof(TmWord) - 1));
+  }
+
+  TmSystem& sys_;
+};
+
+// Runs `body` (callable taking Tx&) as a transaction, re-executing it until it
+// commits. Nested calls run flat (subsumption nesting, Appendix A): the inner body
+// executes inline inside the enclosing transaction, so an inner Retry unrolls the
+// outermost transaction — the composability property of §1.2.
+template <typename Body>
+auto Atomically(TmSystem& sys, Body&& body) {
+  using R = std::invoke_result_t<Body&, Tx&>;
+  Tx tx(sys);
+  if (sys.InTx()) {
+    return body(tx);
+  }
+  if constexpr (std::is_void_v<R>) {
+    for (;;) {
+      sys.Begin();
+      try {
+        body(tx);
+        sys.Commit();
+        return;
+      } catch (const TxRestart&) {
+        sys.OnRestart();
+      }
+    }
+  } else {
+    for (;;) {
+      sys.Begin();
+      try {
+        R result = body(tx);
+        sys.Commit();
+        return result;
+      } catch (const TxRestart&) {
+        sys.OnRestart();
+      }
+    }
+  }
+}
+
+}  // namespace tcs
+
+#endif  // TCS_CORE_TRANSACTION_H_

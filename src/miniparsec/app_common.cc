@@ -1,0 +1,104 @@
+#include "src/miniparsec/app_common.h"
+
+#include <chrono>
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+std::uint64_t BusyWork(std::uint64_t seed, int rounds) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < rounds; ++i) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z = z ^ (z >> 31);
+  }
+  return z;
+}
+
+void SharedAccumulator::Add(std::uint64_t v) {
+  if (mech_ == Mechanism::kPthreads) {
+    std::lock_guard<std::mutex> g(mu_);
+    value_ += v;
+    return;
+  }
+  Atomically(rt_->sys(), [&](Tx& tx) { tx.Store(value_, tx.Load(value_) + v); });
+}
+
+std::uint64_t SharedAccumulator::Get() {
+  if (mech_ == Mechanism::kPthreads) {
+    std::lock_guard<std::mutex> g(mu_);
+    return value_;
+  }
+  return Atomically(rt_->sys(), [&](Tx& tx) { return tx.Load(value_); });
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const std::vector<AppInfo>& MiniParsecApps() {
+  static const auto* apps = new std::vector<AppInfo>{
+      {"bodytrack",
+       {{"model_ready_gate", SyncKind::kGate},
+        {"task_pop", SyncKind::kQueuePop},
+        {"task_push", SyncKind::kQueuePush},
+        {"frame_done_gate", SyncKind::kGate},
+        {"pool_shutdown", SyncKind::kQueuePop}},
+       &RunBodytrack},
+      {"dedup",
+       {{"chunk_to_compress", SyncKind::kQueuePop},
+        {"compress_to_write", SyncKind::kQueuePop},
+        {"ordered_output_gate", SyncKind::kGate}},
+       &RunDedup},
+      {"facesim",
+       {{"partition_pop", SyncKind::kQueuePop},
+        {"partition_push", SyncKind::kQueuePush},
+        {"solve_barrier_a", SyncKind::kBarrier},
+        {"solve_barrier_b", SyncKind::kBarrier},
+        {"residual_gate", SyncKind::kGate},
+        {"frame_gate", SyncKind::kGate},
+        {"done_gate", SyncKind::kGate}},
+       &RunFacesim},
+      {"ferret",
+       {{"segment_to_extract", SyncKind::kQueuePop},
+        {"extract_to_rank", SyncKind::kQueuePop}},
+       &RunFerret},
+      {"fluidanimate",
+       {{"density_barrier", SyncKind::kBarrier},
+        {"force_barrier", SyncKind::kBarrier},
+        {"advance_barrier", SyncKind::kBarrier},
+        {"rebin_barrier", SyncKind::kBarrier}},
+       &RunFluidanimate},
+      {"raytrace",
+       {{"tile_pop", SyncKind::kQueuePop},
+        {"tile_push", SyncKind::kQueuePush},
+        {"frame_done_gate", SyncKind::kGate}},
+       &RunRaytrace},
+      {"streamcluster",
+       {{"assign_barrier", SyncKind::kBarrier},
+        {"update_barrier", SyncKind::kBarrier},
+        {"evaluate_barrier", SyncKind::kBarrier},
+        {"open_center_gate", SyncKind::kGate},
+        {"result_gate", SyncKind::kGate}},
+       &RunStreamcluster},
+      {"x264",
+       {{"row_dependency_gate", SyncKind::kGate}},
+       &RunX264},
+  };
+  return *apps;
+}
+
+AppResult RunMiniParsecApp(const std::string& name, const AppConfig& cfg) {
+  for (const AppInfo& app : MiniParsecApps()) {
+    if (name == app.name) {
+      return app.run(cfg);
+    }
+  }
+  TCS_CHECK_MSG(false, "unknown mini-PARSEC app");
+  return {};
+}
+
+}  // namespace tcs

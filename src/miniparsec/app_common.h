@@ -1,0 +1,106 @@
+// Mini-PARSEC: synthetic kernels reproducing the threading and condition-
+// synchronization structure of the eight PARSEC benchmarks that use condition
+// variables (§2.4.2). See DESIGN.md "Substitutions" for why this preserves the
+// evaluation's behavior: the PARSEC results are about synchronization skeletons
+// (pipelines, task pools, barriers, dependency waits) and wakeup traffic, not
+// about the numerics of body tracking or video encoding.
+//
+// Every app:
+//  * is parameterized by mechanism, backend, and thread count;
+//  * does deterministic busy-work whose checksum is independent of scheduling,
+//    mechanism, and thread count — tests validate cross-mechanism agreement;
+//  * mirrors the original benchmark's count of unique condition-synchronization
+//    points (Table 2.1's parenthesized numbers).
+#ifndef TCS_MINIPARSEC_APP_COMMON_H_
+#define TCS_MINIPARSEC_APP_COMMON_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/mechanism.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+
+namespace tcs {
+
+struct AppConfig {
+  Mechanism mech = Mechanism::kPthreads;
+  Backend backend = Backend::kEagerStm;
+  int threads = 2;
+  // Workload multiplier: 1 = test-sized; benchmarks sweep larger values.
+  int scale = 1;
+  std::uint64_t seed = 42;
+};
+
+struct AppResult {
+  std::uint64_t checksum = 0;
+  double seconds = 0.0;
+};
+
+// Which adapter implements each synchronization point; the Table 2.1 harness
+// derives per-mechanism line counts from these.
+enum class SyncKind : int {
+  kQueuePop = 0,     // WorkQueue / PipelineChannel empty-wait
+  kQueuePush,        // full-wait
+  kBarrier,          // PhaseBarrier crossing
+  kGate,             // TicketGate dependency wait
+  kNumKinds,
+};
+
+struct SyncPointInfo {
+  const char* name;
+  SyncKind kind;
+};
+
+struct AppInfo {
+  const char* name;
+  std::vector<SyncPointInfo> sync_points;
+  AppResult (*run)(const AppConfig&);
+};
+
+// The eight apps in the paper's order: bodytrack, dedup, facesim, ferret,
+// fluidanimate, raytrace, streamcluster, x264.
+const std::vector<AppInfo>& MiniParsecApps();
+
+// Runs app `name`; aborts if unknown.
+AppResult RunMiniParsecApp(const std::string& name, const AppConfig& cfg);
+
+AppResult RunBodytrack(const AppConfig& cfg);
+AppResult RunDedup(const AppConfig& cfg);
+AppResult RunFacesim(const AppConfig& cfg);
+AppResult RunFerret(const AppConfig& cfg);
+AppResult RunFluidanimate(const AppConfig& cfg);
+AppResult RunRaytrace(const AppConfig& cfg);
+AppResult RunStreamcluster(const AppConfig& cfg);
+AppResult RunX264(const AppConfig& cfg);
+
+// --- shared pieces ---
+
+// Deterministic compute kernel: `rounds` iterations of integer mixing.
+std::uint64_t BusyWork(std::uint64_t seed, int rounds);
+
+// Order-insensitive shared accumulator: the transactionalized critical section
+// the PARSEC ports replace locks with. Under kPthreads it is a mutex-protected
+// counter; under TM mechanisms it is a transactional word.
+class SharedAccumulator {
+ public:
+  SharedAccumulator(Runtime* rt, Mechanism mech) : rt_(rt), mech_(mech) {}
+
+  void Add(std::uint64_t v);
+  std::uint64_t Get();
+
+ private:
+  Runtime* rt_;
+  Mechanism mech_;
+  std::uint64_t value_ = 0;
+  std::mutex mu_;
+};
+
+// Wall-clock helper.
+double NowSeconds();
+
+}  // namespace tcs
+
+#endif  // TCS_MINIPARSEC_APP_COMMON_H_

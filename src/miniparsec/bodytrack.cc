@@ -1,0 +1,76 @@
+// mini-bodytrack: the particle-filter body tracker's synchronization skeleton.
+//
+// Original structure: a persistent worker pool evaluates particle likelihoods for
+// each video frame; the main thread distributes per-frame task batches and blocks
+// until the batch completes. Five unique condition-synchronization points: the
+// model-ready gate at startup, task-queue pop/push, the per-frame completion
+// gate, and pool shutdown.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/miniparsec/app_common.h"
+#include "src/sync/ticket_gate.h"
+#include "src/sync/work_queue.h"
+
+namespace tcs {
+namespace {
+
+constexpr int kFramesPerScale = 6;
+constexpr std::uint64_t kTasksPerFrame = 32;
+constexpr int kWorkRounds = 400;
+
+}  // namespace
+
+AppResult RunBodytrack(const AppConfig& cfg) {
+  std::unique_ptr<Runtime> rt;
+  if (MechanismUsesTm(cfg.mech)) {
+    TmConfig tm;
+    tm.backend = cfg.backend;
+    tm.max_threads = cfg.threads + 8;
+    rt = std::make_unique<Runtime>(tm);
+  }
+  const int frames = kFramesPerScale * cfg.scale;
+
+  WorkQueue tasks(rt.get(), cfg.mech, 16);        // [sync: task_push / task_pop]
+  TicketGate model_ready(rt.get(), cfg.mech);     // [sync: model_ready_gate]
+  TicketGate frame_done(rt.get(), cfg.mech);      // [sync: frame_done_gate]
+  SharedAccumulator weights(rt.get(), cfg.mech);  // the transactionalized CS
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < cfg.threads; ++w) {
+    workers.emplace_back([&] {
+      model_ready.WaitFor(1);
+      // [sync: pool_shutdown] — Pop returns nullopt when the queue closes.
+      while (auto task = tasks.Pop()) {
+        std::uint64_t weight = BusyWork(cfg.seed + *task, kWorkRounds);
+        weights.Add(weight);
+        frame_done.Bump();
+      }
+    });
+  }
+
+  // "Load the body model", then open the pool.
+  std::uint64_t model = BusyWork(cfg.seed, kWorkRounds * 4);
+  model_ready.Publish(1);
+
+  std::uint64_t checksum = model;
+  for (int f = 0; f < frames; ++f) {
+    for (std::uint64_t t = 0; t < kTasksPerFrame; ++t) {
+      tasks.Push(static_cast<std::uint64_t>(f) * kTasksPerFrame + t);
+    }
+    // Block until every particle of this frame is weighted.
+    frame_done.WaitFor(static_cast<std::uint64_t>(f + 1) * kTasksPerFrame);
+    checksum ^= BusyWork(weights.Get() + static_cast<std::uint64_t>(f), 8);
+  }
+  tasks.Close();
+  for (auto& w : workers) {
+    w.join();
+  }
+  double t1 = NowSeconds();
+  checksum += weights.Get();
+  return {checksum, t1 - t0};
+}
+
+}  // namespace tcs

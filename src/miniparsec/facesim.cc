@@ -1,0 +1,115 @@
+// mini-facesim: the face-simulation solver's synchronization skeleton.
+//
+// Original structure: per frame, an iterative two-phase solver over statically
+// partitioned mesh nodes (barrier between phases), a reduction the master
+// consumes, and a small dynamically-scheduled fixup pass between frames. Seven
+// unique condition-synchronization points: the frame gate, the two solve
+// barriers, the residual gate, fixup-task pop/push, and the fixup-done gate.
+//
+// Dynamic task pops never sit upstream of a barrier crossing: a worker that
+// grabbed two tasks while another got none would otherwise strand the barrier
+// (the "parties" of a barrier must arrive exactly once per phase). The solver
+// phases therefore use static partitioning, and the dynamic queue is confined to
+// the between-frames fixup pass where exactly one task per worker is issued.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/miniparsec/app_common.h"
+#include "src/sync/phase_barrier.h"
+#include "src/sync/ticket_gate.h"
+#include "src/sync/work_queue.h"
+
+namespace tcs {
+namespace {
+
+constexpr int kFramesPerScale = 3;
+constexpr int kIterations = 4;
+constexpr std::uint64_t kItems = 256;  // mesh nodes, fixed so checksums are stable
+constexpr int kPhaseRounds = 60;
+
+}  // namespace
+
+AppResult RunFacesim(const AppConfig& cfg) {
+  std::unique_ptr<Runtime> rt;
+  if (MechanismUsesTm(cfg.mech)) {
+    TmConfig tm;
+    tm.backend = cfg.backend;
+    tm.max_threads = cfg.threads + 8;
+    rt = std::make_unique<Runtime>(tm);
+  }
+  const int frames = kFramesPerScale * cfg.scale;
+  const int workers_n = cfg.threads;
+  const auto wn = static_cast<std::uint64_t>(workers_n);
+
+  WorkQueue fixups(rt.get(), cfg.mech, 4);        // [sync: partition_push/pop]
+  PhaseBarrier barrier_a(rt.get(), cfg.mech, workers_n);  // [sync: solve_barrier_a]
+  PhaseBarrier barrier_b(rt.get(), cfg.mech, workers_n);  // [sync: solve_barrier_b]
+  TicketGate residual_done(rt.get(), cfg.mech);   // [sync: residual_gate]
+  TicketGate frame_open(rt.get(), cfg.mech);      // [sync: frame_gate]
+  TicketGate fixup_done(rt.get(), cfg.mech);      // [sync: done_gate]
+  SharedAccumulator residual(rt.get(), cfg.mech);
+  SharedAccumulator fixup_sum(rt.get(), cfg.mech);
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < workers_n; ++w) {
+    workers.emplace_back([&, w] {
+      std::uint64_t lo = static_cast<std::uint64_t>(w) * kItems / wn;
+      std::uint64_t hi = static_cast<std::uint64_t>(w + 1) * kItems / wn;
+      for (int f = 0; f < frames; ++f) {
+        frame_open.WaitFor(static_cast<std::uint64_t>(f) + 1);
+        std::uint64_t frame_seed =
+            cfg.seed + static_cast<std::uint64_t>(f) * 3 * kItems;
+        std::uint64_t partial = 0;
+        for (int it = 0; it < kIterations; ++it) {
+          std::uint64_t it_seed = frame_seed + static_cast<std::uint64_t>(it);
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            partial += BusyWork(it_seed + i, kPhaseRounds);
+          }
+          barrier_a.ArriveAndWait();
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            partial += BusyWork(it_seed + kItems + i, kPhaseRounds / 2);
+          }
+          barrier_b.ArriveAndWait();
+        }
+        residual.Add(partial);
+        residual_done.Bump();
+        // Fixup pass: exactly one dynamically scheduled task per worker. Each
+        // task covers a fixed slice of items so the frame's total fixup work is
+        // independent of the worker count.
+        auto task = fixups.Pop();
+        if (task.has_value()) {
+          std::uint64_t flo = *task * kItems / wn;
+          std::uint64_t fhi = (*task + 1) * kItems / wn;
+          std::uint64_t sum = 0;
+          for (std::uint64_t i = flo; i < fhi; ++i) {
+            sum += BusyWork(frame_seed + 2 * kItems + i, kPhaseRounds / 4);
+          }
+          fixup_sum.Add(sum);
+          fixup_done.Bump();
+        }
+      }
+    });
+  }
+
+  std::uint64_t checksum = 0;
+  for (int f = 0; f < frames; ++f) {
+    frame_open.Publish(static_cast<std::uint64_t>(f) + 1);
+    residual_done.WaitFor(static_cast<std::uint64_t>(f + 1) * wn);
+    checksum ^= BusyWork(residual.Get() + static_cast<std::uint64_t>(f), 4);
+    for (std::uint64_t p = 0; p < wn; ++p) {
+      fixups.Push(p);
+    }
+    fixup_done.WaitFor(static_cast<std::uint64_t>(f + 1) * wn);
+    checksum ^= BusyWork(fixup_sum.Get() + static_cast<std::uint64_t>(f), 4);
+  }
+  fixups.Close();
+  for (auto& w : workers) {
+    w.join();
+  }
+  double t1 = NowSeconds();
+  return {checksum, t1 - t0};
+}
+
+}  // namespace tcs

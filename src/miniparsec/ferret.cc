@@ -1,0 +1,70 @@
+// mini-ferret: the content-similarity-search pipeline's synchronization skeleton.
+//
+// Original structure: a multi-stage pipeline (segment → extract → index → rank)
+// with bounded queues between stages. Two unique condition-synchronization
+// points: the two inter-stage queues (segment→extract and extract→rank).
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/miniparsec/app_common.h"
+#include "src/sync/pipeline_channel.h"
+
+namespace tcs {
+namespace {
+
+constexpr std::uint64_t kQueriesPerScale = 160;
+constexpr int kExtractRounds = 350;
+constexpr int kRankRounds = 350;
+
+}  // namespace
+
+AppResult RunFerret(const AppConfig& cfg) {
+  std::unique_ptr<Runtime> rt;
+  if (MechanismUsesTm(cfg.mech)) {
+    TmConfig tm;
+    tm.backend = cfg.backend;
+    tm.max_threads = cfg.threads + 8;
+    rt = std::make_unique<Runtime>(tm);
+  }
+  const std::uint64_t queries =
+      kQueriesPerScale * static_cast<std::uint64_t>(cfg.scale);
+  const int extractors = cfg.threads > 1 ? cfg.threads / 2 : 1;
+  const int rankers = cfg.threads > 1 ? cfg.threads - extractors : 1;
+
+  PipelineChannel to_extract(rt.get(), cfg.mech, 16, 1);  // [sync: segment_to_extract]
+  PipelineChannel to_rank(rt.get(), cfg.mech, 16, extractors);  // [sync: extract_to_rank]
+  SharedAccumulator ranks(rt.get(), cfg.mech);
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> threads;
+  for (int w = 0; w < extractors; ++w) {
+    threads.emplace_back([&] {
+      while (auto q = to_extract.Pop()) {
+        // Feature extraction is a pure function of the query id, so the handoff
+        // can carry the feature itself.
+        std::uint64_t feature = BusyWork(cfg.seed + *q, kExtractRounds);
+        to_rank.Push(feature);
+      }
+      to_rank.ProducerDone();
+    });
+  }
+  for (int w = 0; w < rankers; ++w) {
+    threads.emplace_back([&] {
+      while (auto feature = to_rank.Pop()) {
+        ranks.Add(BusyWork(*feature, kRankRounds));
+      }
+    });
+  }
+  for (std::uint64_t q = 0; q < queries; ++q) {
+    to_extract.Push(q);
+  }
+  to_extract.ProducerDone();
+  for (auto& t : threads) {
+    t.join();
+  }
+  double t1 = NowSeconds();
+  return {ranks.Get(), t1 - t0};
+}
+
+}  // namespace tcs

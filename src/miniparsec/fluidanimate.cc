@@ -1,0 +1,78 @@
+// mini-fluidanimate: the SPH fluid simulator's synchronization skeleton.
+//
+// Original structure: statically partitioned cells, with every timestep split
+// into barriered phases (density, forces, advance, rebin). Four unique
+// condition-synchronization points: the four barrier crossings per timestep.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/miniparsec/app_common.h"
+#include "src/sync/phase_barrier.h"
+
+namespace tcs {
+namespace {
+
+constexpr int kStepsPerScale = 10;
+constexpr std::uint64_t kCells = 256;
+constexpr int kPhaseRounds = 80;
+
+}  // namespace
+
+AppResult RunFluidanimate(const AppConfig& cfg) {
+  std::unique_ptr<Runtime> rt;
+  if (MechanismUsesTm(cfg.mech)) {
+    TmConfig tm;
+    tm.backend = cfg.backend;
+    tm.max_threads = cfg.threads + 8;
+    rt = std::make_unique<Runtime>(tm);
+  }
+  const int steps = kStepsPerScale * cfg.scale;
+  const int workers_n = cfg.threads;
+
+  PhaseBarrier density_barrier(rt.get(), cfg.mech, workers_n);  // [sync: density_barrier]
+  PhaseBarrier force_barrier(rt.get(), cfg.mech, workers_n);    // [sync: force_barrier]
+  PhaseBarrier advance_barrier(rt.get(), cfg.mech, workers_n);  // [sync: advance_barrier]
+  PhaseBarrier rebin_barrier(rt.get(), cfg.mech, workers_n);    // [sync: rebin_barrier]
+  SharedAccumulator energy(rt.get(), cfg.mech);
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < workers_n; ++w) {
+    workers.emplace_back([&, w] {
+      std::uint64_t lo = static_cast<std::uint64_t>(w) * kCells /
+                         static_cast<std::uint64_t>(workers_n);
+      std::uint64_t hi = static_cast<std::uint64_t>(w + 1) * kCells /
+                         static_cast<std::uint64_t>(workers_n);
+      for (int s = 0; s < steps; ++s) {
+        std::uint64_t step_seed = cfg.seed + static_cast<std::uint64_t>(s) * kCells;
+        std::uint64_t densities = 0;
+        for (std::uint64_t c = lo; c < hi; ++c) {
+          densities += BusyWork(step_seed + c, kPhaseRounds);
+        }
+        density_barrier.ArriveAndWait();
+        std::uint64_t forces = 0;
+        for (std::uint64_t c = lo; c < hi; ++c) {
+          forces += BusyWork(step_seed + c + 1, kPhaseRounds);
+        }
+        force_barrier.ArriveAndWait();
+        std::uint64_t moved = 0;
+        for (std::uint64_t c = lo; c < hi; ++c) {
+          // Per-cell work only: the checksum is a sum over cells, so it is
+          // independent of how cells are partitioned across workers.
+          moved += BusyWork(step_seed + 2 * kCells + c, kPhaseRounds / 2);
+        }
+        advance_barrier.ArriveAndWait();
+        energy.Add(densities + forces + moved);
+        rebin_barrier.ArriveAndWait();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  double t1 = NowSeconds();
+  return {energy.Get(), t1 - t0};
+}
+
+}  // namespace tcs

@@ -1,0 +1,65 @@
+// mini-raytrace: the real-time raytracer's synchronization skeleton.
+//
+// Original structure: per frame, screen tiles go into a dynamic task queue; a
+// worker pool renders tiles; the main thread blocks until the frame's tiles are
+// done before issuing the next frame (camera update). Three unique condition-
+// synchronization points: tile pop, tile push, and the frame-done gate.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/miniparsec/app_common.h"
+#include "src/sync/ticket_gate.h"
+#include "src/sync/work_queue.h"
+
+namespace tcs {
+namespace {
+
+constexpr int kFramesPerScale = 5;
+constexpr std::uint64_t kTilesPerFrame = 48;
+constexpr int kRenderRounds = 350;
+
+}  // namespace
+
+AppResult RunRaytrace(const AppConfig& cfg) {
+  std::unique_ptr<Runtime> rt;
+  if (MechanismUsesTm(cfg.mech)) {
+    TmConfig tm;
+    tm.backend = cfg.backend;
+    tm.max_threads = cfg.threads + 8;
+    rt = std::make_unique<Runtime>(tm);
+  }
+  const int frames = kFramesPerScale * cfg.scale;
+
+  WorkQueue tiles(rt.get(), cfg.mech, 8);       // [sync: tile_push / tile_pop]
+  TicketGate frame_done(rt.get(), cfg.mech);    // [sync: frame_done_gate]
+  SharedAccumulator image(rt.get(), cfg.mech);
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < cfg.threads; ++w) {
+    workers.emplace_back([&] {
+      while (auto tile = tiles.Pop()) {
+        image.Add(BusyWork(cfg.seed + *tile, kRenderRounds));
+        frame_done.Bump();
+      }
+    });
+  }
+  std::uint64_t checksum = 0;
+  for (int f = 0; f < frames; ++f) {
+    for (std::uint64_t t = 0; t < kTilesPerFrame; ++t) {
+      tiles.Push(static_cast<std::uint64_t>(f) * kTilesPerFrame + t);
+    }
+    frame_done.WaitFor(static_cast<std::uint64_t>(f + 1) * kTilesPerFrame);
+    // Camera update consumes the finished frame.
+    checksum ^= BusyWork(image.Get() + static_cast<std::uint64_t>(f), 8);
+  }
+  tiles.Close();
+  for (auto& w : workers) {
+    w.join();
+  }
+  double t1 = NowSeconds();
+  return {checksum, t1 - t0};
+}
+
+}  // namespace tcs

@@ -1,0 +1,93 @@
+// mini-streamcluster: the online-clustering kernel's synchronization skeleton.
+//
+// Original structure: statically partitioned points, with each clustering round
+// split into barriered phases (assign, update, evaluate) and a master thread
+// that decides whether to open a new center and publishes results. Five unique
+// condition-synchronization points: the three barriers, the open-center gate,
+// and the result gate.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/miniparsec/app_common.h"
+#include "src/sync/phase_barrier.h"
+#include "src/sync/ticket_gate.h"
+
+namespace tcs {
+namespace {
+
+constexpr int kRoundsPerScale = 8;
+constexpr std::uint64_t kPoints = 256;
+constexpr int kPhaseRounds = 70;
+
+}  // namespace
+
+AppResult RunStreamcluster(const AppConfig& cfg) {
+  std::unique_ptr<Runtime> rt;
+  if (MechanismUsesTm(cfg.mech)) {
+    TmConfig tm;
+    tm.backend = cfg.backend;
+    tm.max_threads = cfg.threads + 8;
+    rt = std::make_unique<Runtime>(tm);
+  }
+  const int rounds = kRoundsPerScale * cfg.scale;
+  const int workers_n = cfg.threads;
+  const auto wn = static_cast<std::uint64_t>(workers_n);
+
+  PhaseBarrier assign_barrier(rt.get(), cfg.mech, workers_n);    // [sync: assign_barrier]
+  PhaseBarrier update_barrier(rt.get(), cfg.mech, workers_n);    // [sync: update_barrier]
+  PhaseBarrier evaluate_barrier(rt.get(), cfg.mech, workers_n);  // [sync: evaluate_barrier]
+  TicketGate center_open(rt.get(), cfg.mech);  // [sync: open_center_gate]
+  TicketGate result_ready(rt.get(), cfg.mech);  // [sync: result_gate]
+  SharedAccumulator cost(rt.get(), cfg.mech);
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < workers_n; ++w) {
+    workers.emplace_back([&, w] {
+      std::uint64_t lo = static_cast<std::uint64_t>(w) * kPoints / wn;
+      std::uint64_t hi = static_cast<std::uint64_t>(w + 1) * kPoints / wn;
+      for (int r = 0; r < rounds; ++r) {
+        // The coordinator decides the round's candidate center; workers wait
+        // for the decision before assigning points to it. This also keeps a
+        // round's cost updates from racing the coordinator's read of the
+        // previous round's result.
+        center_open.WaitFor(static_cast<std::uint64_t>(r) + 1);
+        std::uint64_t round_seed =
+            cfg.seed + static_cast<std::uint64_t>(r) * 3 * kPoints;
+        std::uint64_t assign_cost = 0;
+        for (std::uint64_t p = lo; p < hi; ++p) {
+          assign_cost += BusyWork(round_seed + p, kPhaseRounds);
+        }
+        assign_barrier.ArriveAndWait();
+        std::uint64_t update_cost = 0;
+        for (std::uint64_t p = lo; p < hi; ++p) {
+          update_cost += BusyWork(round_seed + kPoints + p, kPhaseRounds);
+        }
+        update_barrier.ArriveAndWait();
+        std::uint64_t eval_cost = 0;
+        for (std::uint64_t p = lo; p < hi; ++p) {
+          eval_cost += BusyWork(round_seed + 2 * kPoints + p, kPhaseRounds / 2);
+        }
+        cost.Add(assign_cost + update_cost + eval_cost);
+        evaluate_barrier.ArriveAndWait();
+        if (w == 0) {
+          result_ready.Bump();
+        }
+      }
+    });
+  }
+  std::uint64_t checksum = 0;
+  for (int r = 0; r < rounds; ++r) {
+    center_open.Publish(static_cast<std::uint64_t>(r) + 1);
+    result_ready.WaitFor(static_cast<std::uint64_t>(r) + 1);
+    checksum ^= BusyWork(cost.Get() + static_cast<std::uint64_t>(r), 4);
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  double t1 = NowSeconds();
+  return {checksum, t1 - t0};
+}
+
+}  // namespace tcs

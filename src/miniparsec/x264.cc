@@ -1,0 +1,71 @@
+// mini-x264: the H.264 encoder's synchronization skeleton.
+//
+// Original structure: one thread per in-flight frame; motion estimation for a
+// macroblock row of frame f may only start once frame f-1 has encoded two rows
+// further down (the reference area must exist). One unique condition-
+// synchronization point: the inter-frame row-progress dependency wait.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/miniparsec/app_common.h"
+#include "src/sync/ticket_gate.h"
+
+namespace tcs {
+namespace {
+
+constexpr int kFramesPerScale = 12;
+constexpr std::uint64_t kRows = 24;
+constexpr int kEncodeRounds = 120;
+constexpr std::uint64_t kRefLead = 2;  // rows of lead required in the reference frame
+
+}  // namespace
+
+AppResult RunX264(const AppConfig& cfg) {
+  std::unique_ptr<Runtime> rt;
+  if (MechanismUsesTm(cfg.mech)) {
+    TmConfig tm;
+    tm.backend = cfg.backend;
+    tm.max_threads = cfg.threads + 8;
+    rt = std::make_unique<Runtime>(tm);
+  }
+  const int frames = kFramesPerScale * cfg.scale;
+
+  // Per-frame row-progress gates. gates[f] publishes how many rows of frame f
+  // are encoded; the encoder of frame f+1 waits on it.
+  std::vector<std::unique_ptr<TicketGate>> gates;
+  gates.reserve(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    gates.push_back(std::make_unique<TicketGate>(rt.get(), cfg.mech));
+  }
+  SharedAccumulator bitstream(rt.get(), cfg.mech);
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> encoders;
+  for (int w = 0; w < cfg.threads; ++w) {
+    encoders.emplace_back([&, w] {
+      // Frames are assigned round-robin to encoder threads.
+      for (int f = w; f < frames; f += cfg.threads) {
+        for (std::uint64_t r = 0; r < kRows; ++r) {
+          if (f > 0) {
+            // [sync: row_dependency_gate] the reference rows must exist.
+            std::uint64_t need = r + kRefLead < kRows ? r + kRefLead : kRows;
+            gates[static_cast<std::size_t>(f) - 1]->WaitFor(need);
+          }
+          std::uint64_t row_bits =
+              BusyWork(cfg.seed + static_cast<std::uint64_t>(f) * kRows + r,
+                       kEncodeRounds);
+          bitstream.Add(row_bits);
+          gates[static_cast<std::size_t>(f)]->Bump();
+        }
+      }
+    });
+  }
+  for (auto& e : encoders) {
+    e.join();
+  }
+  double t1 = NowSeconds();
+  return {bitstream.Get(), t1 - t0};
+}
+
+}  // namespace tcs

@@ -1,0 +1,199 @@
+#include "src/sync/bounded_buffer.h"
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+BoundedBuffer::BoundedBuffer(Runtime* rt, Mechanism mech, std::uint64_t capacity)
+    : rt_(rt), mech_(mech), cap_(capacity) {
+  TCS_CHECK(capacity > 0);
+  TCS_CHECK_MSG(mech == Mechanism::kPthreads || rt != nullptr,
+                "TM mechanisms need a Runtime");
+  buf_ = std::make_unique<std::uint64_t[]>(capacity);
+  if (mech == Mechanism::kTmCondVar) {
+    cv_notempty_ = std::make_unique<TmCondVar>(rt->config().max_threads);
+    cv_notfull_ = std::make_unique<TmCondVar>(rt->config().max_threads);
+  }
+}
+
+void BoundedBuffer::Put(Tx& tx, std::uint64_t x) {
+  std::uint64_t np = tx.Load(nextprod_);
+  tx.Store(buf_[np], x);
+  tx.Store(nextprod_, (np + 1) % cap_);
+  tx.Store(count_, tx.Load(count_) + 1);
+}
+
+std::uint64_t BoundedBuffer::Get(Tx& tx) {
+  std::uint64_t nc = tx.Load(nextcons_);
+  std::uint64_t x = tx.Load(buf_[nc]);
+  tx.Store(nextcons_, (nc + 1) % cap_);
+  tx.Store(count_, tx.Load(count_) - 1);
+  return x;
+}
+
+bool BoundedBuffer::NotFullPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* b = reinterpret_cast<const BoundedBuffer*>(args.v[0]);
+  TmWord count = sys.Read(reinterpret_cast<const TmWord*>(&b->count_));
+  return count < b->cap_;
+}
+
+bool BoundedBuffer::NotEmptyPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* b = reinterpret_cast<const BoundedBuffer*>(args.v[0]);
+  TmWord count = sys.Read(reinterpret_cast<const TmWord*>(&b->count_));
+  return count > 0;
+}
+
+void BoundedBuffer::UnsafePrefill(std::uint64_t n, std::uint64_t value_base) {
+  TCS_CHECK(count_ == 0 && n <= cap_);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    buf_[i] = value_base + i;
+  }
+  nextprod_ = n % cap_;
+  nextcons_ = 0;
+  count_ = n;
+}
+
+void BoundedBuffer::ProducePthreads(std::uint64_t x) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (count_ == cap_) {
+    notfull_.wait(lk);
+  }
+  buf_[nextprod_] = x;
+  nextprod_ = (nextprod_ + 1) % cap_;
+  count_++;
+  notempty_.notify_one();
+}
+
+std::uint64_t BoundedBuffer::ConsumePthreads() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (count_ == 0) {
+    notempty_.wait(lk);
+  }
+  std::uint64_t x = buf_[nextcons_];
+  nextcons_ = (nextcons_ + 1) % cap_;
+  count_--;
+  notfull_.notify_one();
+  return x;
+}
+
+// Figure 2.2: the Put front ends for each mechanism. The TM variants need no
+// explicit retry loop — "the unrolling of a transaction when using our mechanisms
+// provides an implicit back-edge" (§2.2.1).
+void BoundedBuffer::Produce(std::uint64_t x) {
+  switch (mech_) {
+    case Mechanism::kPthreads:
+      ProducePthreads(x);
+      return;
+    case Mechanism::kTmCondVar:
+      Atomically(rt_->sys(), [&](Tx& tx) {
+        if (Full(tx)) {
+          tx.CondWait(*cv_notfull_);
+        }
+        Put(tx, x);
+        tx.CondSignal(*cv_notempty_);
+      });
+      return;
+    case Mechanism::kWaitPred:
+      Atomically(rt_->sys(), [&](Tx& tx) {
+        if (Full(tx)) {
+          WaitArgs args;
+          args.v[0] = reinterpret_cast<TmWord>(this);
+          args.n = 1;
+          tx.WaitPred(&BoundedBuffer::NotFullPred, args);
+        }
+        Put(tx, x);
+      });
+      return;
+    case Mechanism::kAwait:
+      Atomically(rt_->sys(), [&](Tx& tx) {
+        if (Full(tx)) {
+          tx.Await(count_);
+        }
+        Put(tx, x);
+      });
+      return;
+    case Mechanism::kRetry:
+      Atomically(rt_->sys(), [&](Tx& tx) {
+        if (Full(tx)) {
+          tx.Retry();
+        }
+        Put(tx, x);
+      });
+      return;
+    case Mechanism::kRetryOrig:
+      Atomically(rt_->sys(), [&](Tx& tx) {
+        if (Full(tx)) {
+          tx.RetryOrig();
+        }
+        Put(tx, x);
+      });
+      return;
+    case Mechanism::kRestart:
+      Atomically(rt_->sys(), [&](Tx& tx) {
+        if (Full(tx)) {
+          tx.RestartNow();
+        }
+        Put(tx, x);
+      });
+      return;
+  }
+  TCS_CHECK_MSG(false, "unknown mechanism");
+}
+
+std::uint64_t BoundedBuffer::Consume() {
+  switch (mech_) {
+    case Mechanism::kPthreads:
+      return ConsumePthreads();
+    case Mechanism::kTmCondVar:
+      return Atomically(rt_->sys(), [&](Tx& tx) -> std::uint64_t {
+        if (Empty(tx)) {
+          tx.CondWait(*cv_notempty_);
+        }
+        std::uint64_t x = Get(tx);
+        tx.CondSignal(*cv_notfull_);
+        return x;
+      });
+    case Mechanism::kWaitPred:
+      return Atomically(rt_->sys(), [&](Tx& tx) -> std::uint64_t {
+        if (Empty(tx)) {
+          WaitArgs args;
+          args.v[0] = reinterpret_cast<TmWord>(this);
+          args.n = 1;
+          tx.WaitPred(&BoundedBuffer::NotEmptyPred, args);
+        }
+        return Get(tx);
+      });
+    case Mechanism::kAwait:
+      return Atomically(rt_->sys(), [&](Tx& tx) -> std::uint64_t {
+        if (Empty(tx)) {
+          tx.Await(count_);
+        }
+        return Get(tx);
+      });
+    case Mechanism::kRetry:
+      return Atomically(rt_->sys(), [&](Tx& tx) -> std::uint64_t {
+        if (Empty(tx)) {
+          tx.Retry();
+        }
+        return Get(tx);
+      });
+    case Mechanism::kRetryOrig:
+      return Atomically(rt_->sys(), [&](Tx& tx) -> std::uint64_t {
+        if (Empty(tx)) {
+          tx.RetryOrig();
+        }
+        return Get(tx);
+      });
+    case Mechanism::kRestart:
+      return Atomically(rt_->sys(), [&](Tx& tx) -> std::uint64_t {
+        if (Empty(tx)) {
+          tx.RestartNow();
+        }
+        return Get(tx);
+      });
+  }
+  TCS_CHECK_MSG(false, "unknown mechanism");
+  return 0;
+}
+
+}  // namespace tcs

@@ -1,0 +1,85 @@
+// Multi-producer multi-consumer bounded buffer — the paper's running example
+// (Algorithm 2) and the micro-benchmark behind Figures 2.3-2.5.
+//
+// One shared-state implementation, seven condition-synchronization front ends
+// (Figure 2.2): blocking Produce()/Consume() dispatch on the configured Mechanism.
+// The transactional building blocks (Full/Empty/Put/Get) are public so that
+// composite atomic operations — e.g. the Produce1Consume2 scenario of
+// Algorithm 3 — can be built on top; with Retry/Await/WaitPred such compositions
+// stay atomic, which is the paper's central programmability claim.
+#ifndef TCS_SYNC_BOUNDED_BUFFER_H_
+#define TCS_SYNC_BOUNDED_BUFFER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/condsync/tm_condvar.h"
+#include "src/core/mechanism.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+
+namespace tcs {
+
+class BoundedBuffer {
+ public:
+  // `rt` may be null only for Mechanism::kPthreads.
+  BoundedBuffer(Runtime* rt, Mechanism mech, std::uint64_t capacity);
+
+  BoundedBuffer(const BoundedBuffer&) = delete;
+  BoundedBuffer& operator=(const BoundedBuffer&) = delete;
+
+  // Blocking operations, synchronized per the configured mechanism.
+  void Produce(std::uint64_t x);
+  std::uint64_t Consume();
+
+  // Non-blocking transactional building blocks (Algorithm 2's internal methods).
+  bool Full(Tx& tx) const { return tx.Load(count_) == cap_; }
+  bool Empty(Tx& tx) const { return tx.Load(count_) == 0; }
+  void Put(Tx& tx, std::uint64_t x);
+  std::uint64_t Get(Tx& tx);
+  std::uint64_t Count(Tx& tx) const { return tx.Load(count_); }
+
+  // The count word, for Await address lists.
+  const std::uint64_t& count_ref() const { return count_; }
+
+  std::uint64_t capacity() const { return cap_; }
+  Mechanism mechanism() const { return mech_; }
+
+  // WaitPred predicates (Figure 2.2, left column). args.v[0] = BoundedBuffer*.
+  static bool NotFullPred(TmSystem& sys, const WaitArgs& args);
+  static bool NotEmptyPred(TmSystem& sys, const WaitArgs& args);
+
+  // Pre-populates the buffer without synchronization (single-threaded setup; the
+  // benchmark half-fills the buffer before each trial, §2.4.1).
+  void UnsafePrefill(std::uint64_t n, std::uint64_t value_base);
+
+ private:
+  void ProducePthreads(std::uint64_t x);
+  std::uint64_t ConsumePthreads();
+
+  Runtime* rt_;
+  const Mechanism mech_;
+  const std::uint64_t cap_;
+
+  // Shared fields of Algorithm 2; transactional words under TM mechanisms, plain
+  // data under the pthread lock.
+  std::unique_ptr<std::uint64_t[]> buf_;
+  std::uint64_t count_ = 0;
+  std::uint64_t nextprod_ = 0;
+  std::uint64_t nextcons_ = 0;
+
+  // Pthreads baseline state.
+  std::mutex mu_;
+  std::condition_variable notempty_;
+  std::condition_variable notfull_;
+
+  // TMCondVar baseline state.
+  std::unique_ptr<TmCondVar> cv_notempty_;
+  std::unique_ptr<TmCondVar> cv_notfull_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SYNC_BOUNDED_BUFFER_H_

@@ -1,0 +1,86 @@
+#include "src/sync/phase_barrier.h"
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+PhaseBarrier::PhaseBarrier(Runtime* rt, Mechanism mech, int parties)
+    : rt_(rt), mech_(mech), parties_(static_cast<std::uint64_t>(parties)) {
+  TCS_CHECK(parties > 0);
+  TCS_CHECK_MSG(mech == Mechanism::kPthreads || rt != nullptr,
+                "TM mechanisms need a Runtime");
+  if (mech == Mechanism::kTmCondVar) {
+    tm_cv_ = std::make_unique<TmCondVar>(rt->config().max_threads);
+  }
+}
+
+bool PhaseBarrier::GenerationChangedPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* b = reinterpret_cast<const PhaseBarrier*>(args.v[0]);
+  TmWord gen = sys.Read(reinterpret_cast<const TmWord*>(&b->generation_));
+  return gen != args.v[1];
+}
+
+void PhaseBarrier::ArriveAndWait() {
+  if (mech_ == Mechanism::kPthreads) {
+    std::unique_lock<std::mutex> lk(mu_);
+    std::uint64_t my_gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      generation_++;
+      cv_.notify_all();
+      return;
+    }
+    while (generation_ == my_gen) {
+      cv_.wait(lk);
+    }
+    return;
+  }
+
+  // Transaction 1: publish the arrival; the last arrival opens the next phase.
+  std::uint64_t my_gen = 0;
+  bool last = Atomically(rt_->sys(), [&](Tx& tx) -> bool {
+    my_gen = tx.Load(generation_);
+    std::uint64_t a = tx.Load(arrived_) + 1;
+    if (a == parties_) {
+      tx.Store(arrived_, std::uint64_t{0});
+      tx.Store(generation_, my_gen + 1);
+      if (mech_ == Mechanism::kTmCondVar) {
+        tx.CondBroadcast(*tm_cv_);
+      }
+      return true;
+    }
+    tx.Store(arrived_, a);
+    return false;
+  });
+  if (last) {
+    return;
+  }
+
+  // Transaction 2: a pure precondition — wait for the generation to advance.
+  Atomically(rt_->sys(), [&](Tx& tx) {
+    if (tx.Load(generation_) != my_gen) {
+      return;
+    }
+    switch (mech_) {
+      case Mechanism::kTmCondVar:
+        tx.CondWait(*tm_cv_);
+      case Mechanism::kWaitPred: {
+        WaitArgs args;
+        args.v[0] = reinterpret_cast<TmWord>(this);
+        args.v[1] = my_gen;
+        args.n = 2;
+        tx.WaitPred(&PhaseBarrier::GenerationChangedPred, args);
+      }
+      case Mechanism::kAwait:
+        tx.Await(generation_);
+      case Mechanism::kRetry:
+        tx.Retry();
+      case Mechanism::kRetryOrig:
+        tx.RetryOrig();
+      default:
+        tx.RestartNow();
+    }
+  });
+}
+
+}  // namespace tcs

@@ -1,0 +1,55 @@
+// Reusable N-thread phase barrier, mechanism-parameterized.
+//
+// This is the synchronization skeleton of the barrier-style PARSEC benchmarks
+// (fluidanimate, streamcluster, facesim timestep loops). §2.3 notes that the
+// classic two-wait reusable barrier cannot be ported to Retry-style mechanisms by
+// simple substitution, because the arrival update must become visible while the
+// thread waits. The transactional design therefore splits each crossing into two
+// transactions: one that publishes the arrival (and, for the last arrival,
+// advances the generation), and a read-only one that waits for the generation to
+// change. That second transaction is a pure precondition, which is exactly what
+// Retry/Await/WaitPred express.
+#ifndef TCS_SYNC_PHASE_BARRIER_H_
+#define TCS_SYNC_PHASE_BARRIER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/condsync/tm_condvar.h"
+#include "src/core/mechanism.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+
+namespace tcs {
+
+class PhaseBarrier {
+ public:
+  PhaseBarrier(Runtime* rt, Mechanism mech, int parties);
+
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+
+  // Blocks until all `parties` threads have arrived at this phase.
+  void ArriveAndWait();
+
+  // WaitPred predicate: generation advanced past args.v[1]. args.v[0] = barrier.
+  static bool GenerationChangedPred(TmSystem& sys, const WaitArgs& args);
+
+ private:
+  Runtime* rt_;
+  const Mechanism mech_;
+  const std::uint64_t parties_;
+
+  std::uint64_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<TmCondVar> tm_cv_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SYNC_PHASE_BARRIER_H_

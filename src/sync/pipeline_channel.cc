@@ -1,0 +1,21 @@
+#include "src/sync/pipeline_channel.h"
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+PipelineChannel::PipelineChannel(Runtime* rt, Mechanism mech, std::uint64_t capacity,
+                                 int producers)
+    : queue_(rt, mech, capacity), producers_left_(producers) {
+  TCS_CHECK(producers > 0);
+}
+
+void PipelineChannel::ProducerDone() {
+  int left = producers_left_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  TCS_CHECK_MSG(left >= 0, "ProducerDone called more times than producers");
+  if (left == 0) {
+    queue_.Close();
+  }
+}
+
+}  // namespace tcs

@@ -1,0 +1,86 @@
+#include "src/sync/ticket_gate.h"
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+TicketGate::TicketGate(Runtime* rt, Mechanism mech) : rt_(rt), mech_(mech) {
+  TCS_CHECK_MSG(mech == Mechanism::kPthreads || rt != nullptr,
+                "TM mechanisms need a Runtime");
+  if (mech == Mechanism::kTmCondVar) {
+    tm_cv_ = std::make_unique<TmCondVar>(rt->config().max_threads);
+  }
+}
+
+bool TicketGate::ReachedPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* g = reinterpret_cast<const TicketGate*>(args.v[0]);
+  TmWord v = sys.Read(reinterpret_cast<const TmWord*>(&g->value_));
+  return v >= args.v[1];
+}
+
+void TicketGate::Publish(std::uint64_t value) {
+  if (mech_ == Mechanism::kPthreads) {
+    std::unique_lock<std::mutex> lk(mu_);
+    TCS_DCHECK(value >= value_);
+    value_ = value;
+    cv_.notify_all();
+    return;
+  }
+  Atomically(rt_->sys(), [&](Tx& tx) {
+    tx.Store(value_, value);
+    if (mech_ == Mechanism::kTmCondVar) {
+      tx.CondBroadcast(*tm_cv_);
+    }
+  });
+}
+
+void TicketGate::Bump() {
+  if (mech_ == Mechanism::kPthreads) {
+    std::unique_lock<std::mutex> lk(mu_);
+    value_++;
+    cv_.notify_all();
+    return;
+  }
+  Atomically(rt_->sys(), [&](Tx& tx) {
+    tx.Store(value_, tx.Load(value_) + 1);
+    if (mech_ == Mechanism::kTmCondVar) {
+      tx.CondBroadcast(*tm_cv_);
+    }
+  });
+}
+
+void TicketGate::WaitFor(std::uint64_t target) {
+  if (mech_ == Mechanism::kPthreads) {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (value_ < target) {
+      cv_.wait(lk);
+    }
+    return;
+  }
+  Atomically(rt_->sys(), [&](Tx& tx) {
+    if (tx.Load(value_) >= target) {
+      return;
+    }
+    switch (mech_) {
+      case Mechanism::kTmCondVar:
+        tx.CondWait(*tm_cv_);
+      case Mechanism::kWaitPred: {
+        WaitArgs args;
+        args.v[0] = reinterpret_cast<TmWord>(this);
+        args.v[1] = target;
+        args.n = 2;
+        tx.WaitPred(&TicketGate::ReachedPred, args);
+      }
+      case Mechanism::kAwait:
+        tx.Await(value_);
+      case Mechanism::kRetry:
+        tx.Retry();
+      case Mechanism::kRetryOrig:
+        tx.RetryOrig();
+      default:
+        tx.RestartNow();
+    }
+  });
+}
+
+}  // namespace tcs

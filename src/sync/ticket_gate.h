@@ -1,0 +1,55 @@
+// Monotonic progress gate: consumers wait until a published counter reaches their
+// target. This is the dependency-wait skeleton of x264 (a macroblock row of frame
+// i may start once frame i-1 has encoded enough rows) and of dedup's ordered
+// output stage.
+#ifndef TCS_SYNC_TICKET_GATE_H_
+#define TCS_SYNC_TICKET_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/condsync/tm_condvar.h"
+#include "src/core/mechanism.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+
+namespace tcs {
+
+class TicketGate {
+ public:
+  TicketGate(Runtime* rt, Mechanism mech);
+
+  TicketGate(const TicketGate&) = delete;
+  TicketGate& operator=(const TicketGate&) = delete;
+
+  // Publishes progress; `value` must be monotonically non-decreasing.
+  void Publish(std::uint64_t value);
+
+  // Atomically increments the published value by one (concurrent-producer form).
+  void Bump();
+
+  // Blocks until published progress >= target.
+  void WaitFor(std::uint64_t target);
+
+  // Current value (transaction-free snapshot; for reporting only).
+  std::uint64_t UnsafeValue() const { return value_; }
+
+  // WaitPred predicate: value >= args.v[1]; args.v[0] = TicketGate*.
+  static bool ReachedPred(TmSystem& sys, const WaitArgs& args);
+
+ private:
+  Runtime* rt_;
+  const Mechanism mech_;
+
+  std::uint64_t value_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<TmCondVar> tm_cv_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SYNC_TICKET_GATE_H_

@@ -1,0 +1,154 @@
+#include "src/sync/work_queue.h"
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+WorkQueue::WorkQueue(Runtime* rt, Mechanism mech, std::uint64_t capacity)
+    : rt_(rt), mech_(mech), cap_(capacity) {
+  TCS_CHECK(capacity > 0);
+  TCS_CHECK_MSG(mech == Mechanism::kPthreads || rt != nullptr,
+                "TM mechanisms need a Runtime");
+  buf_ = std::make_unique<std::uint64_t[]>(capacity);
+  if (mech == Mechanism::kTmCondVar) {
+    cv_notempty_ = std::make_unique<TmCondVar>(rt->config().max_threads);
+    cv_notfull_ = std::make_unique<TmCondVar>(rt->config().max_threads);
+  }
+}
+
+bool WorkQueue::CanPopPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* q = reinterpret_cast<const WorkQueue*>(args.v[0]);
+  TmWord count = sys.Read(reinterpret_cast<const TmWord*>(&q->count_));
+  if (count > 0) {
+    return true;
+  }
+  return sys.Read(reinterpret_cast<const TmWord*>(&q->closed_)) != 0;
+}
+
+bool WorkQueue::CanPushPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* q = reinterpret_cast<const WorkQueue*>(args.v[0]);
+  TmWord count = sys.Read(reinterpret_cast<const TmWord*>(&q->count_));
+  return count < q->cap_;
+}
+
+void WorkQueue::PushPthreads(std::uint64_t task) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (count_ == cap_) {
+    notfull_.wait(lk);
+  }
+  TCS_CHECK_MSG(closed_ == 0, "push to closed queue");
+  buf_[tail_ % cap_] = task;
+  tail_++;
+  count_++;
+  notempty_.notify_one();
+}
+
+std::optional<std::uint64_t> WorkQueue::PopPthreads() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (count_ == 0 && closed_ == 0) {
+    notempty_.wait(lk);
+  }
+  if (count_ == 0) {
+    return std::nullopt;
+  }
+  std::uint64_t t = buf_[head_ % cap_];
+  head_++;
+  count_--;
+  notfull_.notify_one();
+  return t;
+}
+
+void WorkQueue::Push(std::uint64_t task) {
+  if (mech_ == Mechanism::kPthreads) {
+    PushPthreads(task);
+    return;
+  }
+  Atomically(rt_->sys(), [&](Tx& tx) {
+    std::uint64_t count = tx.Load(count_);
+    if (count == cap_) {
+      switch (mech_) {
+        case Mechanism::kTmCondVar:
+          tx.CondWait(*cv_notfull_);
+        case Mechanism::kWaitPred: {
+          WaitArgs args;
+          args.v[0] = reinterpret_cast<TmWord>(this);
+          args.n = 1;
+          tx.WaitPred(&WorkQueue::CanPushPred, args);
+        }
+        case Mechanism::kAwait:
+          tx.Await(count_);
+        case Mechanism::kRetry:
+          tx.Retry();
+        case Mechanism::kRetryOrig:
+          tx.RetryOrig();
+        default:
+          tx.RestartNow();
+      }
+    }
+    TCS_CHECK_MSG(tx.Load(closed_) == 0, "push to closed queue");
+    std::uint64_t t = tx.Load(tail_);
+    tx.Store(buf_[t % cap_], task);
+    tx.Store(tail_, t + 1);
+    tx.Store(count_, count + 1);
+    if (mech_ == Mechanism::kTmCondVar) {
+      tx.CondSignal(*cv_notempty_);
+    }
+  });
+}
+
+std::optional<std::uint64_t> WorkQueue::Pop() {
+  if (mech_ == Mechanism::kPthreads) {
+    return PopPthreads();
+  }
+  return Atomically(rt_->sys(), [&](Tx& tx) -> std::optional<std::uint64_t> {
+    std::uint64_t count = tx.Load(count_);
+    if (count == 0) {
+      if (tx.Load(closed_) != 0) {
+        return std::nullopt;
+      }
+      switch (mech_) {
+        case Mechanism::kTmCondVar:
+          tx.CondWait(*cv_notempty_);
+        case Mechanism::kWaitPred: {
+          WaitArgs args;
+          args.v[0] = reinterpret_cast<TmWord>(this);
+          args.n = 1;
+          tx.WaitPred(&WorkQueue::CanPopPred, args);
+        }
+        case Mechanism::kAwait:
+          tx.Await(count_, closed_);
+        case Mechanism::kRetry:
+          tx.Retry();
+        case Mechanism::kRetryOrig:
+          tx.RetryOrig();
+        default:
+          tx.RestartNow();
+      }
+    }
+    std::uint64_t h = tx.Load(head_);
+    std::uint64_t t = tx.Load(buf_[h % cap_]);
+    tx.Store(head_, h + 1);
+    tx.Store(count_, count - 1);
+    if (mech_ == Mechanism::kTmCondVar) {
+      tx.CondSignal(*cv_notfull_);
+    }
+    return t;
+  });
+}
+
+void WorkQueue::Close() {
+  if (mech_ == Mechanism::kPthreads) {
+    std::unique_lock<std::mutex> lk(mu_);
+    closed_ = 1;
+    notempty_.notify_all();
+    return;
+  }
+  Atomically(rt_->sys(), [&](Tx& tx) {
+    tx.Store(closed_, std::uint64_t{1});
+    if (mech_ == Mechanism::kTmCondVar) {
+      tx.CondBroadcast(*cv_notempty_);
+    }
+  });
+}
+
+}  // namespace tcs

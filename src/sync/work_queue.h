@@ -1,0 +1,70 @@
+// Bounded, closeable MPMC task queue, mechanism-parameterized.
+//
+// This is the synchronization skeleton of the task-pool PARSEC benchmarks
+// (bodytrack, raytrace, ferret's stages): workers block on "queue non-empty or
+// closed", submitters block on "queue not full". Closing wakes all poppers.
+#ifndef TCS_SYNC_WORK_QUEUE_H_
+#define TCS_SYNC_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "src/condsync/tm_condvar.h"
+#include "src/core/mechanism.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+
+namespace tcs {
+
+class WorkQueue {
+ public:
+  WorkQueue(Runtime* rt, Mechanism mech, std::uint64_t capacity);
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  // Blocks while the queue is full (unless closed; pushing to a closed queue is a
+  // programming error).
+  void Push(std::uint64_t task);
+
+  // Blocks while the queue is empty and open; returns nullopt once the queue is
+  // closed and drained.
+  std::optional<std::uint64_t> Pop();
+
+  // Marks the queue closed and wakes all blocked poppers.
+  void Close();
+
+  std::uint64_t capacity() const { return cap_; }
+
+  // WaitPred predicates; args.v[0] = WorkQueue*.
+  static bool CanPopPred(TmSystem& sys, const WaitArgs& args);
+  static bool CanPushPred(TmSystem& sys, const WaitArgs& args);
+
+ private:
+  void PushPthreads(std::uint64_t task);
+  std::optional<std::uint64_t> PopPthreads();
+
+  Runtime* rt_;
+  const Mechanism mech_;
+  const std::uint64_t cap_;
+
+  std::unique_ptr<std::uint64_t[]> buf_;
+  std::uint64_t count_ = 0;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::uint64_t closed_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable notempty_;
+  std::condition_variable notfull_;
+
+  std::unique_ptr<TmCondVar> cv_notempty_;
+  std::unique_ptr<TmCondVar> cv_notfull_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SYNC_WORK_QUEUE_H_

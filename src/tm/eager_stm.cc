@@ -1,0 +1,166 @@
+#include "src/tm/eager_stm.h"
+
+namespace tcs {
+
+EagerStm::EagerStm(const TmConfig& config) : TmSystem(config) {}
+
+void EagerStm::BeginTx(TxDesc& d) {
+  d.start = clock_.Load();
+  quiesce_.SetActive(d.tid, d.start);
+}
+
+// Algorithm 10, TxRead: atomically sample the orec, read the location, and re-check
+// the orec; accept only locations that are unlocked and no newer than this
+// transaction's start (or locked by this transaction).
+TmWord EagerStm::ReadWord(TxDesc& d, const TmWord* addr) {
+  Orec& o = orecs_.For(addr);
+  std::uint64_t o1 = o.word.load(std::memory_order_acquire);
+  TmWord val = LoadWordAcquire(addr);
+  if (Orec::IsLocked(o1)) {
+    if (Orec::Owner(o1) == d.tid) {
+      return val;
+    }
+    AbortCurrent(d, Counter::kAborts);
+  }
+  std::uint64_t o2 = o.word.load(std::memory_order_acquire);
+  if (o1 == o2 && Orec::Version(o1) <= d.start) {
+    d.reads.push_back(&o);
+    if (cfg_.timestamp_extension) {
+      d.read_words.push_back(o1);
+    }
+    return val;
+  }
+  if (o1 == o2 && !Orec::IsLocked(o1) && cfg_.timestamp_extension &&
+      TryExtendTimestamp(d) && Orec::Version(o1) <= d.start) {
+    d.reads.push_back(&o);
+    d.read_words.push_back(o1);
+    return val;
+  }
+  AbortCurrent(d, Counter::kAborts);
+}
+
+bool EagerStm::TryExtendTimestamp(TxDesc& d) {
+  std::uint64_t now = clock_.Load();
+  for (std::size_t i = 0; i < d.reads.size(); ++i) {
+    std::uint64_t w = d.reads[i]->word.load(std::memory_order_acquire);
+    if (w == d.read_words[i]) {
+      continue;
+    }
+    // An orec we read and later locked ourselves still covers consistent data.
+    if (Orec::IsLocked(w) && Orec::Owner(w) == d.tid) {
+      continue;
+    }
+    return false;
+  }
+  d.start = now;
+  quiesce_.SetActive(d.tid, now);
+  d.stats.Bump(Counter::kTimestampExtensions);
+  return true;
+}
+
+// Algorithm 10, TxWrite: acquire the covering lock (unless already held), log the
+// old value, and update in place.
+void EagerStm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
+  Orec& o = orecs_.For(addr);
+  std::uint64_t w = o.word.load(std::memory_order_acquire);
+  if (Orec::IsLocked(w)) {
+    if (Orec::Owner(w) != d.tid) {
+      AbortCurrent(d, Counter::kAborts);
+    }
+    // A single lock can cover multiple locations, so the undo entry is required
+    // even when the lock is already held (Algorithm 10's note).
+    d.undo.Append(addr, LoadWordRelaxed(addr));
+    StoreWordRelease(addr, val);
+    return;
+  }
+  if (Orec::Version(w) <= d.start &&
+      o.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
+                                     std::memory_order_acq_rel)) {
+    d.locks.push_back({&o, Orec::Version(w)});
+    d.undo.Append(addr, LoadWordRelaxed(addr));
+    StoreWordRelease(addr, val);
+    return;
+  }
+  AbortCurrent(d, Counter::kAborts);
+}
+
+// Algorithm 9, TxCommit.
+bool EagerStm::CommitTx(TxDesc& d) {
+  if (d.locks.empty()) {
+    // Read-only: every read was consistent when performed; nothing to publish.
+    d.reads.clear();
+    d.read_words.clear();
+    quiesce_.SetInactive(d.tid);
+    return false;
+  }
+  std::uint64_t end = clock_.Increment();
+  if (end != d.start + 1) {
+    // Some other writer committed since we began: validate the read set.
+    for (Orec* o : d.reads) {
+      std::uint64_t w = o->word.load(std::memory_order_acquire);
+      if (Orec::IsLocked(w)) {
+        if (Orec::Owner(w) != d.tid) {
+          AbortCurrent(d, Counter::kAborts);
+        }
+      } else if (Orec::Version(w) > d.start) {
+        AbortCurrent(d, Counter::kAborts);
+      }
+    }
+  }
+  SnapshotCommitOrecsIfNeeded(d);
+  for (const LockedOrec& l : d.locks) {
+    l.orec->word.store(Orec::MakeVersion(end), std::memory_order_release);
+  }
+  quiesce_.SetInactive(d.tid);
+  if (cfg_.privatization_safety) {
+    d.stats.Bump(Counter::kQuiesceCalls);
+    quiesce_.WaitForReadersBefore(end, d.tid);
+  }
+  return true;
+}
+
+// Algorithm 11, TxAbort: undo writes in reverse, release locks with a bumped
+// version so a concurrent TxRead's double-check cannot accept a speculative value,
+// and blindly advance the clock so the bumped versions are legal.
+void EagerStm::Rollback(TxDesc& d) {
+  d.undo.UndoAll();
+  for (const LockedOrec& l : d.locks) {
+    l.orec->word.store(Orec::MakeVersion(l.prev_version + 1),
+                       std::memory_order_release);
+  }
+  if (!d.locks.empty()) {
+    clock_.Increment();
+  }
+  d.undo.Clear();
+  d.locks.clear();
+  d.reads.clear();
+  d.read_words.clear();
+  d.redo.Clear();
+  quiesce_.SetInactive(d.tid);
+}
+
+TmWord EagerStm::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {
+  // Reads of locations this transaction wrote must log the value memory will hold
+  // after rollback (Algorithm 5's consultation of `undos`); logging the speculative
+  // value would make every later writer commit look like a change (§2.2.6).
+  TmWord original;
+  if (d.undo.FindOriginal(addr, &original)) {
+    return original;
+  }
+  return observed;
+}
+
+// Algorithm 6: undo the writes *while still holding the write locks*, then re-read
+// the given addresses through the instrumented path. Locations this transaction
+// wrote read back their pre-transaction values; others validate against `start`.
+void EagerStm::PrepareAwait(TxDesc& d, const TmWord* const* addrs, std::size_t n) {
+  d.undo.UndoAll();
+  d.undo.Clear();
+  d.waitset.Clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    TmWord v = ReadWord(d, addrs[i]);
+    d.waitset.Append(addrs[i], v);
+  }
+}
+
+}  // namespace tcs

@@ -1,0 +1,39 @@
+// Eager word-based STM: in-place updates with undo logging, per-location versioned
+// locks, and a global commit clock — the design of Appendix A (Algorithms 8-11),
+// which models TinySTM / GCC's default "ml-wt" runtime.
+//
+// Eager semantics matter to the condition-synchronization layer in two ways:
+//  * rolled-back memory must look "as if the transaction never ran" before a
+//    descheduled thread publishes its waitset (Figure 2.1, time 1), and
+//  * Await must undo writes *while still holding write locks* so the re-read
+//    values are consistent (Algorithm 6's subtlety).
+#ifndef TCS_TM_EAGER_STM_H_
+#define TCS_TM_EAGER_STM_H_
+
+#include "src/tm/tm_system.h"
+
+namespace tcs {
+
+class EagerStm final : public TmSystem {
+ public:
+  explicit EagerStm(const TmConfig& config);
+
+ protected:
+  void BeginTx(TxDesc& d) override;
+  bool CommitTx(TxDesc& d) override;
+  TmWord ReadWord(TxDesc& d, const TmWord* addr) override;
+  void WriteWord(TxDesc& d, TmWord* addr, TmWord val) override;
+  void Rollback(TxDesc& d) override;
+  TmWord PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) override;
+  void PrepareAwait(TxDesc& d, const TmWord* const* addrs, std::size_t n) override;
+
+ private:
+  // Timestamp extension (Riegel et al. [22]): revalidate the read set exactly and
+  // move `start` to the current clock, salvaging a read that would otherwise
+  // abort on a too-new version. Returns true on success.
+  bool TryExtendTimestamp(TxDesc& d);
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_EAGER_STM_H_

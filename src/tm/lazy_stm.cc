@@ -1,0 +1,112 @@
+#include "src/tm/lazy_stm.h"
+
+namespace tcs {
+
+LazyStm::LazyStm(const TmConfig& config) : TmSystem(config) {}
+
+void LazyStm::BeginTx(TxDesc& d) {
+  d.start = clock_.Load();
+  quiesce_.SetActive(d.tid, d.start);
+}
+
+TmWord LazyStm::ReadWord(TxDesc& d, const TmWord* addr) {
+  // Read-own-writes from the redo log.
+  TmWord v;
+  if (d.redo.Lookup(addr, &v)) {
+    return v;
+  }
+  Orec& o = orecs_.For(addr);
+  std::uint64_t o1 = o.word.load(std::memory_order_acquire);
+  if (Orec::IsLocked(o1)) {
+    // Locks are held only during a concurrent commit's write-back window.
+    AbortCurrent(d, Counter::kAborts);
+  }
+  v = LoadWordAcquire(addr);
+  std::uint64_t o2 = o.word.load(std::memory_order_acquire);
+  if (o1 == o2 && Orec::Version(o1) <= d.start) {
+    d.reads.push_back(&o);
+    return v;
+  }
+  AbortCurrent(d, Counter::kAborts);
+}
+
+void LazyStm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
+  d.redo.Put(addr, val);
+}
+
+bool LazyStm::CommitTx(TxDesc& d) {
+  if (d.redo.Empty()) {
+    d.reads.clear();
+    quiesce_.SetInactive(d.tid);
+    return false;
+  }
+  // Acquire an orec for every written location. Distinct addresses can share an
+  // orec; a lock we already hold is skipped.
+  d.redo.ForEachAddr([&](TmWord* addr) {
+    Orec& o = orecs_.For(addr);
+    std::uint64_t w = o.word.load(std::memory_order_acquire);
+    if (Orec::IsLocked(w)) {
+      if (Orec::Owner(w) == d.tid) {
+        return;
+      }
+      AbortCurrent(d, Counter::kAborts);
+    }
+    if (Orec::Version(w) > d.start ||
+        !o.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
+                                        std::memory_order_acq_rel)) {
+      AbortCurrent(d, Counter::kAborts);
+    }
+    d.locks.push_back({&o, Orec::Version(w)});
+  });
+  std::uint64_t end = clock_.Increment();
+  if (end != d.start + 1) {
+    for (Orec* o : d.reads) {
+      std::uint64_t w = o->word.load(std::memory_order_acquire);
+      if (Orec::IsLocked(w)) {
+        if (Orec::Owner(w) != d.tid) {
+          AbortCurrent(d, Counter::kAborts);
+        }
+      } else if (Orec::Version(w) > d.start) {
+        AbortCurrent(d, Counter::kAborts);
+      }
+    }
+  }
+  SnapshotCommitOrecsIfNeeded(d);
+  d.redo.WriteBack();
+  for (const LockedOrec& l : d.locks) {
+    l.orec->word.store(Orec::MakeVersion(end), std::memory_order_release);
+  }
+  quiesce_.SetInactive(d.tid);
+  if (cfg_.privatization_safety) {
+    d.stats.Bump(Counter::kQuiesceCalls);
+    quiesce_.WaitForReadersBefore(end, d.tid);
+  }
+  return true;
+}
+
+void LazyStm::Rollback(TxDesc& d) {
+  // No in-place writes to undo. Locks exist only if a commit attempt failed
+  // mid-acquisition; restoring the exact previous version is safe because memory
+  // was never modified.
+  for (const LockedOrec& l : d.locks) {
+    l.orec->word.store(Orec::MakeVersion(l.prev_version), std::memory_order_release);
+  }
+  d.locks.clear();
+  d.reads.clear();
+  d.redo.Clear();
+  d.undo.Clear();
+  quiesce_.SetInactive(d.tid);
+}
+
+TmWord LazyStm::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {
+  // A read satisfied from the redo log returned a speculative value; the waitset
+  // must instead hold the (untouched) memory value, which is what the location
+  // will show once this transaction is rolled back.
+  TmWord dummy;
+  if (d.redo.Lookup(addr, &dummy)) {
+    return LoadWordRelaxed(addr);
+  }
+  return observed;
+}
+
+}  // namespace tcs

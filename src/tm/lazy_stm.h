@@ -1,0 +1,30 @@
+// Lazy word-based STM: buffered writes (redo log) with commit-time lock
+// acquisition, validation, and write-back — a privatization-safe TL2-like design,
+// the paper's "Lazy STM" configuration (§2.4).
+//
+// For the condition-synchronization layer, laziness means memory always shows
+// pre-transaction state while a transaction runs, so Await needs no undo step and
+// Retry's waitset can log raw memory values directly.
+#ifndef TCS_TM_LAZY_STM_H_
+#define TCS_TM_LAZY_STM_H_
+
+#include "src/tm/tm_system.h"
+
+namespace tcs {
+
+class LazyStm final : public TmSystem {
+ public:
+  explicit LazyStm(const TmConfig& config);
+
+ protected:
+  void BeginTx(TxDesc& d) override;
+  bool CommitTx(TxDesc& d) override;
+  TmWord ReadWord(TxDesc& d, const TmWord* addr) override;
+  void WriteWord(TxDesc& d, TmWord* addr, TmWord val) override;
+  void Rollback(TxDesc& d) override;
+  TmWord PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) override;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_LAZY_STM_H_

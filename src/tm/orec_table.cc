@@ -1,0 +1,16 @@
+#include "src/tm/orec_table.h"
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+OrecTable::OrecTable(std::size_t size_log2, std::size_t granularity_log2)
+    : gran_(granularity_log2) {
+  TCS_CHECK(size_log2 >= 4 && size_log2 <= 28);
+  TCS_CHECK(granularity_log2 >= 3 && granularity_log2 <= 12);
+  std::size_t n = std::size_t{1} << size_log2;
+  orecs_ = std::make_unique<Orec[]>(n);
+  mask_ = n - 1;
+}
+
+}  // namespace tcs

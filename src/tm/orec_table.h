@@ -1,0 +1,65 @@
+// Ownership records (orecs): the per-address-range versioned locks that the STM
+// backends use for conflict detection (Appendix A, Algorithm 8).
+//
+// An orec packs either an unlocked version number or a lock owner into one 64-bit
+// word so that "all fields of a Lock object" can be read atomically, as the paper's
+// pseudocode assumes:
+//
+//   unlocked: (version << 1) | 0
+//   locked:   (owner_tid << 1) | 1
+//
+// The pre-acquisition version travels in the owner's lock list, so releasing for
+// abort can restore `prev_version + 1` (Algorithm 11, line 4).
+//
+// The table's mapping granularity is configurable: the STM backends hash at word
+// granularity (shift 3); the simulated HTM reuses the same structure at cache-line
+// granularity (shift 6), which is how real best-effort HTM detects conflicts.
+#ifndef TCS_TM_OREC_TABLE_H_
+#define TCS_TM_OREC_TABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace tcs {
+
+struct Orec {
+  std::atomic<std::uint64_t> word{0};
+
+  static bool IsLocked(std::uint64_t w) { return (w & 1) != 0; }
+  static std::uint64_t Version(std::uint64_t w) { return w >> 1; }
+  static int Owner(std::uint64_t w) { return static_cast<int>(w >> 1); }
+  static std::uint64_t MakeVersion(std::uint64_t version) { return version << 1; }
+  static std::uint64_t MakeLocked(int owner_tid) {
+    return (static_cast<std::uint64_t>(owner_tid) << 1) | 1;
+  }
+};
+
+class OrecTable {
+ public:
+  OrecTable(std::size_t size_log2, std::size_t granularity_log2);
+
+  OrecTable(const OrecTable&) = delete;
+  OrecTable& operator=(const OrecTable&) = delete;
+
+  // Maps an address to its ownership record. Distinct addresses may hash to the
+  // same orec (false conflicts), which every algorithm here tolerates.
+  Orec& For(const void* addr) {
+    auto a = reinterpret_cast<std::uintptr_t>(addr);
+    std::size_t idx = ((a >> gran_) ^ (a >> (gran_ + 10))) & mask_;
+    return orecs_[idx];
+  }
+
+  std::size_t size() const { return mask_ + 1; }
+  std::size_t granularity_bytes() const { return std::size_t{1} << gran_; }
+
+ private:
+  std::unique_ptr<Orec[]> orecs_;
+  std::size_t mask_;
+  std::size_t gran_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_OREC_TABLE_H_

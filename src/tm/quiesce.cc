@@ -1,0 +1,30 @@
+#include "src/tm/quiesce.h"
+
+#include "src/common/assert.h"
+#include "src/common/cpu.h"
+
+namespace tcs {
+
+QuiesceTable::QuiesceTable(int max_threads) : max_threads_(max_threads) {
+  TCS_CHECK(max_threads > 0);
+  slots_ = std::make_unique<Slot[]>(static_cast<std::size_t>(max_threads));
+}
+
+void QuiesceTable::WaitForReadersBefore(std::uint64_t time, int self) const {
+  for (int t = 0; t < max_threads_; ++t) {
+    if (t == self) {
+      continue;
+    }
+    int spins = 0;
+    while (slots_[t].start.load(std::memory_order_acquire) < time) {
+      if (++spins < 64) {
+        CpuRelax();
+      } else {
+        CpuYield();
+        spins = 0;
+      }
+    }
+  }
+}
+
+}  // namespace tcs

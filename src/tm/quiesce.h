@@ -1,0 +1,54 @@
+// Commit-time quiescence for privatization safety (Appendix A, TxCommit line 20).
+//
+// After a writer commit at time `end`, the committer waits until no other thread is
+// still executing a transaction that began before `end`. Such a straggler might
+// otherwise read memory the committer just privatized and is about to reclaim or
+// access non-transactionally. This matches the "privatization-safe variant of
+// TinySTM" ("ml-wt") the paper benchmarks.
+#ifndef TCS_TM_QUIESCE_H_
+#define TCS_TM_QUIESCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/cache_line.h"
+
+namespace tcs {
+
+class QuiesceTable {
+ public:
+  explicit QuiesceTable(int max_threads);
+
+  QuiesceTable(const QuiesceTable&) = delete;
+  QuiesceTable& operator=(const QuiesceTable&) = delete;
+
+  // Publishes that `tid` is running a transaction that began at `start`.
+  void SetActive(int tid, std::uint64_t start) {
+    slots_[tid].start.store(start, std::memory_order_seq_cst);
+  }
+
+  void SetInactive(int tid) {
+    slots_[tid].start.store(kInactive, std::memory_order_release);
+  }
+
+  // Blocks until every thread other than `self` either is inactive or is running a
+  // transaction that started at or after `time`.
+  void WaitForReadersBefore(std::uint64_t time, int self) const;
+
+  int max_threads() const { return max_threads_; }
+
+ private:
+  static constexpr std::uint64_t kInactive = ~std::uint64_t{0};
+
+  struct alignas(kCacheLineBytes) Slot {
+    std::atomic<std::uint64_t> start{kInactive};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  int max_threads_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_QUIESCE_H_

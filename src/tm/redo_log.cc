@@ -1,0 +1,82 @@
+#include "src/tm/redo_log.h"
+
+#include "src/common/assert.h"
+
+namespace tcs {
+namespace {
+
+constexpr std::size_t kInitialIndexSize = 64;  // power of two
+
+std::size_t HashAddr(const TmWord* addr) {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  a ^= a >> 33;
+  a *= 0xFF51AFD7ED558CCDULL;
+  a ^= a >> 29;
+  return static_cast<std::size_t>(a);
+}
+
+}  // namespace
+
+RedoLog::RedoLog() : index_(kInitialIndexSize, 0), index_mask_(kInitialIndexSize - 1) {}
+
+std::size_t RedoLog::IndexSlot(const TmWord* addr) const {
+  std::size_t slot = HashAddr(addr) & index_mask_;
+  for (;;) {
+    std::uint32_t v = index_[slot];
+    if (v == 0 || entries_[v - 1].addr == addr) {
+      return slot;
+    }
+    slot = (slot + 1) & index_mask_;
+  }
+}
+
+void RedoLog::Reindex() {
+  std::fill(index_.begin(), index_.end(), 0);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    std::size_t slot = IndexSlot(entries_[i].addr);
+    index_[slot] = static_cast<std::uint32_t>(i + 1);
+  }
+}
+
+void RedoLog::Put(TmWord* addr, TmWord val) {
+  std::size_t slot = IndexSlot(addr);
+  if (index_[slot] != 0) {
+    entries_[index_[slot] - 1].val = val;
+    return;
+  }
+  entries_.push_back({addr, val});
+  index_[slot] = static_cast<std::uint32_t>(entries_.size());
+  // Grow the index before the load factor degrades probing.
+  if (entries_.size() * 2 > index_.size()) {
+    index_.assign(index_.size() * 2, 0);
+    index_mask_ = index_.size() - 1;
+    Reindex();
+  }
+}
+
+bool RedoLog::Lookup(const TmWord* addr, TmWord* out) const {
+  std::size_t slot = IndexSlot(addr);
+  if (index_[slot] == 0) {
+    return false;
+  }
+  *out = entries_[index_[slot] - 1].val;
+  return true;
+}
+
+void RedoLog::WriteBack() {
+  for (const Entry& e : entries_) {
+    StoreWordRelease(e.addr, e.val);
+  }
+}
+
+void RedoLog::Clear() {
+  entries_.clear();
+  if (index_.size() > kInitialIndexSize * 8) {
+    index_.assign(kInitialIndexSize, 0);
+    index_mask_ = kInitialIndexSize - 1;
+  } else {
+    std::fill(index_.begin(), index_.end(), 0);
+  }
+}
+
+}  // namespace tcs

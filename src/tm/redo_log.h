@@ -1,0 +1,57 @@
+// Redo log (buffered write set) for lazy STM and the simulated HTM.
+//
+// Supports O(1) expected read-own-writes lookup via a small open-addressing index
+// over the insertion-ordered entry list. Write-back preserves program order.
+#ifndef TCS_TM_REDO_LOG_H_
+#define TCS_TM_REDO_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/tm/word.h"
+
+namespace tcs {
+
+class RedoLog {
+ public:
+  RedoLog();
+
+  // Records (or overwrites) the speculative value for `addr`.
+  void Put(TmWord* addr, TmWord val);
+
+  // True if this transaction wrote `addr`; returns the speculative value.
+  bool Lookup(const TmWord* addr, TmWord* out) const;
+
+  // Publishes all buffered writes to memory (commit time, locks held).
+  void WriteBack();
+
+  template <typename Fn>
+  void ForEachAddr(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      fn(e.addr);
+    }
+  }
+
+  bool Empty() const { return entries_.empty(); }
+  std::size_t Size() const { return entries_.size(); }
+  void Clear();
+
+ private:
+  struct Entry {
+    TmWord* addr;
+    TmWord val;
+  };
+
+  std::size_t IndexSlot(const TmWord* addr) const;
+  void Reindex();
+
+  std::vector<Entry> entries_;
+  // Open-addressing table of entry indices + 1 (0 = empty).
+  std::vector<std::uint32_t> index_;
+  std::size_t index_mask_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_REDO_LOG_H_

@@ -1,0 +1,299 @@
+#include "src/tm/sim_htm.h"
+
+#include "src/common/cpu.h"
+
+namespace tcs {
+
+namespace {
+
+bool SameArgs(const WaitArgs& a, const WaitArgs& b) {
+  if (a.n != b.n) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < a.n; ++i) {
+    if (a.v[i] != b.v[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SimHtm::SimHtm(const TmConfig& config) : TmSystem(config) {
+  committing_ = std::make_unique<CommitFlag[]>(
+      static_cast<std::size_t>(config.max_threads));
+}
+
+std::uint8_t SimHtm::RegisterPred(WaitPredFn fn, const WaitArgs& args) {
+  SpinLockGuard g(pred_table_lock_);
+  // Index 0 means "unregistered"; kHtmAbortCondSync is reserved.
+  for (int i = 1; i < static_cast<int>(kHtmAbortCondSync); ++i) {
+    PredEntry& e = pred_table_[static_cast<std::size_t>(i)];
+    if (e.fn == fn && SameArgs(e.args, args)) {
+      return static_cast<std::uint8_t>(i);
+    }
+    if (e.fn == nullptr) {
+      e.fn = fn;
+      e.args = args;
+      pred_table_size_.fetch_add(1, std::memory_order_release);
+      return static_cast<std::uint8_t>(i);
+    }
+  }
+  return 0;
+}
+
+std::uint8_t SimHtm::LookupPred(WaitPredFn fn, const WaitArgs& args) {
+  int n = pred_table_size_.load(std::memory_order_acquire);
+  for (int i = 1; i <= n && i < static_cast<int>(kHtmAbortCondSync); ++i) {
+    const PredEntry& e = pred_table_[static_cast<std::size_t>(i)];
+    if (e.fn == fn && SameArgs(e.args, args)) {
+      return static_cast<std::uint8_t>(i);
+    }
+  }
+  return 0;
+}
+
+void SimHtm::MaybeHwPredTableDeschedule(TxDesc& d, WaitPredFn fn,
+                                        const WaitArgs& args) {
+  if (!cfg_.htm_pred_table || d.htm_serial) {
+    return;
+  }
+  std::uint8_t code = LookupPred(fn, args);
+  if (code == 0) {
+    return;  // unregistered combination: take the software-mode path
+  }
+  // The hardware transaction aborts with `code`; the (simulated) abort handler
+  // recovers ⟨fn, args⟩ from the table and descheds directly — no serial
+  // re-execution of the transaction body (§2.2.6).
+  d.htm_abort_code = code;
+  d.stats.Bump(Counter::kHtmExplicitAborts);
+  d.stats.Bump(Counter::kHtmPredTableFastPath);
+  Rollback(d);
+  d.nesting = 0;
+  Deschedule(pred_table_[code].fn, pred_table_[code].args);
+}
+
+void SimHtm::EnterSerial(TxDesc& d) {
+  serial_entry_lock_.Lock();
+  serial_owner_.store(d.tid, std::memory_order_seq_cst);
+  serial_seq_.fetch_add(1, std::memory_order_seq_cst);
+  // Drain hardware commits that began before the token was visible.
+  for (int t = 0; t < cfg_.max_threads; ++t) {
+    while (committing_[t].v.load(std::memory_order_seq_cst) != 0) {
+      CpuRelax();
+    }
+  }
+  d.htm_serial = true;
+  d.stats.Bump(Counter::kHtmFallbacks);
+}
+
+void SimHtm::ExitSerial(TxDesc& d) {
+  d.htm_serial = false;
+  serial_owner_.store(-1, std::memory_order_seq_cst);
+  serial_entry_lock_.Unlock();
+}
+
+void SimHtm::BeginTx(TxDesc& d) {
+  if (d.htm_software_next || d.htm_attempts >= cfg_.htm_max_attempts) {
+    // GCC progress rule: after repeated hardware aborts (or an explicit request
+    // from the condition-synchronization layer), suspend concurrency and run
+    // serially-irrevocably in software.
+    EnterSerial(d);
+    d.start = clock_.Load();
+    quiesce_.SetActive(d.tid, d.start);
+    return;
+  }
+  d.htm_serial = false;
+  // A hardware transaction cannot start while a serial transaction runs.
+  while (serial_owner_.load(std::memory_order_seq_cst) != -1) {
+    CpuYield();
+  }
+  d.htm_serial_seq0 = serial_seq_.load(std::memory_order_seq_cst);
+  d.start = clock_.Load();
+  quiesce_.SetActive(d.tid, d.start);
+}
+
+void SimHtm::HwAbort(TxDesc& d, Counter reason) {
+  d.htm_attempts++;
+  if (reason == Counter::kHtmCapacityAborts) {
+    // A capacity overflow will recur; go straight to the software fallback.
+    d.htm_attempts = cfg_.htm_max_attempts;
+  }
+  AbortCurrent(d, reason);
+}
+
+TmWord SimHtm::ReadWord(TxDesc& d, const TmWord* addr) {
+  if (d.htm_serial) {
+    // Serial-irrevocable software mode: direct access, no concurrency.
+    return LoadWordAcquire(addr);
+  }
+  if (SerialInterference(d)) {
+    HwAbort(d, Counter::kHtmConflictAborts);
+  }
+  TmWord v;
+  if (d.redo.Lookup(addr, &v)) {
+    return v;
+  }
+  Orec& line = orecs_.For(addr);
+  std::uint64_t w1 = line.word.load(std::memory_order_acquire);
+  if (Orec::IsLocked(w1)) {
+    if (Orec::Owner(w1) == d.tid) {
+      // Line owned by us but this word not in the redo log: memory is clean.
+      return LoadWordAcquire(addr);
+    }
+    // Requester loses: encountering another transaction's line aborts us, the
+    // eager behavior that makes HTM abort on read-write conflicts lazy STM
+    // tolerates (§2.4.1).
+    HwAbort(d, Counter::kHtmConflictAborts);
+  }
+  v = LoadWordAcquire(addr);
+  std::uint64_t w2 = line.word.load(std::memory_order_acquire);
+  if (w1 != w2 || Orec::Version(w1) > d.start) {
+    HwAbort(d, Counter::kHtmConflictAborts);
+  }
+  if (d.reads.empty() || d.reads.back() != &line) {
+    d.reads.push_back(&line);
+    if (d.reads.size() > cfg_.htm_read_capacity_lines) {
+      HwAbort(d, Counter::kHtmCapacityAborts);
+    }
+  }
+  return v;
+}
+
+void SimHtm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
+  if (d.htm_serial) {
+    d.undo.Append(addr, LoadWordRelaxed(addr));
+    StoreWordRelease(addr, val);
+    return;
+  }
+  if (SerialInterference(d)) {
+    HwAbort(d, Counter::kHtmConflictAborts);
+  }
+  Orec& line = orecs_.For(addr);
+  std::uint64_t w = line.word.load(std::memory_order_acquire);
+  if (Orec::IsLocked(w)) {
+    if (Orec::Owner(w) != d.tid) {
+      HwAbort(d, Counter::kHtmConflictAborts);
+    }
+  } else if (Orec::Version(w) > d.start ||
+             !line.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
+                                                std::memory_order_acq_rel)) {
+    HwAbort(d, Counter::kHtmConflictAborts);
+  } else {
+    d.locks.push_back({&line, Orec::Version(w)});
+    if (d.locks.size() > cfg_.htm_write_capacity_lines) {
+      HwAbort(d, Counter::kHtmCapacityAborts);
+    }
+  }
+  d.redo.Put(addr, val);
+}
+
+bool SimHtm::CommitTx(TxDesc& d) {
+  if (d.htm_serial) {
+    bool writer = !d.undo.Empty();
+    d.undo.Clear();
+    d.reads.clear();
+    quiesce_.SetInactive(d.tid);
+    ExitSerial(d);
+    return writer;
+  }
+  if (d.redo.Empty()) {
+    d.reads.clear();
+    quiesce_.SetInactive(d.tid);
+    return false;
+  }
+  // Announce the commit so serial entry drains us, then re-check the token
+  // (Dekker-style: either we see the token and abort, or serial entry sees our
+  // flag and waits).
+  committing_[d.tid].v.store(1, std::memory_order_seq_cst);
+  if (SerialInterference(d)) {
+    HwAbort(d, Counter::kHtmConflictAborts);
+  }
+  std::uint64_t end = clock_.Increment();
+  if (end != d.start + 1) {
+    for (Orec* line : d.reads) {
+      std::uint64_t w = line->word.load(std::memory_order_acquire);
+      if (Orec::IsLocked(w)) {
+        if (Orec::Owner(w) != d.tid) {
+          HwAbort(d, Counter::kHtmConflictAborts);
+        }
+      } else if (Orec::Version(w) > d.start) {
+        HwAbort(d, Counter::kHtmConflictAborts);
+      }
+    }
+  }
+  d.redo.WriteBack();
+  for (const LockedOrec& l : d.locks) {
+    l.orec->word.store(Orec::MakeVersion(end), std::memory_order_release);
+  }
+  committing_[d.tid].v.store(0, std::memory_order_seq_cst);
+  quiesce_.SetInactive(d.tid);
+  if (cfg_.privatization_safety) {
+    // Real HTM commits are atomic and privatization-safe by construction; the
+    // emulated write-back is not, so reuse the STM quiescence fence.
+    d.stats.Bump(Counter::kQuiesceCalls);
+    quiesce_.WaitForReadersBefore(end, d.tid);
+  }
+  return true;
+}
+
+void SimHtm::Rollback(TxDesc& d) {
+  if (d.htm_serial) {
+    d.undo.UndoAll();
+    d.undo.Clear();
+    d.reads.clear();
+    d.redo.Clear();
+    d.locks.clear();
+    quiesce_.SetInactive(d.tid);
+    ExitSerial(d);
+    return;
+  }
+  // Buffered writes never reached memory; restore exact line versions.
+  for (const LockedOrec& l : d.locks) {
+    l.orec->word.store(Orec::MakeVersion(l.prev_version), std::memory_order_release);
+  }
+  committing_[d.tid].v.store(0, std::memory_order_seq_cst);
+  d.locks.clear();
+  d.reads.clear();
+  d.redo.Clear();
+  d.undo.Clear();
+  quiesce_.SetInactive(d.tid);
+}
+
+TmWord SimHtm::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {
+  // Waitset logging only happens in serial software mode (hardware transactions
+  // cannot publish waitsets), where updates are in place with undo logging.
+  TmWord original;
+  if (d.undo.FindOriginal(addr, &original)) {
+    return original;
+  }
+  return observed;
+}
+
+void SimHtm::PrepareAwait(TxDesc& d, const TmWord* const* addrs, std::size_t n) {
+  TCS_CHECK_MSG(d.htm_serial, "Await in hardware mode must switch to software first");
+  d.undo.UndoAll();
+  d.undo.Clear();
+  d.waitset.Clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    TmWord v = LoadWordAcquire(addrs[i]);
+    d.waitset.Append(addrs[i], v);
+  }
+}
+
+bool SimHtm::NeedsSoftwareForCondSync(TxDesc& d) { return !d.htm_serial; }
+
+void SimHtm::SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging) {
+  // The hardware transaction aborts with the condition-synchronization code and
+  // the dispatcher re-executes it serially, where escape actions are legal.
+  d.htm_abort_code = kHtmAbortCondSync;
+  d.htm_software_next = true;
+  if (enable_retry_logging) {
+    d.retry_logging = true;
+  }
+  d.skip_backoff = true;
+  AbortCurrent(d, Counter::kHtmExplicitAborts);
+}
+
+}  // namespace tcs

@@ -1,0 +1,58 @@
+// Configuration for a TM domain (one tcs::Runtime instance).
+#ifndef TCS_TM_TM_CONFIG_H_
+#define TCS_TM_TM_CONFIG_H_
+
+#include <cstddef>
+
+namespace tcs {
+
+// The three transaction-execution configurations evaluated in the paper (§2.4):
+// eager STM ("ml-wt"/TinySTM-like), lazy STM (TL2-like), and best-effort HTM
+// (simulated; see DESIGN.md "Substitutions").
+enum class Backend : int {
+  kEagerStm = 0,
+  kLazyStm = 1,
+  kSimHtm = 2,
+};
+
+const char* BackendName(Backend b);
+
+struct TmConfig {
+  Backend backend = Backend::kEagerStm;
+
+  // log2 of the ownership-record table size (entries).
+  std::size_t orec_table_log2 = 18;
+
+  // Maximum number of threads that may ever register with this domain.
+  int max_threads = 256;
+
+  // Run commit-time quiescence so privatization is safe (Appendix A).
+  bool privatization_safety = true;
+
+  // Eager STM: on a too-new read, try to extend the transaction's timestamp by
+  // revalidating the read set instead of aborting (Appendix A names this as the
+  // standard fix for its "overly conservative" abort; Riegel et al. [22]).
+  bool timestamp_extension = false;
+
+  // ---- Simulated HTM knobs ----
+  // Hardware attempts before falling back to serial-irrevocable software mode.
+  // The paper's GCC runtime "suspends concurrency after a transaction aborts
+  // twice, so that it may execute to completion".
+  int htm_max_attempts = 2;
+  // Best-effort capacity limits, in 64-byte cache lines (i7-class L1 budgets).
+  std::size_t htm_read_capacity_lines = 4096;
+  std::size_t htm_write_capacity_lines = 512;
+  // §2.2.6 extension: use the 8-bit explicit-abort code as an index into a table
+  // of registered WaitPred predicates so a hardware transaction can deschedule
+  // without re-executing in software mode.
+  bool htm_pred_table = false;
+
+  // ---- Condition-synchronization knobs (ablations) ----
+  // Wake at most one satisfied waiter per writer commit instead of all of them
+  // (our mechanisms "essentially broadcast", §2.4.1; this knob quantifies that).
+  bool wake_single = false;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_TM_CONFIG_H_

@@ -1,0 +1,440 @@
+#include "src/tm/tm_system.h"
+
+#include <atomic>
+
+#include "src/common/cpu.h"
+#include "src/condsync/retry_orig.h"
+#include "src/condsync/tm_condvar.h"
+#include "src/condsync/waiter_registry.h"
+#include "src/tm/eager_stm.h"
+#include "src/tm/lazy_stm.h"
+#include "src/tm/sim_htm.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace tcs {
+namespace {
+
+std::atomic<std::uint64_t> g_system_uid{1};
+
+// Registry of live TM domains, keyed by uid. Thread-exit cleanup consults it so a
+// descriptor slot is recycled only if its domain still exists.
+std::mutex& LiveSystemsMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::uint64_t, TmSystem*>& LiveSystems() {
+  static auto* m = new std::unordered_map<std::uint64_t, TmSystem*>();
+  return *m;
+}
+
+}  // namespace
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kEagerStm:
+      return "eager-stm";
+    case Backend::kLazyStm:
+      return "lazy-stm";
+    case Backend::kSimHtm:
+      return "sim-htm";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<TmSystem> TmSystem::Create(const TmConfig& config) {
+  switch (config.backend) {
+    case Backend::kEagerStm:
+      return std::make_unique<EagerStm>(config);
+    case Backend::kLazyStm:
+      return std::make_unique<LazyStm>(config);
+    case Backend::kSimHtm:
+      return std::make_unique<SimHtm>(config);
+  }
+  TCS_CHECK_MSG(false, "unknown backend");
+  return nullptr;
+}
+
+TmSystem::TmSystem(const TmConfig& config)
+    : cfg_(config),
+      orecs_(config.orec_table_log2,
+             config.backend == Backend::kSimHtm ? 6 : 3),
+      quiesce_(config.max_threads),
+      uid_(g_system_uid.fetch_add(1, std::memory_order_relaxed)) {
+  descs_.resize(static_cast<std::size_t>(cfg_.max_threads));
+  waiters_ = std::make_unique<WaiterRegistry>(cfg_.max_threads);
+  retry_orig_ = std::make_unique<RetryOrigRegistry>(cfg_.max_threads);
+  std::lock_guard<std::mutex> g(LiveSystemsMutex());
+  LiveSystems().emplace(uid_, this);
+}
+
+TmSystem::~TmSystem() {
+  std::lock_guard<std::mutex> g(LiveSystemsMutex());
+  LiveSystems().erase(uid_);
+}
+
+void TmSystem::ReleaseTid(TxDesc* d) {
+  SpinLockGuard g(registration_lock_);
+  TCS_CHECK_MSG(d->nesting == 0, "thread exited inside a transaction");
+  free_tids_.push_back(d->tid);
+}
+
+void TmSystem::ReleaseTidIfAlive(std::uint64_t uid, TxDesc* d) {
+  std::lock_guard<std::mutex> g(LiveSystemsMutex());
+  auto it = LiveSystems().find(uid);
+  if (it != LiveSystems().end()) {
+    it->second->ReleaseTid(d);
+  }
+}
+
+TxDesc& TmSystem::RegisterThread() {
+  SpinLockGuard g(registration_lock_);
+  if (!free_tids_.empty()) {
+    int tid = free_tids_.back();
+    free_tids_.pop_back();
+    TxDesc& d = *descs_[static_cast<std::size_t>(tid)];
+    // Drain any stale semaphore post left by a racing waker after the previous
+    // owner of this slot had already woken.
+    while (d.sem.TryWait()) {
+    }
+    return d;
+  }
+  TCS_CHECK_MSG(next_tid_ < cfg_.max_threads, "too many threads for this TM domain");
+  int tid = next_tid_++;
+  descs_[tid] = std::make_unique<TxDesc>(tid, uid_ * 0x9E3779B9ULL + tid);
+  return *descs_[tid];
+}
+
+TxDesc& TmSystem::Desc() {
+  struct Entry {
+    std::uint64_t uid;
+    const TmSystem* sys;
+    TxDesc* desc;
+  };
+  // The cache destructor returns each slot to its (still-live) domain when the
+  // thread exits, so benchmarks that spawn threads per trial never run out.
+  struct Cache {
+    std::vector<Entry> entries;
+    ~Cache() {
+      for (const Entry& e : entries) {
+        ReleaseTidIfAlive(e.uid, e.desc);
+      }
+    }
+  };
+  thread_local Cache tls;
+  for (const Entry& e : tls.entries) {
+    if (e.sys == this && e.uid == uid_) {
+      return *e.desc;
+    }
+  }
+  TxDesc& d = RegisterThread();
+  tls.entries.push_back({uid_, this, &d});
+  return d;
+}
+
+Semaphore& TmSystem::SemOf(int tid) {
+  TCS_DCHECK(tid >= 0 && tid < next_tid_);
+  return descs_[static_cast<std::size_t>(tid)]->sem;
+}
+
+void TmSystem::Begin() {
+  TxDesc& d = Desc();
+  if (d.nesting++ > 0) {
+    return;  // flat (subsumption) nesting, Appendix A
+  }
+  if (d.retry_logging && !d.internal) {
+    // Each attempt rebuilds the waitset so it describes exactly what this
+    // execution observed (Algorithm 5's lazily-reset waitset). Internal
+    // transactions (registration, wake checks) must leave the published
+    // waitset untouched.
+    d.waitset.Clear();
+  }
+  d.skip_backoff = false;
+  BeginTx(d);
+}
+
+void TmSystem::Commit() {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "Commit outside transaction");
+  if (--d.nesting > 0) {
+    return;
+  }
+  bool writer = CommitTx(d);  // throws TxRestart (after rollback) if validation fails
+  d.stats.Bump(writer ? Counter::kCommits : Counter::kReadOnlyCommits);
+  d.mem.OnCommit();
+  bool internal = d.internal;
+  std::vector<const Orec*> commit_orecs;
+  std::vector<DeferredCvSignal> signals;
+  if (!internal) {
+    commit_orecs.swap(d.commit_orecs);
+    signals.swap(d.deferred_signals);
+    ResetDescAfterTx(d);
+  } else {
+    // Internal transactions clear only their access sets; the enclosing
+    // deschedule's published waitset and retry flags must survive.
+    ClearAccessSets(d);
+  }
+  if (!internal) {
+    // Deferred TMCondVar signals take effect now that the transaction is durable.
+    for (const DeferredCvSignal& s : signals) {
+      if (s.broadcast) {
+        s.cv->BroadcastNow(*this);
+      } else {
+        s.cv->SignalNow(*this);
+      }
+    }
+    if (writer) {
+      // Order this writer's published state against the waiter-presence peeks
+      // below (see WaiterRegistry's header for the full argument).
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (!commit_orecs.empty()) {
+        retry_orig_->OnWriterCommit(commit_orecs);
+      }
+      if (waiters_->HasWaiters()) {
+        WakeWaiters();
+      }
+    }
+  }
+}
+
+void TmSystem::ClearAccessSets(TxDesc& d) {
+  d.reads.clear();
+  d.read_words.clear();
+  d.locks.clear();
+  d.undo.Clear();
+  d.redo.Clear();
+}
+
+void TmSystem::ResetDescAfterTx(TxDesc& d) {
+  ClearAccessSets(d);
+  d.waitset.Clear();
+  d.retry_logging = false;
+  d.htm_software_next = false;
+  d.htm_attempts = 0;
+  d.htm_abort_code = 0;
+  d.woke_from_sleep = false;
+  d.skip_backoff = false;
+  d.commit_orecs.clear();
+  d.deferred_signals.clear();
+  d.backoff.Reset();
+}
+
+void TmSystem::AbortCurrent(TxDesc& d, Counter reason) {
+  Rollback(d);
+  d.mem.OnAbort();
+  // Signals deferred by this attempt die with it; a re-execution re-defers.
+  d.deferred_signals.clear();
+  d.stats.Bump(reason);
+  d.nesting = 0;
+  throw TxRestart{};
+}
+
+void TmSystem::AbortSelf(Counter reason) { AbortCurrent(Desc(), reason); }
+
+void TmSystem::RollbackForDeschedule(TxDesc& d) {
+  Rollback(d);
+  // Allocations stay alive until after wakeup: the published waitset (or the
+  // WaitPred argument record) may point into captured memory (§2.2.4).
+  d.mem.DeferForDeschedule();
+  d.deferred_signals.clear();
+  d.nesting = 0;
+}
+
+TmWord TmSystem::Read(const TmWord* addr) {
+  TxDesc& d = Desc();
+  TCS_DCHECK(d.nesting > 0);
+  TmWord v = ReadWord(d, addr);
+  if (d.retry_logging && !d.internal) {
+    d.waitset.Append(addr, PreTxValue(d, addr, v));
+  }
+  return v;
+}
+
+void TmSystem::Write(TmWord* addr, TmWord val) {
+  TxDesc& d = Desc();
+  TCS_DCHECK(d.nesting > 0);
+  WriteWord(d, addr, val);
+}
+
+void* TmSystem::TxAlloc(std::size_t bytes) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "TxAlloc outside transaction");
+  return d.mem.Alloc(bytes);
+}
+
+void TmSystem::TxFree(void* p) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "TxFree outside transaction");
+  d.mem.Free(p);
+}
+
+TmWord TmSystem::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {
+  (void)d;
+  (void)addr;
+  return observed;
+}
+
+void TmSystem::PrepareAwait(TxDesc& d, const TmWord* const* addrs, std::size_t n) {
+  // Default for buffered-write backends: drop the speculative writes, then re-read
+  // the addresses through the instrumented path so each value is consistent with
+  // the transaction's start time (aborting otherwise, per Algorithm 6).
+  d.redo.Clear();
+  d.waitset.Clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    TmWord v = ReadWord(d, addrs[i]);
+    d.waitset.Append(addrs[i], v);
+  }
+}
+
+bool TmSystem::NeedsSoftwareForCondSync(TxDesc& d) {
+  (void)d;
+  return false;
+}
+
+void TmSystem::SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging) {
+  (void)enable_retry_logging;
+  TCS_CHECK_MSG(false, "SwitchToSoftwareMode on a software backend");
+  AbortCurrent(d, Counter::kAborts);  // unreachable
+}
+
+void TmSystem::SnapshotCommitOrecsIfNeeded(TxDesc& d) {
+  if (d.internal || !retry_orig_->HasWaiters()) {
+    return;
+  }
+  d.commit_orecs.clear();
+  d.commit_orecs.reserve(d.locks.size());
+  for (const LockedOrec& l : d.locks) {
+    d.commit_orecs.push_back(l.orec);
+  }
+}
+
+void TmSystem::Retry() {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "Retry outside transaction");
+  if (NeedsSoftwareForCondSync(d)) {
+    SwitchToSoftwareMode(d, /*enable_retry_logging=*/true);
+  }
+  if (!d.retry_logging) {
+    // First encounter (Algorithm 5): restart so the re-execution logs an
+    // ⟨addr, value⟩ pair on every read, making the waitset expressible.
+    d.retry_logging = true;
+    d.skip_backoff = true;
+    AbortCurrent(d, Counter::kRetryRestarts);
+  }
+  WaitArgs args;
+  args.v[0] = reinterpret_cast<TmWord>(&d.waitset);
+  args.n = 1;
+  Deschedule(&FindChangesPred, args);
+}
+
+void TmSystem::Await(const TmWord* const* addrs, std::size_t n) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "Await outside transaction");
+  if (NeedsSoftwareForCondSync(d)) {
+    SwitchToSoftwareMode(d, /*enable_retry_logging=*/false);
+  }
+  PrepareAwait(d, addrs, n);
+  WaitArgs args;
+  args.v[0] = reinterpret_cast<TmWord>(&d.waitset);
+  args.n = 1;
+  Deschedule(&FindChangesPred, args);
+}
+
+void TmSystem::WaitPred(WaitPredFn fn, const WaitArgs& args) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "WaitPred outside transaction");
+  if (NeedsSoftwareForCondSync(d)) {
+    MaybeHwPredTableDeschedule(d, fn, args);  // fast path; descheds if it applies
+    SwitchToSoftwareMode(d, /*enable_retry_logging=*/false);
+  }
+  Deschedule(fn, args);
+}
+
+void TmSystem::MaybeHwPredTableDeschedule(TxDesc& d, WaitPredFn fn,
+                                          const WaitArgs& args) {
+  (void)d;
+  (void)fn;
+  (void)args;
+}
+
+void TmSystem::RetryOrig() {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "RetryOrig outside transaction");
+  TCS_CHECK_MSG(backend() != Backend::kSimHtm,
+                "Retry-Orig requires STM metadata and cannot run on HTM (§2.1)");
+  std::uint64_t start = d.start;
+  std::vector<const Orec*> read_orecs(d.reads.begin(), d.reads.end());
+  std::vector<RetryOrigRegistry::ReleasedOrec> released;
+  released.reserve(d.locks.size());
+  for (const LockedOrec& l : d.locks) {
+    released.push_back({l.orec, Orec::MakeVersion(l.prev_version + 1)});
+  }
+  Rollback(d);
+  d.mem.OnAbort();
+  d.deferred_signals.clear();
+  d.nesting = 0;
+  retry_orig_->WaitForOverlap(d, std::move(read_orecs), start, released);
+  d.skip_backoff = true;
+  throw TxRestart{};
+}
+
+void TmSystem::RestartNow() {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "RestartNow outside transaction");
+  d.skip_backoff = true;
+  // "Aborts and immediately restarts". The yield must come *after* the rollback:
+  // parking this thread while it still holds eagerly-acquired orecs would starve
+  // the very thread that could establish the precondition.
+  Rollback(d);
+  d.mem.OnAbort();
+  d.deferred_signals.clear();
+  d.stats.Bump(Counter::kExplicitRestarts);
+  d.nesting = 0;
+  CpuYield();
+  throw TxRestart{};
+}
+
+void TmSystem::CommitInFlight() {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "CommitInFlight outside transaction");
+  // Flatten any nesting: the entire in-flight transaction commits here. This is
+  // precisely how condvar waits "break atomicity" (§1.2).
+  d.nesting = 1;
+  Commit();
+}
+
+void TmSystem::DeferSignal(const DeferredCvSignal& sig) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "DeferSignal outside transaction");
+  d.deferred_signals.push_back(sig);
+}
+
+void TmSystem::OnRestart() {
+  TxDesc& d = Desc();
+  if (!d.skip_backoff) {
+    d.backoff.Pause();
+  }
+  d.skip_backoff = false;
+}
+
+TxStats TmSystem::AggregateStats() const {
+  TxStats total;
+  for (const auto& d : descs_) {
+    if (d != nullptr) {
+      total.MergeFrom(d->stats);
+    }
+  }
+  return total;
+}
+
+void TmSystem::ResetStats() {
+  for (const auto& d : descs_) {
+    if (d != nullptr) {
+      d->stats.Reset();
+    }
+  }
+}
+
+}  // namespace tcs

@@ -1,0 +1,203 @@
+// TmSystem: one transactional-memory domain — a backend (eager STM, lazy STM, or
+// simulated HTM) plus the condition-synchronization machinery layered on it.
+//
+// The class exposes the raw word-granularity hooks (Begin/Commit/Read/Write) that
+// the Atomically() loop in core/transaction.h drives, and the paper's four
+// condition-synchronization entry points:
+//
+//   Retry()    — Algorithm 5: wait until anything the attempt read changes.
+//   Await()    — Algorithm 6: wait until one of the given addresses changes.
+//   WaitPred() — Algorithm 7: wait until a user predicate holds.
+//   Deschedule — Algorithm 4: the abstract mechanism the other three reduce to.
+//
+// plus the evaluation's baselines: RetryOrig() (Algorithm 1) and RestartNow().
+#ifndef TCS_TM_TM_SYSTEM_H_
+#define TCS_TM_TM_SYSTEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/assert.h"
+#include "src/common/spin_lock.h"
+#include "src/common/stats.h"
+#include "src/tm/orec_table.h"
+#include "src/tm/quiesce.h"
+#include "src/tm/tm_config.h"
+#include "src/tm/tx_desc.h"
+#include "src/tm/tx_exceptions.h"
+#include "src/tm/version_clock.h"
+#include "src/tm/word.h"
+
+namespace tcs {
+
+class WaiterRegistry;
+class RetryOrigRegistry;
+
+class TmSystem {
+ public:
+  static std::unique_ptr<TmSystem> Create(const TmConfig& config);
+
+  virtual ~TmSystem();
+
+  TmSystem(const TmSystem&) = delete;
+  TmSystem& operator=(const TmSystem&) = delete;
+
+  const TmConfig& config() const { return cfg_; }
+  Backend backend() const { return cfg_.backend; }
+
+  // Returns the calling thread's descriptor, registering the thread on first use.
+  TxDesc& Desc();
+
+  // --- transaction lifecycle (drive through Atomically(), not directly) ---
+  void Begin();
+  void Commit();
+  bool InTx() { return Desc().nesting > 0; }
+
+  // Rolls the current attempt back and transfers control to the restart loop.
+  [[noreturn]] void AbortSelf(Counter reason);
+
+  // --- transactional data access (word granularity) ---
+  TmWord Read(const TmWord* addr);
+  void Write(TmWord* addr, TmWord val);
+
+  // --- transactional allocation (Appendix A) ---
+  void* TxAlloc(std::size_t bytes);
+  void TxFree(void* p);
+
+  // --- condition synchronization ---
+  [[noreturn]] void Retry();
+  [[noreturn]] void Await(const TmWord* const* addrs, std::size_t n);
+  [[noreturn]] void WaitPred(WaitPredFn fn, const WaitArgs& args);
+  [[noreturn]] void Deschedule(WaitPredFn fn, const WaitArgs& args);
+  [[noreturn]] void RetryOrig();
+  [[noreturn]] void RestartNow();
+
+  // TMCondVar support: commits the in-flight transaction at a wait point (this is
+  // the atomicity break of transactional condition variables) and queues `sig` to
+  // run after commit.
+  void CommitInFlight();
+  void DeferSignal(const DeferredCvSignal& sig);
+
+  // Runs `fn` as a complete runtime-internal transaction (registration
+  // transactions, wake checks, condvar queue operations). Internal transactions
+  // never trigger post-commit hooks, which keeps wakeWaiters from recursing.
+  template <typename F>
+  void RunInternalTx(F&& fn) {
+    TxDesc& d = Desc();
+    TCS_CHECK(d.nesting == 0);
+    d.internal = true;
+    // Internal transactions are independent of the surrounding user transaction's
+    // hardware-retry budget and software-mode request; restore both afterwards.
+    int saved_attempts = d.htm_attempts;
+    bool saved_software = d.htm_software_next;
+    d.htm_attempts = 0;
+    d.htm_software_next = false;
+    for (;;) {
+      Begin();
+      try {
+        fn();
+        Commit();
+        break;
+      } catch (const TxRestart&) {
+        d.backoff.Pause();
+      }
+    }
+    d.htm_attempts = saved_attempts;
+    d.htm_software_next = saved_software;
+    d.internal = false;
+  }
+
+  // Called by the restart loop between attempts.
+  void OnRestart();
+
+  // Post-commit scan that wakes satisfied waiters (Algorithm 4's wakeWaiters).
+  void WakeWaiters();
+
+  WaiterRegistry& waiters() { return *waiters_; }
+  RetryOrigRegistry& retry_orig() { return *retry_orig_; }
+
+  // Sleep semaphore of a registered thread (used by TMCondVar signalers).
+  Semaphore& SemOf(int tid);
+
+  // --- statistics ---
+  TxStats AggregateStats() const;
+  void ResetStats();
+
+ protected:
+  explicit TmSystem(const TmConfig& config);
+
+  // Backend hooks. CommitTx returns true iff the transaction performed writes;
+  // on validation failure it must roll back and throw TxRestart (via AbortCurrent).
+  virtual void BeginTx(TxDesc& d) = 0;
+  virtual bool CommitTx(TxDesc& d) = 0;
+  virtual TmWord ReadWord(TxDesc& d, const TmWord* addr) = 0;
+  virtual void WriteWord(TxDesc& d, TmWord* addr, TmWord val) = 0;
+  // Undo writes, release locks, clear access sets; must leave the waitset intact.
+  virtual void Rollback(TxDesc& d) = 0;
+
+  // Value `addr` will hold after this transaction rolls back. Backends with
+  // in-place updates consult the undo log (Algorithm 5's read of `undos`).
+  virtual TmWord PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed);
+
+  // Backend-specific part of Await (Algorithm 6): undo writes so memory shows
+  // pre-transaction state, then re-read `addrs` through ReadWord into the waitset.
+  virtual void PrepareAwait(TxDesc& d, const TmWord* const* addrs, std::size_t n);
+
+  // Simulated HTM: true while executing as a hardware transaction, which cannot
+  // publish a waitset or sleep (no escape actions, §2.2.2); condition
+  // synchronization must abort and re-execute in software mode.
+  virtual bool NeedsSoftwareForCondSync(TxDesc& d);
+
+  // §2.2.6 pred-table extension: if the (predicate, arguments) combination is
+  // registered, a hardware transaction can deschedule through its 8-bit abort
+  // code with no software-mode re-execution. Either descheds (never returns) or
+  // returns to let the caller take the software-mode path. Default: no-op.
+  virtual void MaybeHwPredTableDeschedule(TxDesc& d, WaitPredFn fn,
+                                          const WaitArgs& args);
+  // Aborts the hardware transaction and arranges a software-mode re-execution.
+  [[noreturn]] virtual void SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging);
+
+  // Shared abort path: rollback + allocation cleanup + restart exception.
+  [[noreturn]] void AbortCurrent(TxDesc& d, Counter reason);
+
+  // Deschedule's rollback: like an abort, but allocations are kept alive until
+  // after wakeup because the published waitset may point into them (§2.2.4).
+  void RollbackForDeschedule(TxDesc& d);
+
+  void SnapshotCommitOrecsIfNeeded(TxDesc& d);
+
+  TmConfig cfg_;
+  OrecTable orecs_;
+  VersionClock clock_;
+  QuiesceTable quiesce_;
+
+ private:
+  void ClearAccessSets(TxDesc& d);
+  void ResetDescAfterTx(TxDesc& d);
+  TxDesc& RegisterThread();
+  // Returns a descriptor slot when its thread exits, so that short-lived threads
+  // do not exhaust max_threads. Called from thread-local cache destructors via
+  // the global live-system registry.
+  void ReleaseTid(TxDesc* d);
+  static void ReleaseTidIfAlive(std::uint64_t uid, TxDesc* d);
+
+  const std::uint64_t uid_;
+  SpinLock registration_lock_;
+  std::vector<std::unique_ptr<TxDesc>> descs_;
+  std::vector<int> free_tids_;
+  int next_tid_ = 0;
+
+  std::unique_ptr<WaiterRegistry> waiters_;
+  std::unique_ptr<RetryOrigRegistry> retry_orig_;
+};
+
+// The wait predicate implementing Retry and Await wakeups: true iff any ⟨addr,val⟩
+// pair in the published waitset no longer matches memory (Algorithm 5's
+// findChanges). args.v[0] holds the WaitSet pointer.
+bool FindChangesPred(TmSystem& sys, const WaitArgs& args);
+
+}  // namespace tcs
+
+#endif  // TCS_TM_TM_SYSTEM_H_

@@ -1,0 +1,109 @@
+// Per-thread transaction descriptor (the paper's "Tx object", Algorithm 8, plus the
+// condition-synchronization fields of Algorithms 4 and 5).
+//
+// One descriptor holds the state for every backend — undo log (eager STM and the
+// simulated HTM's serial mode), redo log (lazy STM and simulated-HTM buffering),
+// orec read/lock sets — because a TM domain runs exactly one backend and the unused
+// logs cost nothing.
+#ifndef TCS_TM_TX_DESC_H_
+#define TCS_TM_TX_DESC_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/backoff.h"
+#include "src/common/semaphore.h"
+#include "src/common/stats.h"
+#include "src/tm/orec_table.h"
+#include "src/tm/redo_log.h"
+#include "src/tm/tx_malloc.h"
+#include "src/tm/undo_log.h"
+#include "src/tm/wait_set.h"
+#include "src/tm/word.h"
+
+namespace tcs {
+
+class TmSystem;
+class TmCondVar;
+
+// Marshaled arguments for a wait predicate (Algorithm 7). A fixed inline record:
+// WaitPred "cannot construct an object to store these arguments, since the writes
+// might be undone during Deschedule", so the library copies up to four words.
+struct WaitArgs {
+  std::array<TmWord, 4> v{};
+  std::uint32_t n = 0;
+};
+
+// A wait predicate, evaluated transactionally — by the waiter inside its
+// registration transaction (the Deschedule double-check) and by writers inside
+// wakeWaiters. It must be read-only and must access shared state only through
+// TmSystem::Read.
+using WaitPredFn = bool (*)(TmSystem&, const WaitArgs&);
+
+// An orec acquired by the running transaction, with its pre-acquisition version so
+// releaseForAbort can restore `prev_version + 1` (Algorithm 11).
+struct LockedOrec {
+  Orec* orec;
+  std::uint64_t prev_version;
+};
+
+// Deferred TMCondVar signal: signals issued inside a transaction take effect only
+// when (and if) that transaction commits.
+struct DeferredCvSignal {
+  TmCondVar* cv;
+  bool broadcast;
+};
+
+struct TxDesc {
+  TxDesc(int tid_in, std::uint64_t backoff_seed)
+      : tid(tid_in), backoff(backoff_seed) {}
+
+  TxDesc(const TxDesc&) = delete;
+  TxDesc& operator=(const TxDesc&) = delete;
+
+  // --- identity ---
+  const int tid;
+
+  // --- lifecycle ---
+  std::uint32_t nesting = 0;
+  bool internal = false;  // runtime-internal transaction: skip post-commit hooks
+  std::uint64_t start = 0;
+
+  // --- STM state (Appendix A) ---
+  std::vector<Orec*> reads;
+  // Orec words observed at read time; maintained (parallel to `reads`) only when
+  // eager timestamp extension is enabled, which needs exact-match revalidation.
+  std::vector<std::uint64_t> read_words;
+  std::vector<LockedOrec> locks;
+  UndoLog undo;
+  RedoLog redo;
+  TxMallocLog mem;
+
+  // --- condition synchronization (Algorithms 4-7) ---
+  WaitSet waitset;
+  bool retry_logging = false;  // the paper's is_retry: log ⟨addr,value⟩ on every read
+  Semaphore sem;               // per-thread sleep semaphore
+  bool woke_from_sleep = false;
+  std::vector<DeferredCvSignal> deferred_signals;
+  // Writer-side snapshot of acquired orecs, taken just before lock release when
+  // Retry-Orig waiters exist (Algorithm 1's TxCommit intersection needs it).
+  std::vector<const Orec*> commit_orecs;
+
+  // --- simulated HTM state ---
+  bool htm_serial = false;         // currently executing in serial-irrevocable mode
+  bool htm_software_next = false;  // next attempt must run in serial software mode
+  int htm_attempts = 0;            // hardware aborts since last success
+  std::uint64_t htm_serial_seq0 = 0;
+  std::uint8_t htm_abort_code = 0;
+
+  // --- restart-loop support ---
+  Backoff backoff;
+  bool skip_backoff = false;
+
+  TxStats stats;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_TX_DESC_H_

@@ -1,0 +1,17 @@
+// Internal control-flow signal for transaction restart.
+//
+// A conflict abort, an explicit Restart, a Retry/Await/WaitPred deschedule, and a
+// TMCondVar wait all end the current attempt and transfer control back to the
+// Atomically() loop, which re-invokes the transaction body. The throw happens only
+// after the backend has fully rolled the attempt back, so stack unwinding runs user
+// destructors against a memory state "as if the transaction never ran".
+#ifndef TCS_TM_TX_EXCEPTIONS_H_
+#define TCS_TM_TX_EXCEPTIONS_H_
+
+namespace tcs {
+
+struct TxRestart {};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_TX_EXCEPTIONS_H_

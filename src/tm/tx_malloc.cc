@@ -1,0 +1,53 @@
+#include "src/tm/tx_malloc.h"
+
+#include <cstdlib>
+
+#include "src/common/assert.h"
+
+namespace tcs {
+
+void* TxMallocLog::Alloc(std::size_t bytes) {
+  void* p = std::malloc(bytes);
+  TCS_CHECK_MSG(p != nullptr, "transactional malloc failed");
+  mallocs_.push_back(p);
+  return p;
+}
+
+void TxMallocLog::Free(void* ptr) {
+  if (ptr != nullptr) {
+    frees_.push_back(ptr);
+  }
+}
+
+void TxMallocLog::OnCommit() {
+  for (void* p : frees_) {
+    std::free(p);
+  }
+  frees_.clear();
+  mallocs_.clear();
+}
+
+void TxMallocLog::OnAbort() {
+  for (void* p : mallocs_) {
+    std::free(p);
+  }
+  mallocs_.clear();
+  frees_.clear();
+}
+
+void TxMallocLog::DeferForDeschedule() {
+  for (void* p : mallocs_) {
+    deferred_.push_back(p);
+  }
+  mallocs_.clear();
+  frees_.clear();
+}
+
+void TxMallocLog::ReclaimDeferred() {
+  for (void* p : deferred_) {
+    std::free(p);
+  }
+  deferred_.clear();
+}
+
+}  // namespace tcs

@@ -1,0 +1,48 @@
+// Transactional allocation bookkeeping (Appendix A).
+//
+// malloc() inside a transaction is undone if the transaction aborts; free() is
+// deferred until commit. Deschedule adds a third state: allocations of a transaction
+// that is going to sleep cannot be reclaimed until after wakeup, because the
+// published waitset (or WaitPred argument record) may point into them — the
+// "Captured Memory" caveat of §2.2.4.
+#ifndef TCS_TM_TX_MALLOC_H_
+#define TCS_TM_TX_MALLOC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tcs {
+
+class TxMallocLog {
+ public:
+  // Allocates and records so the allocation can be undone on abort.
+  void* Alloc(std::size_t bytes);
+
+  // Defers the free until commit.
+  void Free(void* ptr);
+
+  // Commit: perform deferred frees, forget allocations.
+  void OnCommit();
+
+  // Abort: undo allocations, forget deferred frees.
+  void OnAbort();
+
+  // Deschedule: keep this attempt's allocations alive until after wakeup.
+  void DeferForDeschedule();
+
+  // After wakeup: reclaim the allocations kept alive across the sleep.
+  void ReclaimDeferred();
+
+  std::size_t AllocCount() const { return mallocs_.size(); }
+  std::size_t FreeCount() const { return frees_.size(); }
+  std::size_t DeferredCount() const { return deferred_.size(); }
+
+ private:
+  std::vector<void*> mallocs_;
+  std::vector<void*> frees_;
+  std::vector<void*> deferred_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_TX_MALLOC_H_

@@ -1,0 +1,21 @@
+#include "src/tm/undo_log.h"
+
+namespace tcs {
+
+void UndoLog::UndoAll() {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    StoreWordRelease(it->addr, it->val);
+  }
+}
+
+bool UndoLog::FindOriginal(const TmWord* addr, TmWord* out) const {
+  for (const Entry& e : entries_) {
+    if (e.addr == addr) {
+      *out = e.val;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tcs

@@ -1,0 +1,46 @@
+// Undo log for eager (in-place-update) transactions (Appendix A).
+//
+// Also used by the simulated HTM's serial-irrevocable software mode, which needs
+// rollback capability so that Deschedule can undo a transaction's effects before
+// putting the thread to sleep.
+#ifndef TCS_TM_UNDO_LOG_H_
+#define TCS_TM_UNDO_LOG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tm/word.h"
+
+namespace tcs {
+
+class UndoLog {
+ public:
+  struct Entry {
+    TmWord* addr;
+    TmWord val;
+  };
+
+  void Append(TmWord* addr, TmWord old_val) { entries_.push_back({addr, old_val}); }
+
+  // Restores logged values in reverse order (Algorithm 11, line 1).
+  void UndoAll();
+
+  // Pre-transaction value of `addr`, i.e. the value logged by the *first* write to
+  // it. Used by Retry's waitset population (Algorithm 5): a read-after-write must
+  // log the value the location will hold after rollback, never the speculative
+  // value, or every later writer commit would wake the thread spuriously (§2.2.6).
+  bool FindOriginal(const TmWord* addr, TmWord* out) const;
+
+  bool Empty() const { return entries_.empty(); }
+  std::size_t Size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_UNDO_LOG_H_

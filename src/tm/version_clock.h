@@ -1,0 +1,32 @@
+// Global logical clock counting writer commits (Appendix A; the TL2 technique).
+//
+// The increment is an acq_rel RMW: the chain of fetch_adds on the single clock word
+// orders writer commits, which the condition-synchronization layer relies on when a
+// committing writer decides (with plain atomic peeks) whether any waiter slots can
+// be skipped. See WaiterRegistry for the argument.
+#ifndef TCS_TM_VERSION_CLOCK_H_
+#define TCS_TM_VERSION_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cache_line.h"
+
+namespace tcs {
+
+class alignas(kCacheLineBytes) VersionClock {
+ public:
+  std::uint64_t Load() const { return time_.load(std::memory_order_acquire); }
+
+  // Returns the new (post-increment) time.
+  std::uint64_t Increment() {
+    return time_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> time_{0};
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_VERSION_CLOCK_H_

@@ -1,0 +1,14 @@
+#include "src/tm/wait_set.h"
+
+namespace tcs {
+
+bool WaitSet::ContainsAddr(const TmWord* addr) const {
+  for (const Entry& e : entries_) {
+    if (e.addr == addr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tcs

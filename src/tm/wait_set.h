@@ -1,0 +1,41 @@
+// The waitset: ⟨address, value⟩ pairs describing the precise memory state a
+// descheduled transaction observed (§2.2.3).
+//
+// Value-based (rather than orec-based) waitsets are what make the paper's wakeup
+// mechanism HTM-compatible and immune to false wakeups from silent stores: a
+// writer decides whether to wake a thread purely by re-reading addresses and
+// comparing values, with no access to TM metadata.
+#ifndef TCS_TM_WAIT_SET_H_
+#define TCS_TM_WAIT_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tm/word.h"
+
+namespace tcs {
+
+class WaitSet {
+ public:
+  struct Entry {
+    const TmWord* addr;
+    TmWord val;
+  };
+
+  void Append(const TmWord* addr, TmWord val) { entries_.push_back({addr, val}); }
+
+  bool Empty() const { return entries_.empty(); }
+  std::size_t Size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  bool ContainsAddr(const TmWord* addr) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_TM_WAIT_SET_H_

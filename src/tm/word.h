@@ -1,0 +1,31 @@
+// The TM operates at machine-word granularity, like TinySTM / TL2 / GCC's libitm.
+// All transactional data accesses go through std::atomic_ref so that racy-by-design
+// STM reads (read data, then re-check the ownership record) have defined behavior.
+#ifndef TCS_TM_WORD_H_
+#define TCS_TM_WORD_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace tcs {
+
+using TmWord = std::uintptr_t;
+static_assert(sizeof(TmWord) == 8, "tcsync assumes a 64-bit platform");
+
+inline TmWord LoadWordAcquire(const TmWord* addr) {
+  return std::atomic_ref<TmWord>(*const_cast<TmWord*>(addr))
+      .load(std::memory_order_acquire);
+}
+
+inline TmWord LoadWordRelaxed(const TmWord* addr) {
+  return std::atomic_ref<TmWord>(*const_cast<TmWord*>(addr))
+      .load(std::memory_order_relaxed);
+}
+
+inline void StoreWordRelease(TmWord* addr, TmWord val) {
+  std::atomic_ref<TmWord>(*addr).store(val, std::memory_order_release);
+}
+
+}  // namespace tcs
+
+#endif  // TCS_TM_WORD_H_

@@ -1,0 +1,55 @@
+// Shared helpers for tests parameterized over (backend × mechanism).
+#ifndef TCS_TESTS_MATRIX_H_
+#define TCS_TESTS_MATRIX_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/mechanism.h"
+#include "src/tm/tm_config.h"
+
+namespace tcs {
+
+struct MatrixParam {
+  Backend backend;
+  Mechanism mech;
+};
+
+inline std::string MatrixParamName(const ::testing::TestParamInfo<MatrixParam>& info) {
+  std::string out = std::string(BackendName(info.param.backend)) + "_" +
+                    MechanismName(info.param.mech);
+  for (char& c : out) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+// Every valid (backend, mechanism) combination; Retry-Orig is STM-only (§2.1).
+inline std::vector<MatrixParam> AllMatrixCombos() {
+  std::vector<MatrixParam> out;
+  for (Backend b : {Backend::kEagerStm, Backend::kLazyStm, Backend::kSimHtm}) {
+    for (Mechanism m : kAllMechanisms) {
+      if (m == Mechanism::kRetryOrig && b == Backend::kSimHtm) {
+        continue;
+      }
+      out.push_back({b, m});
+    }
+  }
+  return out;
+}
+
+inline TmConfig MatrixConfig(Backend b, int max_threads = 64) {
+  TmConfig cfg;
+  cfg.backend = b;
+  cfg.orec_table_log2 = 14;
+  cfg.max_threads = max_threads;
+  return cfg;
+}
+
+}  // namespace tcs
+
+#endif  // TCS_TESTS_MATRIX_H_

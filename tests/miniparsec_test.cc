@@ -1,0 +1,110 @@
+// Mini-PARSEC correctness: every app must produce the same checksum regardless
+// of mechanism, backend, and thread count — synchronization must never change
+// results, only timing. This is the portability property the paper's Table 2.1
+// porting exercise relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/miniparsec/app_common.h"
+#include "tests/matrix.h"
+
+namespace tcs {
+namespace {
+
+struct AppCase {
+  std::string app;
+  MatrixParam combo;
+};
+
+std::vector<AppCase> AllAppCases() {
+  std::vector<AppCase> out;
+  for (const AppInfo& app : MiniParsecApps()) {
+    // Pthreads is the reference; the TM mechanisms run on eager STM (the full
+    // backend × mechanism sweep is the Figure 2.6-2.8 harness's job), plus one
+    // lazy and one sim-htm sample per app to cover backend interaction.
+    out.push_back({app.name, {Backend::kEagerStm, Mechanism::kTmCondVar}});
+    out.push_back({app.name, {Backend::kEagerStm, Mechanism::kWaitPred}});
+    out.push_back({app.name, {Backend::kEagerStm, Mechanism::kAwait}});
+    out.push_back({app.name, {Backend::kEagerStm, Mechanism::kRetry}});
+    out.push_back({app.name, {Backend::kEagerStm, Mechanism::kRetryOrig}});
+    out.push_back({app.name, {Backend::kEagerStm, Mechanism::kRestart}});
+    out.push_back({app.name, {Backend::kLazyStm, Mechanism::kRetry}});
+    out.push_back({app.name, {Backend::kSimHtm, Mechanism::kRetry}});
+  }
+  return out;
+}
+
+// Reference checksums, computed once per (app, threads) with plain pthreads.
+std::uint64_t ReferenceChecksum(const std::string& app, int threads) {
+  static std::map<std::pair<std::string, int>, std::uint64_t> cache;
+  auto key = std::make_pair(app, threads);
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  AppConfig cfg;
+  cfg.mech = Mechanism::kPthreads;
+  cfg.threads = threads;
+  AppResult ref = RunMiniParsecApp(app, cfg);
+  cache[key] = ref.checksum;
+  return ref.checksum;
+}
+
+class MiniParsecTest : public ::testing::TestWithParam<AppCase> {};
+
+TEST_P(MiniParsecTest, ChecksumMatchesPthreadsReference) {
+  const AppCase& c = GetParam();
+  for (int threads : {1, 3}) {
+    AppConfig cfg;
+    cfg.mech = c.combo.mech;
+    cfg.backend = c.combo.backend;
+    cfg.threads = threads;
+    AppResult got = RunMiniParsecApp(c.app, cfg);
+    EXPECT_EQ(got.checksum, ReferenceChecksum(c.app, threads))
+        << c.app << " with " << MechanismName(c.combo.mech) << " on "
+        << BackendName(c.combo.backend) << " at " << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, MiniParsecTest, ::testing::ValuesIn(AllAppCases()),
+                         [](const ::testing::TestParamInfo<AppCase>& info) {
+                           std::string out =
+                               info.param.app + "_" +
+                               std::string(BackendName(info.param.combo.backend)) +
+                               "_" + MechanismName(info.param.combo.mech);
+                           for (char& c : out) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return out;
+                         });
+
+TEST(MiniParsecMetaTest, SyncPointCountsMatchPaperTable21) {
+  // Table 2.1's parenthesized counts: bodytrack 5, dedup 3, facesim 7, ferret 2,
+  // fluidanimate 4, raytrace 3, streamcluster 5, x264 1.
+  std::map<std::string, std::size_t> expected = {
+      {"bodytrack", 5}, {"dedup", 3},         {"facesim", 7},
+      {"ferret", 2},    {"fluidanimate", 4},  {"raytrace", 3},
+      {"streamcluster", 5}, {"x264", 1},
+  };
+  ASSERT_EQ(MiniParsecApps().size(), expected.size());
+  for (const AppInfo& app : MiniParsecApps()) {
+    ASSERT_TRUE(expected.count(app.name) == 1) << app.name;
+    EXPECT_EQ(app.sync_points.size(), expected[app.name]) << app.name;
+  }
+}
+
+TEST(MiniParsecMetaTest, ThreadCountDoesNotChangeReference) {
+  // The pthreads reference itself must be thread-count independent.
+  for (const AppInfo& app : MiniParsecApps()) {
+    std::uint64_t ref1 = ReferenceChecksum(app.name, 1);
+    std::uint64_t ref3 = ReferenceChecksum(app.name, 3);
+    EXPECT_EQ(ref1, ref3) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace tcs

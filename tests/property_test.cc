@@ -1,0 +1,364 @@
+// Property-based tests: randomized workloads checked against sequential
+// reference models and global invariants, swept across backends and sizes with
+// parameterized suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+#include "src/sync/bounded_buffer.h"
+#include "src/sync/work_queue.h"
+#include "src/tm/redo_log.h"
+#include "src/tm/undo_log.h"
+#include "tests/matrix.h"
+
+namespace tcs {
+namespace {
+
+// --- RedoLog vs std::unordered_map reference, swept over workload sizes ---
+
+class RedoLogPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedoLogPropertyTest, MatchesMapReference) {
+  const int ops = GetParam();
+  SplitMix64 rng(static_cast<std::uint64_t>(ops) * 2654435761u);
+  std::vector<TmWord> arena(256, 0);
+  RedoLog log;
+  std::unordered_map<TmWord*, TmWord> model;
+  for (int i = 0; i < ops; ++i) {
+    TmWord* addr = &arena[rng.NextBounded(arena.size())];
+    if (rng.NextBounded(3) == 0) {
+      TmWord got = 0;
+      bool hit = log.Lookup(addr, &got);
+      auto it = model.find(addr);
+      ASSERT_EQ(hit, it != model.end());
+      if (hit) {
+        ASSERT_EQ(got, it->second);
+      }
+    } else {
+      TmWord val = rng.Next();
+      log.Put(addr, val);
+      model[addr] = val;
+    }
+  }
+  ASSERT_EQ(log.Size(), model.size());
+  log.WriteBack();
+  for (const auto& [addr, val] : model) {
+    ASSERT_EQ(*addr, val);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RedoLogPropertyTest,
+                         ::testing::Values(1, 7, 32, 100, 500, 2000, 10000));
+
+// --- UndoLog: random write sequences must roll back to the initial image ---
+
+class UndoLogPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UndoLogPropertyTest, UndoRestoresInitialImage) {
+  const int writes = GetParam();
+  SplitMix64 rng(static_cast<std::uint64_t>(writes) + 99);
+  std::vector<TmWord> arena(64);
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    arena[i] = rng.Next();
+  }
+  std::vector<TmWord> initial = arena;
+  UndoLog log;
+  for (int i = 0; i < writes; ++i) {
+    TmWord* addr = &arena[rng.NextBounded(arena.size())];
+    log.Append(addr, *addr);
+    *addr = rng.Next();
+  }
+  log.UndoAll();
+  ASSERT_EQ(arena, initial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UndoLogPropertyTest,
+                         ::testing::Values(0, 1, 5, 50, 500, 5000));
+
+// --- Transactional invariants under randomized concurrent load ---
+
+class TmInvariantTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  TmInvariantTest() : rt_(MatrixConfig(GetParam(), 32)) {}
+  Runtime rt_;
+};
+
+TEST_P(TmInvariantTest, SumPreservingRandomTransfersWithFullAudit) {
+  // Every transaction re-verifies the global invariant over ALL cells before
+  // mutating, so any serializability violation trips inside the transaction.
+  constexpr int kCells = 12;
+  constexpr std::uint64_t kTotal = 12000;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 1500;
+  std::vector<std::uint64_t> cells(kCells, kTotal / kCells);
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      SplitMix64 rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int from = static_cast<int>(rng.NextBounded(kCells));
+        int to = static_cast<int>(rng.NextBounded(kCells));
+        std::uint64_t amount = rng.NextBounded(5);
+        Atomically(rt_.sys(), [&](Tx& tx) {
+          std::uint64_t sum = 0;
+          for (int c = 0; c < kCells; ++c) {
+            sum += tx.Load(cells[c]);
+          }
+          if (sum != kTotal) {
+            violations.fetch_add(1);
+            return;
+          }
+          std::uint64_t f = tx.Load(cells[from]);
+          if (f >= amount) {
+            tx.Store(cells[from], f - amount);
+            tx.Store(cells[to], tx.Load(cells[to]) + amount);
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+  EXPECT_EQ(violations.load(), 0);
+  std::uint64_t total = 0;
+  for (auto c : cells) {
+    total += c;
+  }
+  EXPECT_EQ(total, kTotal);
+}
+
+TEST_P(TmInvariantTest, CommitCounterMatchesExternalCount) {
+  // Each writer transaction increments a transactional counter; the final value
+  // must equal the number of Atomically() calls that returned (exactly-once
+  // commit semantics even under aborts and retries).
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::uint64_t counter = 0;
+  std::atomic<std::uint64_t> external{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(counter, tx.Load(counter) + 1); });
+        external.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+  EXPECT_EQ(counter, external.load());
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST_P(TmInvariantTest, RandomizedRestartInjection) {
+  // Failure injection: bodies randomly self-restart mid-flight; committed
+  // effects must still be exactly once per successful completion.
+  constexpr int kOps = 3000;
+  std::uint64_t counter = 0;
+  SplitMix64 rng(1234);
+  for (int i = 0; i < kOps; ++i) {
+    int attempts = 0;
+    bool inject = rng.NextBounded(4) == 0;
+    Atomically(rt_.sys(), [&](Tx& tx) {
+      std::uint64_t v = tx.Load(counter);
+      tx.Store(counter, v + 1);
+      if (inject && attempts++ == 0) {
+        tx.RestartNow();
+      }
+    });
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kOps));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TmInvariantTest,
+                         ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                           Backend::kSimHtm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           switch (info.param) {
+                             case Backend::kEagerStm:
+                               return "EagerStm";
+                             case Backend::kLazyStm:
+                               return "LazyStm";
+                             case Backend::kSimHtm:
+                               return "SimHtm";
+                           }
+                           return "Unknown";
+                         });
+
+// --- Bounded buffer vs std::deque reference (single-threaded, random ops) ---
+
+class BufferModelTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(BufferModelTest, RandomOpsMatchDequeModel) {
+  TmConfig cfg = MatrixConfig(GetParam().backend);
+  Runtime rt(cfg);
+  Mechanism mech = GetParam().mech;
+  if (mech == Mechanism::kPthreads) {
+    GTEST_SKIP() << "model test drives the transactional building blocks";
+  }
+  BoundedBuffer buf(&rt, mech, 8);
+  std::deque<std::uint64_t> model;
+  SplitMix64 rng(2024);
+  for (int i = 0; i < 4000; ++i) {
+    bool produce = rng.NextBounded(2) == 0;
+    std::uint64_t value = rng.Next();
+    if (produce) {
+      bool did = Atomically(rt.sys(), [&](Tx& tx) -> bool {
+        if (buf.Full(tx)) {
+          return false;
+        }
+        buf.Put(tx, value);
+        return true;
+      });
+      ASSERT_EQ(did, model.size() < 8);
+      if (did) {
+        model.push_back(value);
+      }
+    } else {
+      std::uint64_t got = 0;
+      bool did = Atomically(rt.sys(), [&](Tx& tx) -> bool {
+        if (buf.Empty(tx)) {
+          return false;
+        }
+        got = buf.Get(tx);
+        return true;
+      });
+      ASSERT_EQ(did, !model.empty());
+      if (did) {
+        ASSERT_EQ(got, model.front());
+        model.pop_front();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, BufferModelTest,
+                         ::testing::ValuesIn(AllMatrixCombos()), MatrixParamName);
+
+// --- Mechanism interoperability: mixed waiters in one TM domain ---
+
+TEST(MechanismInteropTest, MixedWaitersShareOneRuntime) {
+  // One writer advances a counter; three waiters use three different
+  // mechanisms simultaneously on the same location.
+  Runtime rt(MatrixConfig(Backend::kEagerStm));
+  std::uint64_t counter = 0;
+  std::atomic<int> done{0};
+
+  std::thread retry_waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(counter) < 1) {
+        tx.Retry();
+      }
+    });
+    done.fetch_add(1);
+  });
+  std::thread await_waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(counter) < 2) {
+        tx.Await(counter);
+      }
+    });
+    done.fetch_add(1);
+  });
+  std::thread orig_waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(counter) < 3) {
+        tx.RetryOrig();
+      }
+    });
+    done.fetch_add(1);
+  });
+
+  for (int i = 1; i <= 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(counter, tx.Load(counter) + 1); });
+  }
+  retry_waiter.join();
+  await_waiter.join();
+  orig_waiter.join();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(MechanismInteropTest, RandomMixedWaitStress) {
+  // Random waiters pick a random mechanism each round; the writer advances a
+  // round counter. Any lost wakeup hangs the test.
+  Runtime rt(MatrixConfig(Backend::kEagerStm));
+  constexpr int kRounds = 150;
+  constexpr int kWaiters = 3;
+  std::uint64_t round = 0;
+
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < kWaiters; ++w) {
+    waiters.emplace_back([&, w] {
+      SplitMix64 rng(static_cast<std::uint64_t>(w) + 5);
+      for (int r = 1; r <= kRounds; ++r) {
+        std::uint64_t pick = rng.NextBounded(3);
+        Atomically(rt.sys(), [&](Tx& tx) {
+          if (tx.Load(round) < static_cast<std::uint64_t>(r)) {
+            switch (pick) {
+              case 0:
+                tx.Retry();
+              case 1:
+                tx.Await(round);
+              default:
+                tx.RetryOrig();
+            }
+          }
+        });
+      }
+    });
+  }
+  for (int r = 1; r <= kRounds; ++r) {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.Store(round, static_cast<std::uint64_t>(r));
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (auto& w : waiters) {
+    w.join();
+  }
+  SUCCEED();
+}
+
+// --- WorkQueue FIFO property (single producer, single consumer) ---
+
+class QueueFifoTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(QueueFifoTest, SpScPreservesOrder) {
+  std::unique_ptr<Runtime> rt;
+  if (MechanismUsesTm(GetParam().mech)) {
+    rt = std::make_unique<Runtime>(MatrixConfig(GetParam().backend));
+  }
+  WorkQueue q(rt.get(), GetParam().mech, 4);
+  constexpr std::uint64_t kItems = 1200;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      q.Push(i);
+    }
+    q.Close();
+  });
+  std::uint64_t expect = 0;
+  while (auto v = q.Pop()) {
+    ASSERT_EQ(*v, expect);
+    expect++;
+  }
+  producer.join();
+  EXPECT_EQ(expect, kItems);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, QueueFifoTest,
+                         ::testing::ValuesIn(AllMatrixCombos()), MatrixParamName);
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,203 @@
+// Cross-component stress: chained buffers, barrier+queue mixes, and
+// deschedule-heavy schedules sustained long enough to surface rare interleavings
+// (still bounded to stay CI-friendly on one core).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sync/bounded_buffer.h"
+#include "src/sync/phase_barrier.h"
+#include "src/sync/work_queue.h"
+#include "tests/matrix.h"
+
+namespace tcs {
+namespace {
+
+class StressTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  StressTest() : rt_(MatrixConfig(GetParam(), 64)) {}
+  Runtime rt_;
+};
+
+TEST_P(StressTest, ChainedBuffersRelayEverything) {
+  // Three tiny buffers in a chain with relay threads; every stage can fill or
+  // drain, so sleeps/wakes happen at every hop.
+  constexpr std::uint64_t kItems = 3000;
+  BoundedBuffer b1(&rt_, Mechanism::kRetry, 2);
+  BoundedBuffer b2(&rt_, Mechanism::kAwait, 2);
+  BoundedBuffer b3(&rt_, Mechanism::kWaitPred, 2);
+
+  std::thread relay1([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      b2.Produce(b1.Consume());
+    }
+  });
+  std::thread relay2([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      b3.Produce(b2.Consume());
+    }
+  });
+  std::thread source([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      b1.Produce(i);
+    }
+  });
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    sum += b3.Consume();
+  }
+  source.join();
+  relay1.join();
+  relay2.join();
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+}
+
+TEST_P(StressTest, BarrierAndQueueInterleaved) {
+  // Workers alternate between barriered phases and dynamic queue work — the
+  // two synchronization styles sharing one waiter registry.
+  constexpr int kWorkers = 3;
+  constexpr int kRounds = 40;
+  PhaseBarrier barrier(&rt_, Mechanism::kRetry, kWorkers);
+  WorkQueue queue(&rt_, Mechanism::kAwait, 4);
+  std::atomic<std::uint64_t> popped{0};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        barrier.ArriveAndWait();
+        // One task per worker per round, dynamically claimed.
+        auto t = queue.Pop();
+        if (t.has_value()) {
+          popped.fetch_add(1);
+        }
+        barrier.ArriveAndWait();
+      }
+    });
+  }
+  std::thread feeder([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      for (int w = 0; w < kWorkers; ++w) {
+        queue.Push(static_cast<std::uint64_t>(r * kWorkers + w));
+      }
+    }
+  });
+  feeder.join();
+  for (auto& w : workers) {
+    w.join();
+  }
+  queue.Close();
+  EXPECT_EQ(popped.load(), static_cast<std::uint64_t>(kWorkers) * kRounds);
+}
+
+TEST_P(StressTest, RandomSleepWakeChurn) {
+  // Waiters randomly pick conditions on a small array; a writer mutates random
+  // cells. Progress (no lost wakeups, no deadlock) is the assertion.
+  constexpr int kWaiters = 4;
+  constexpr int kRoundsPerWaiter = 120;
+  constexpr int kCells = 4;
+  std::vector<std::uint64_t> cells(kCells, 0);
+  std::atomic<bool> stop{false};
+  std::atomic<int> completed{0};
+
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < kWaiters; ++w) {
+    waiters.emplace_back([&, w] {
+      SplitMix64 rng(static_cast<std::uint64_t>(w) * 31 + 7);
+      for (int r = 0; r < kRoundsPerWaiter; ++r) {
+        int cell = static_cast<int>(rng.NextBounded(kCells));
+        std::uint64_t snapshot = Atomically(
+            rt_.sys(), [&](Tx& tx) { return tx.Load(cells[cell]); });
+        // Wait for that cell to move past the snapshot.
+        Atomically(rt_.sys(), [&](Tx& tx) {
+          if (tx.Load(cells[cell]) <= snapshot) {
+            if (rng.NextBounded(2) == 0) {
+              tx.Retry();
+            } else {
+              tx.Await(cells[cell]);
+            }
+          }
+        });
+      }
+      completed.fetch_add(1);
+    });
+  }
+  std::thread writer([&] {
+    SplitMix64 rng(99);
+    while (completed.load() < kWaiters) {
+      int cell = static_cast<int>(rng.NextBounded(kCells));
+      Atomically(rt_.sys(), [&](Tx& tx) {
+        tx.Store(cells[cell], tx.Load(cells[cell]) + 1);
+      });
+    }
+    stop.store(true);
+  });
+  for (auto& w : waiters) {
+    w.join();
+  }
+  writer.join();
+  EXPECT_EQ(completed.load(), kWaiters);
+}
+
+TEST_P(StressTest, ProducersConsumersWithMixedMechanisms) {
+  // The same buffer driven by threads using different mechanisms via the
+  // transactional building blocks — all wait styles against one data structure.
+  BoundedBuffer buf(&rt_, Mechanism::kRetry, 4);
+  constexpr std::uint64_t kItems = 2000;
+  std::atomic<std::uint64_t> consumed_sum{0};
+
+  auto consume_with = [&](Mechanism m, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t v = Atomically(rt_.sys(), [&](Tx& tx) -> std::uint64_t {
+        if (buf.Empty(tx)) {
+          switch (m) {
+            case Mechanism::kAwait:
+              tx.Await(buf.count_ref());
+            case Mechanism::kWaitPred: {
+              WaitArgs args;
+              args.v[0] = reinterpret_cast<TmWord>(&buf);
+              args.n = 1;
+              tx.WaitPred(&BoundedBuffer::NotEmptyPred, args);
+            }
+            default:
+              tx.Retry();
+          }
+        }
+        return buf.Get(tx);
+      });
+      consumed_sum.fetch_add(v);
+    }
+  };
+
+  std::thread c1([&] { consume_with(Mechanism::kRetry, kItems / 2); });
+  std::thread c2([&] { consume_with(Mechanism::kAwait, kItems / 4); });
+  std::thread c3([&] { consume_with(Mechanism::kWaitPred, kItems / 4); });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    buf.Produce(i);
+  }
+  c1.join();
+  c2.join();
+  c3.join();
+  EXPECT_EQ(consumed_sum.load(), kItems * (kItems - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StressTest,
+                         ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                           Backend::kSimHtm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           switch (info.param) {
+                             case Backend::kEagerStm:
+                               return "EagerStm";
+                             case Backend::kLazyStm:
+                               return "LazyStm";
+                             case Backend::kSimHtm:
+                               return "SimHtm";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace tcs

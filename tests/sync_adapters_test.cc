@@ -1,0 +1,183 @@
+// Mechanism-parameterized building blocks: WorkQueue (task pools), PhaseBarrier
+// (timestep loops), TicketGate (dependency waits), PipelineChannel (pipelines).
+// These are the synchronization skeletons the mini-PARSEC apps are built from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/sync/phase_barrier.h"
+#include "src/sync/pipeline_channel.h"
+#include "src/sync/ticket_gate.h"
+#include "src/sync/work_queue.h"
+#include "tests/matrix.h"
+
+namespace tcs {
+namespace {
+
+class AdapterMatrixTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  AdapterMatrixTest() : rt_(MatrixConfig(GetParam().backend)) {}
+  Runtime rt_;
+};
+
+TEST_P(AdapterMatrixTest, WorkQueueDeliversExactlyOnce) {
+  constexpr int kWorkers = 3;
+  constexpr std::uint64_t kTasks = 1500;
+  WorkQueue q(&rt_, GetParam().mech, 8);
+  std::vector<std::vector<std::uint64_t>> got(kWorkers);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      while (auto t = q.Pop()) {
+        got[w].push_back(*t);
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    q.Push(i);
+  }
+  q.Close();
+  for (auto& t : workers) {
+    t.join();
+  }
+  std::vector<std::uint64_t> all;
+  for (auto& v : got) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  ASSERT_EQ(all.size(), kTasks);
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(all[i], i);
+  }
+}
+
+TEST_P(AdapterMatrixTest, WorkQueueCloseWakesIdleWorkers) {
+  WorkQueue q(&rt_, GetParam().mech, 4);
+  std::vector<std::thread> workers;
+  std::atomic<int> exited{0};
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&] {
+      while (q.Pop()) {
+      }
+      exited.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.Close();
+  for (auto& t : workers) {
+    t.join();
+  }
+  EXPECT_EQ(exited.load(), 3);
+}
+
+TEST_P(AdapterMatrixTest, PhaseBarrierSynchronizesRounds) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 60;
+  PhaseBarrier barrier(&rt_, GetParam().mech, kThreads);
+  // arrived[r] counts threads that finished round r's work. When a thread leaves
+  // the barrier of round r, ALL threads must have finished round r's work.
+  std::array<std::atomic<int>, kRounds> arrived{};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        arrived[r].fetch_add(1);
+        barrier.ArriveAndWait();
+        if (arrived[r].load() != kThreads) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_P(AdapterMatrixTest, TicketGateOrdersDependentWork) {
+  TicketGate gate(&rt_, GetParam().mech);
+  constexpr std::uint64_t kSteps = 300;
+  std::atomic<std::uint64_t> last_seen{0};
+  std::thread consumer([&] {
+    for (std::uint64_t s = 1; s <= kSteps; ++s) {
+      gate.WaitFor(s);
+      last_seen.store(s);
+    }
+  });
+  for (std::uint64_t s = 1; s <= kSteps; ++s) {
+    gate.Publish(s);
+  }
+  consumer.join();
+  EXPECT_EQ(last_seen.load(), kSteps);
+}
+
+TEST_P(AdapterMatrixTest, PipelineChannelClosesAfterLastProducer) {
+  constexpr int kProducers = 3;
+  constexpr std::uint64_t kPerProducer = 200;
+  PipelineChannel ch(&rt_, GetParam().mech, 8, kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ch.Push(static_cast<std::uint64_t>(p) * kPerProducer + i);
+      }
+      ch.ProducerDone();
+    });
+  }
+  std::vector<std::uint64_t> got;
+  while (auto t = ch.Pop()) {
+    got.push_back(*t);
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  ASSERT_EQ(got.size(), kProducers * kPerProducer);
+  std::sort(got.begin(), got.end());
+  for (std::uint64_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], i);
+  }
+}
+
+TEST_P(AdapterMatrixTest, TwoStagePipelineEndToEnd) {
+  // stage 1 doubles, stage 2 sums: a miniature dedup/ferret-shaped flow.
+  constexpr std::uint64_t kItems = 600;
+  PipelineChannel s1(&rt_, GetParam().mech, 8, 1);
+  PipelineChannel s2(&rt_, GetParam().mech, 8, 2);
+  std::thread w1a([&] {
+    while (auto t = s1.Pop()) {
+      s2.Push(*t * 2);
+    }
+    s2.ProducerDone();
+  });
+  std::thread w1b([&] {
+    while (auto t = s1.Pop()) {
+      s2.Push(*t * 2);
+    }
+    s2.ProducerDone();
+  });
+  std::uint64_t sum = 0;
+  std::thread w2([&] {
+    while (auto t = s2.Pop()) {
+      sum += *t;
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    s1.Push(i);
+  }
+  s1.ProducerDone();
+  w1a.join();
+  w1b.join();
+  w2.join();
+  EXPECT_EQ(sum, kItems * (kItems - 1));  // 2 * sum(0..n-1)
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, AdapterMatrixTest,
+                         ::testing::ValuesIn(AllMatrixCombos()), MatrixParamName);
+
+}  // namespace
+}  // namespace tcs

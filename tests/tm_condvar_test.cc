@@ -1,0 +1,209 @@
+// Focused TmCondVar semantics: one-waiter signal, broadcast, deferred signals
+// dying with aborted attempts, multiple condvars, and FIFO wake order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/condsync/tm_condvar.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+
+namespace tcs {
+namespace {
+
+class TmCondVarTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  TmCondVarTest() : rt_(MakeConfig()) {}
+  TmConfig MakeConfig() {
+    TmConfig cfg;
+    cfg.backend = GetParam();
+    cfg.max_threads = 32;
+    return cfg;
+  }
+  void AwaitWaiters(std::uint64_t n) {
+    for (int i = 0; i < 100000; ++i) {
+      if (rt_.AggregateStats().Get(Counter::kCondVarWaits) >= n) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    FAIL() << "waiters never queued";
+  }
+  Runtime rt_;
+};
+
+TEST_P(TmCondVarTest, SignalWakesExactlyOne) {
+  TmCondVar cv(32);
+  std::uint64_t go = 0;
+  std::atomic<int> awake{0};
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      Atomically(rt_.sys(), [&](Tx& tx) {
+        if (tx.Load(go) == 0) {
+          tx.CondWait(cv);
+        }
+      });
+      awake.fetch_add(1);
+    });
+  }
+  AwaitWaiters(kWaiters);
+  // One signal with the condition still false: exactly one waiter wakes,
+  // re-checks, and re-queues (the condvar while-loop idiom).
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.CondSignal(cv); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(awake.load(), 0);  // woke but re-waited; none exited
+  AwaitWaiters(kWaiters + 1);  // the woken thread re-queued
+
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    tx.Store(go, std::uint64_t{1});
+    tx.CondBroadcast(cv);
+  });
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(awake.load(), kWaiters);
+}
+
+TEST_P(TmCondVarTest, BroadcastWakesAll) {
+  TmCondVar cv(32);
+  std::uint64_t go = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      Atomically(rt_.sys(), [&](Tx& tx) {
+        if (tx.Load(go) == 0) {
+          tx.CondWait(cv);
+        }
+      });
+    });
+  }
+  AwaitWaiters(kWaiters);
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    tx.Store(go, std::uint64_t{1});
+    tx.CondBroadcast(cv);
+  });
+  for (auto& w : waiters) {
+    w.join();
+  }
+  SUCCEED();
+}
+
+TEST_P(TmCondVarTest, SignalWithoutWaitersIsANoop) {
+  TmCondVar cv(32);
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.CondSignal(cv); });
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.CondBroadcast(cv); });
+  SUCCEED();
+}
+
+TEST_P(TmCondVarTest, SignalOutsideTransactionFiresImmediately) {
+  TmCondVar cv(32);
+  std::uint64_t go = 0;
+  std::thread waiter([&] {
+    Atomically(rt_.sys(), [&](Tx& tx) {
+      if (tx.Load(go) == 0) {
+        tx.CondWait(cv);
+      }
+    });
+  });
+  AwaitWaiters(1);
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(go, std::uint64_t{1}); });
+  cv.Signal(rt_.sys());  // non-transactional signal
+  waiter.join();
+  SUCCEED();
+}
+
+TEST_P(TmCondVarTest, DeferredSignalDiesWithAbortedAttempt) {
+  TmCondVar cv(32);
+  std::uint64_t go = 0;
+  std::atomic<int> woken{0};
+  std::thread waiter([&] {
+    Atomically(rt_.sys(), [&](Tx& tx) {
+      if (tx.Load(go) == 0) {
+        tx.CondWait(cv);
+      }
+    });
+    woken.fetch_add(1);
+  });
+  AwaitWaiters(1);
+  // The transaction signals, then restarts itself; on the re-execution it does
+  // NOT signal. A naive implementation would leak the first attempt's signal.
+  bool restarted = false;
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    if (!restarted) {
+      tx.CondSignal(cv);
+      restarted = true;
+      tx.RestartNow();
+    }
+    // no signal on the second attempt
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(woken.load(), 0) << "aborted attempt's deferred signal leaked";
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    tx.Store(go, std::uint64_t{1});
+    tx.CondSignal(cv);
+  });
+  waiter.join();
+  EXPECT_EQ(woken.load(), 1);
+}
+
+TEST_P(TmCondVarTest, TwoCondVarsAreIndependent) {
+  TmCondVar cv_a(32);
+  TmCondVar cv_b(32);
+  std::uint64_t go_a = 0;
+  std::uint64_t go_b = 0;
+  std::atomic<int> a_done{0};
+  std::atomic<int> b_done{0};
+  std::thread ta([&] {
+    Atomically(rt_.sys(), [&](Tx& tx) {
+      if (tx.Load(go_a) == 0) {
+        tx.CondWait(cv_a);
+      }
+    });
+    a_done.store(1);
+  });
+  std::thread tb([&] {
+    Atomically(rt_.sys(), [&](Tx& tx) {
+      if (tx.Load(go_b) == 0) {
+        tx.CondWait(cv_b);
+      }
+    });
+    b_done.store(1);
+  });
+  AwaitWaiters(2);
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    tx.Store(go_b, std::uint64_t{1});
+    tx.CondSignal(cv_b);
+  });
+  tb.join();
+  EXPECT_EQ(b_done.load(), 1);
+  EXPECT_EQ(a_done.load(), 0) << "signal on cv_b must not wake cv_a's waiter";
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    tx.Store(go_a, std::uint64_t{1});
+    tx.CondSignal(cv_a);
+  });
+  ta.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TmCondVarTest,
+                         ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                           Backend::kSimHtm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           switch (info.param) {
+                             case Backend::kEagerStm:
+                               return "EagerStm";
+                             case Backend::kLazyStm:
+                               return "LazyStm";
+                             case Backend::kSimHtm:
+                               return "SimHtm";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,190 @@
+// Unit tests for the waiter registry's presence bitmap, the Retry-Orig waiting
+// list, and edge cases of the deschedule machinery (slot reuse, unrelated
+// transactions, stale presence bits).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/condsync/retry_orig.h"
+#include "src/condsync/waiter_registry.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+
+namespace tcs {
+namespace {
+
+TEST(WaiterRegistryTest, EmptyRegistryHasNoWaiters) {
+  WaiterRegistry r(64);
+  EXPECT_FALSE(r.HasWaiters());
+  int visits = 0;
+  r.ForEachRegistered([&](int, WaiterSlot&) {
+    visits++;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(WaiterRegistryTest, MarkUnmarkRoundTrip) {
+  WaiterRegistry r(128);
+  r.MarkRegistered(0);
+  r.MarkRegistered(63);
+  r.MarkRegistered(64);
+  r.MarkRegistered(127);
+  EXPECT_TRUE(r.HasWaiters());
+  std::vector<int> seen;
+  r.ForEachRegistered([&](int tid, WaiterSlot&) {
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 63, 64, 127}));
+  r.UnmarkRegistered(63);
+  r.UnmarkRegistered(0);
+  seen.clear();
+  r.ForEachRegistered([&](int tid, WaiterSlot&) {
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{64, 127}));
+  r.UnmarkRegistered(64);
+  r.UnmarkRegistered(127);
+  EXPECT_FALSE(r.HasWaiters());
+}
+
+TEST(WaiterRegistryTest, ForEachStopsWhenCallbackReturnsFalse) {
+  WaiterRegistry r(64);
+  for (int t = 0; t < 8; ++t) {
+    r.MarkRegistered(t);
+  }
+  int visits = 0;
+  r.ForEachRegistered([&](int, WaiterSlot&) {
+    visits++;
+    return visits < 3;
+  });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(WaiterRegistryTest, SlotPrepareStoresPublication) {
+  WaiterRegistry r(4);
+  WaiterSlot& s = r.slot(2);
+  WaitArgs args;
+  args.v[0] = 0xDEAD;
+  args.n = 1;
+  Semaphore sem;
+  s.Prepare(&FindChangesPred, args, &sem);
+  EXPECT_EQ(s.fn, &FindChangesPred);
+  EXPECT_EQ(s.args.v[0], 0xDEADu);
+  EXPECT_EQ(s.sem, &sem);
+}
+
+// A stale presence bit (waiter between wake and unmark) must only cost the
+// writer a rejected transactional check, never a wrong wake.
+TEST(DescheduleEdgeTest, RepeatedSleepWakeOnOneSlot) {
+  Runtime rt({.backend = Backend::kEagerStm});
+  std::uint64_t round = 0;
+  constexpr std::uint64_t kRounds = 200;
+  std::thread waiter([&] {
+    for (std::uint64_t r = 1; r <= kRounds; ++r) {
+      Atomically(rt.sys(), [&](Tx& tx) {
+        if (tx.Load(round) < r) {
+          tx.Retry();
+        }
+      });
+    }
+  });
+  for (std::uint64_t r = 1; r <= kRounds; ++r) {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(round, r); });
+  }
+  waiter.join();
+  // The slot was reused kRounds times by the same thread without leaking state.
+  EXPECT_LE(rt.AggregateStats().Get(Counter::kSleeps), kRounds);
+}
+
+TEST(DescheduleEdgeTest, ReadOnlyCommitsNeverScanWaiters) {
+  Runtime rt({.backend = Backend::kEagerStm});
+  std::uint64_t flag = 0;
+  std::uint64_t data = 7;
+  std::thread waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(flag) == 0) {
+        tx.Retry();
+      }
+    });
+  });
+  while (rt.AggregateStats().Get(Counter::kSleeps) < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  // Read-only transactions commit without wakeWaiters (only writers can
+  // establish a precondition).
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t v = Atomically(rt.sys(), [&](Tx& tx) { return tx.Load(data); });
+    EXPECT_EQ(v, 7u);
+  }
+  EXPECT_EQ(rt.AggregateStats().Get(Counter::kWakeChecks), 0u);
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{1}); });
+  waiter.join();
+}
+
+TEST(RetryOrigRegistryTest, ValidationFailureSkipsSleep) {
+  RetryOrigRegistry reg(4);
+  TxDesc d(0, 1);
+  Orec o;
+  o.word.store(Orec::MakeVersion(10), std::memory_order_relaxed);
+  // The orec's version (10) is newer than the transaction's start (5): something
+  // committed since the snapshot, so the thread must not sleep.
+  reg.WaitForOverlap(d, {&o}, /*start=*/5, {});
+  EXPECT_EQ(d.stats.Get(Counter::kSleeps), 0u);
+}
+
+TEST(RetryOrigRegistryTest, OwnReleasedOrecDoesNotBlockSleep) {
+  RetryOrigRegistry reg(4);
+  Orec o;
+  // The transaction read AND wrote this orec; its own rollback released it at
+  // version 11 (prev 10 + 1). That must validate as "unchanged".
+  o.word.store(Orec::MakeVersion(11), std::memory_order_relaxed);
+  std::vector<RetryOrigRegistry::ReleasedOrec> released = {
+      {&o, Orec::MakeVersion(11)}};
+  TxDesc d(0, 1);
+  std::thread waker([&] {
+    // Wake once the entry is registered.
+    for (int i = 0; i < 100000; ++i) {
+      if (reg.HasWaiters()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ASSERT_TRUE(reg.HasWaiters());
+    reg.OnWriterCommit({&o});
+  });
+  reg.WaitForOverlap(d, {&o}, /*start=*/5, released);
+  waker.join();
+  EXPECT_EQ(d.stats.Get(Counter::kSleeps), 1u);
+}
+
+TEST(RetryOrigRegistryTest, NonOverlappingCommitDoesNotWake) {
+  RetryOrigRegistry reg(4);
+  Orec read_orec;
+  Orec other_orec;
+  read_orec.word.store(Orec::MakeVersion(1), std::memory_order_relaxed);
+  TxDesc d(0, 1);
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    reg.WaitForOverlap(d, {&read_orec}, /*start=*/5, {});
+    woke.store(true);
+  });
+  for (int i = 0; i < 100000 && !reg.HasWaiters(); ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // A commit touching a different orec: the intersection is empty, no wake.
+  reg.OnWriterCommit({&other_orec});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load());
+  reg.OnWriterCommit({&read_orec});
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+}  // namespace
+}  // namespace tcs
