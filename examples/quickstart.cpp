@@ -1,16 +1,27 @@
-// Quickstart: a producer/consumer bounded buffer coordinated with Retry.
+// Quickstart: the typed transactional API in one file.
 //
 //   $ ./quickstart
 //
-// Demonstrates the library's core loop: transactions via tcs::Atomically, and
-// condition synchronization via tx.Retry() — no condition variables, no locks,
-// no explicit retry loop (the transaction's unrolling is the back-edge).
+// Demonstrates the library's core surface:
+//   1. TVar<T>  — typed transactional cells (any trivially-copyable T, even
+//                 multi-word structs), read/written through tx.Load/tx.Store.
+//   2. Retry    — condition synchronization with no locks, no condition
+//                 variables, no explicit retry loop (the transaction's
+//                 unrolling is the back-edge).
+//   3. OrElse   — composable choice: try one alternative, fall back to the
+//                 other, atomically.
+//   4. RetryFor — bounded waiting: give up after a timeout, atomically.
+#include <chrono>
 #include <cstdio>
+#include <optional>
 #include <thread>
 
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
+#include "src/core/tvar.h"
 #include "src/sync/bounded_buffer.h"
+
+using namespace std::chrono_literals;
 
 int main() {
   using namespace tcs;
@@ -18,48 +29,96 @@ int main() {
   // One TM domain; pick any backend (eager STM, lazy STM, or simulated HTM).
   Runtime rt({.backend = Backend::kEagerStm});
 
-  // A 4-slot buffer whose blocking operations use Retry.
-  BoundedBuffer buffer(&rt, Mechanism::kRetry, 4);
+  // --- 1. TVar<T>: typed cells, including multi-word structs ---------------
+  struct Account {
+    std::uint64_t balance;
+    std::uint64_t txn_count;
+  };
+  TVar<Account> checking(Account{100, 0});
+  TVar<Account> savings(Account{900, 0});
 
+  // Atomic transfer across two multi-word cells.
+  Atomically(rt.sys(), [&](Tx& tx) {
+    Account from = tx.Load(savings);
+    Account to = tx.Load(checking);
+    from.balance -= 50;
+    from.txn_count++;
+    to.balance += 50;
+    to.txn_count++;
+    tx.Store(savings, from);
+    tx.Store(checking, to);
+  });
+  std::printf("after transfer: checking=%llu savings=%llu\n",
+              static_cast<unsigned long long>(checking.UnsafeRead().balance),
+              static_cast<unsigned long long>(savings.UnsafeRead().balance));
+
+  // --- 2. Retry: block until a precondition holds --------------------------
+  BoundedBuffer buffer(&rt, Mechanism::kRetry, 4);
   constexpr std::uint64_t kItems = 10;
   std::thread producer([&] {
     for (std::uint64_t i = 0; i < kItems; ++i) {
       buffer.Produce(i * i);
-      std::printf("produced %llu\n", static_cast<unsigned long long>(i * i));
     }
   });
   std::thread consumer([&] {
     for (std::uint64_t i = 0; i < kItems; ++i) {
       std::uint64_t v = buffer.Consume();
-      std::printf("           consumed %llu\n", static_cast<unsigned long long>(v));
+      std::printf("  consumed %llu\n", static_cast<unsigned long long>(v));
     }
   });
   producer.join();
   consumer.join();
 
-  // Raw transactional state + Retry, without the adapter:
-  std::uint64_t ready = 0;
-  std::uint64_t payload = 0;
-  std::thread waiter([&] {
-    std::uint64_t got = Atomically(rt.sys(), [&](Tx& tx) -> std::uint64_t {
-      if (tx.Load(ready) == 0) {
-        tx.Retry();  // sleeps until something this transaction read changes
+  // --- 3. OrElse: composable choice -----------------------------------------
+  // Withdraw from checking if it has funds, else from savings — one atomic
+  // decision. If a branch Retry()s, its effects roll back and the alternative
+  // runs; if both retry, the thread sleeps until either branch could proceed.
+  auto withdraw_from = [](TVar<Account>& acct, std::uint64_t amount) {
+    return [&acct, amount](Tx& tx) -> const char* {
+      Account a = tx.Load(acct);
+      if (a.balance < amount) {
+        tx.Retry();
       }
-      return tx.Load(payload);
-    });
-    std::printf("waiter observed payload %llu\n",
-                static_cast<unsigned long long>(got));
-  });
+      a.balance -= amount;
+      a.txn_count++;
+      tx.Store(acct, a);
+      return "ok";
+    };
+  };
   Atomically(rt.sys(), [&](Tx& tx) {
-    tx.Store(payload, std::uint64_t{1234});
-    tx.Store(ready, std::uint64_t{1});
+    return tx.OrElse(withdraw_from(checking, 200),  // checking has 150 -> retries
+                     withdraw_from(savings, 200));  // savings covers it
   });
-  waiter.join();
+  std::printf("after OrElse withdraw: checking=%llu savings=%llu\n",
+              static_cast<unsigned long long>(checking.UnsafeRead().balance),
+              static_cast<unsigned long long>(savings.UnsafeRead().balance));
+
+  // --- 4. RetryFor: bounded waiting ----------------------------------------
+  // The buffer is empty and nobody is producing: a bounded consume gives up
+  // after the timeout instead of blocking forever.
+  std::optional<std::uint64_t> got = buffer.TryConsumeFor(50ms);
+  std::printf("bounded consume on empty buffer: %s\n",
+              got.has_value() ? "got a value (unexpected!)" : "timed out (expected)");
+
+  // The same primitive, raw: wait up to 50ms for a flag.
+  TVar<std::uint64_t> flag(0);
+  bool ready = Atomically(rt.sys(), [&](Tx& tx) -> bool {
+    if (tx.Load(flag) == 0) {
+      if (tx.RetryFor(50ms) == WaitResult::kTimedOut) {
+        return false;
+      }
+    }
+    return true;
+  });
+  std::printf("bounded flag wait: %s\n", ready ? "ready" : "timed out (expected)");
 
   TxStats s = rt.AggregateStats();
-  std::printf("stats: %llu commits, %llu sleeps, %llu wakeups\n",
+  std::printf("stats: %llu commits, %llu sleeps, %llu wakeups, %llu timeouts, "
+              "%llu orelse fallbacks\n",
               static_cast<unsigned long long>(s.Get(Counter::kCommits)),
               static_cast<unsigned long long>(s.Get(Counter::kSleeps)),
-              static_cast<unsigned long long>(s.Get(Counter::kWakeups)));
+              static_cast<unsigned long long>(s.Get(Counter::kWakeups)),
+              static_cast<unsigned long long>(s.Get(Counter::kWaitTimeouts)),
+              static_cast<unsigned long long>(s.Get(Counter::kOrElseFallbacks)));
   return 0;
 }

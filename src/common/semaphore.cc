@@ -1,6 +1,7 @@
 #include "src/common/semaphore.h"
 
 #include <cerrno>
+#include <ctime>
 
 #include "src/common/assert.h"
 
@@ -19,6 +20,38 @@ void Semaphore::Wait() {
     rc = sem_wait(&sem_);
   } while (rc != 0 && errno == EINTR);
   TCS_CHECK_MSG(rc == 0, "sem_wait failed");
+}
+
+bool Semaphore::WaitUntil(std::chrono::steady_clock::time_point deadline) {
+  // sem_timedwait takes a CLOCK_REALTIME absolute time; convert the steady
+  // deadline to a realtime one at call (and retry) time so realtime clock jumps
+  // only shift precision, never correctness of the steady-clock bound.
+  for (;;) {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return TryWait();
+    }
+    auto remaining = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        deadline - now);
+    struct timespec abs;
+    clock_gettime(CLOCK_REALTIME, &abs);
+    abs.tv_sec += static_cast<time_t>(remaining.count() / 1'000'000'000);
+    abs.tv_nsec += static_cast<long>(remaining.count() % 1'000'000'000);
+    if (abs.tv_nsec >= 1'000'000'000) {
+      abs.tv_sec += 1;
+      abs.tv_nsec -= 1'000'000'000;
+    }
+    int rc = sem_timedwait(&sem_, &abs);
+    if (rc == 0) {
+      return true;
+    }
+    if (errno == ETIMEDOUT) {
+      // Recheck against the steady clock: a realtime jump may have fired the
+      // timeout early, in which case we just loop and wait out the remainder.
+      continue;
+    }
+    TCS_CHECK_MSG(errno == EINTR, "sem_timedwait failed");
+  }
 }
 
 bool Semaphore::TryWait() {

@@ -9,6 +9,8 @@
 
 #include <semaphore.h>
 
+#include <chrono>
+
 namespace tcs {
 
 class Semaphore {
@@ -21,6 +23,11 @@ class Semaphore {
 
   // Blocks until the count is positive, then decrements it.
   void Wait();
+
+  // Blocks until the count is positive or `deadline` (steady clock) passes.
+  // Returns true iff the count was decremented; false on timeout. The timed
+  // deschedule path (RetryFor/AwaitFor/WaitPredFor) parks threads through this.
+  bool WaitUntil(std::chrono::steady_clock::time_point deadline);
 
   // Returns true if the count was positive and was decremented.
   bool TryWait();

@@ -44,6 +44,12 @@ std::string_view CounterName(Counter c) {
       return "waitset_entries";
     case Counter::kQuiesceCalls:
       return "quiesce_calls";
+    case Counter::kWaitTimeouts:
+      return "wait_timeouts";
+    case Counter::kOrElseFallbacks:
+      return "orelse_fallbacks";
+    case Counter::kPartialRollbacks:
+      return "partial_rollbacks";
     case Counter::kNumCounters:
       break;
   }

@@ -6,6 +6,7 @@
 #define TCS_COMMON_STATS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 
@@ -32,6 +33,9 @@ enum class Counter : int {
   kHtmPredTableFastPath,  // WaitPred deschedules taken via the 8-bit abort code
   kWaitsetEntries,  // total addr/value pairs logged across deschedules
   kQuiesceCalls,
+  kWaitTimeouts,       // timed waits that expired and returned kTimedOut
+  kOrElseFallbacks,    // OrElse branches abandoned for their alternative
+  kPartialRollbacks,   // savepoint rollbacks performed by OrElse
   kNumCounters,
 };
 
@@ -39,17 +43,32 @@ inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
 
 std::string_view CounterName(Counter c);
 
-// Plain per-thread tally; aggregation across threads happens in StatsRegistry.
+// Per-thread tally, but not strictly single-writer: the owning thread bumps,
+// while monitors aggregate concurrently and harnesses may Reset() between
+// trials. All access is relaxed-atomic; Bump is an RMW so a concurrent
+// Reset() cannot be silently undone by a racing load+store.
 struct TxStats {
   std::array<std::uint64_t, kNumCounters> counts{};
 
-  void Bump(Counter c, std::uint64_t n = 1) { counts[static_cast<int>(c)] += n; }
-  std::uint64_t Get(Counter c) const { return counts[static_cast<int>(c)]; }
-  void Reset() { counts.fill(0); }
+  void Bump(Counter c, std::uint64_t n = 1) {
+    std::atomic_ref<std::uint64_t>(counts[static_cast<int>(c)])
+        .fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Get(Counter c) const {
+    return std::atomic_ref<const std::uint64_t>(counts[static_cast<int>(c)])
+        .load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    for (int i = 0; i < kNumCounters; ++i) {
+      std::atomic_ref<std::uint64_t>(counts[i]).store(0,
+                                                      std::memory_order_relaxed);
+    }
+  }
 
   void MergeFrom(const TxStats& other) {
     for (int i = 0; i < kNumCounters; ++i) {
-      counts[i] += other.counts[i];
+      counts[i] += std::atomic_ref<const std::uint64_t>(other.counts[i])
+                       .load(std::memory_order_relaxed);
     }
   }
 };

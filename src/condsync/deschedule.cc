@@ -18,6 +18,10 @@ bool FindChangesPred(TmSystem& sys, const WaitArgs& args) {
 }
 
 void TmSystem::Deschedule(WaitPredFn fn, const WaitArgs& args) {
+  DescheduleImpl(fn, args, /*timed=*/false);
+}
+
+void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
   TxDesc& d = Desc();
   d.stats.Bump(Counter::kDeschedules);
   d.stats.Bump(Counter::kWaitsetEntries, d.waitset.Size());
@@ -57,11 +61,36 @@ void TmSystem::Deschedule(WaitPredFn fn, const WaitArgs& args) {
 
   if (sleep) {
     d.stats.Bump(Counter::kSleeps);
-    d.sem.Wait();
-    // Figure 2.1, time 4 approach: deregister before restarting so no writer
-    // wastes work on this slot ("on wakeup, prevent future notifications").
-    RunInternalTx([&] { Write(&slot.active, 0); });
-    d.woke_from_sleep = true;
+    bool acquired = true;
+    if (timed) {
+      TCS_DCHECK(d.has_deadline);
+      acquired = d.sem.WaitUntil(d.deadline);
+    } else {
+      d.sem.Wait();
+    }
+    if (acquired) {
+      // Figure 2.1, time 4 approach: deregister before restarting so no writer
+      // wastes work on this slot ("on wakeup, prevent future notifications").
+      RunInternalTx([&] { Write(&slot.active, 0); });
+      d.woke_from_sleep = true;
+    } else {
+      // Timed out. Deregister, racing against a waker that may have already
+      // claimed this slot (set asleep=0) and be about to post the semaphore.
+      // The deregistration transaction serializes against the wake-check
+      // transaction: if the waker won, we must drain its post so the stale
+      // token cannot satisfy this thread's *next* sleep instantly.
+      bool claimed_by_waker = false;
+      RunInternalTx([&] {
+        claimed_by_waker = (Read(&slot.asleep) == 0);
+        Write(&slot.active, 0);
+        Write(&slot.asleep, 0);
+      });
+      if (claimed_by_waker) {
+        // The waker posts strictly after its transaction commits, and ours
+        // serialized after it, so the post is already issued or imminent.
+        d.sem.Wait();
+      }
+    }
   }
   waiters_->UnmarkRegistered(d.tid);
 

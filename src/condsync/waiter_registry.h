@@ -76,6 +76,22 @@ class WaiterRegistry {
                               std::memory_order_seq_cst);
   }
 
+  // Introspection for tests and debugging: is this slot's presence bit set?
+  // A timed wait that expires must leave its bit clear (no leaked entries).
+  bool IsRegistered(int tid) const {
+    return (mask_[tid / 64].load(std::memory_order_seq_cst) &
+            (std::uint64_t{1} << (tid % 64))) != 0;
+  }
+
+  // Conservative count of possibly-registered slots (test/debug only).
+  int RegisteredCount() const {
+    int n = 0;
+    for (int w = 0; w < mask_words_; ++w) {
+      n += __builtin_popcountll(mask_[w].load(std::memory_order_seq_cst));
+    }
+    return n;
+  }
+
   // Invokes fn(tid, slot) for every possibly-registered slot; fn returns false to
   // stop the scan early (wake_single ablation).
   template <typename Fn>

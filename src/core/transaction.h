@@ -5,9 +5,25 @@
 // deschedule wakeups), so it must be side-effect-free except through Tx operations
 // — the standard TM programming model. Re-invoking the body lambda plays the role
 // of the paper's checkpoint restore.
+//
+// Data access comes in two layers:
+//  * TVar<T> (core/tvar.h) — the preferred typed surface: any trivially-copyable
+//    T, stored in word-aligned cells the library owns, no size restriction.
+//  * raw Load/Store on plain lvalues — the original word-granularity surface,
+//    kept as a thin deprecated shim for existing call sites. New code should
+//    declare shared state as TVar<T>.
+//
+// Composition:
+//  * tx.OrElse(b1, b2) — run b1; if it Retry()s, roll its speculative writes
+//    back and run b2; if both retry, the transaction descheds on the union of
+//    both branches' read sets (composable choice, §1.2 / composable STM).
+//  * tx.RetryFor/AwaitFor/WaitPredFor — bounded waits returning
+//    WaitResult::kTimedOut once the (restart-spanning) deadline expires.
 #ifndef TCS_CORE_TRANSACTION_H_
 #define TCS_CORE_TRANSACTION_H_
 
+#include <array>
+#include <chrono>
 #include <cstring>
 #include <initializer_list>
 #include <optional>
@@ -16,6 +32,7 @@
 
 #include "src/common/assert.h"
 #include "src/condsync/tm_condvar.h"
+#include "src/core/tvar.h"
 #include "src/tm/tm_system.h"
 #include "src/tm/tx_exceptions.h"
 
@@ -25,11 +42,31 @@ class Tx {
  public:
   explicit Tx(TmSystem& sys) : sys_(sys) {}
 
-  // --- transactional data access ---
+  // --- transactional data access: TVar<T> (preferred) ---
+  template <typename T>
+  T Load(const TVar<T>& var) const {
+    std::array<TmWord, TVar<T>::kWords> img;
+    for (std::size_t i = 0; i < TVar<T>::kWords; ++i) {
+      img[i] = sys_.Read(var.word(i));
+    }
+    return TVar<T>::Decode(img);
+  }
+
+  template <typename T>
+  void Store(TVar<T>& var, const T& val) const {
+    const std::array<TmWord, TVar<T>::kWords> img = TVar<T>::Encode(val);
+    for (std::size_t i = 0; i < TVar<T>::kWords; ++i) {
+      sys_.Write(var.word_mut(i), img[i]);
+    }
+  }
+
+  // --- transactional data access: raw lvalues (deprecated shim) ---
   // T must be trivially copyable, at most word-sized, and must not straddle an
   // aligned 8-byte boundary. Sub-word accesses are spliced into the containing
-  // word, which is how word-granular STMs handle them.
+  // word, which is how word-granular STMs handle them. Prefer TVar<T>, which
+  // lifts all three restrictions.
   template <typename T>
+    requires(!kIsTVar<T>)
   T Load(const T& src) const {
     CheckType<T>();
     auto a = reinterpret_cast<std::uintptr_t>(&src);
@@ -51,6 +88,7 @@ class Tx {
   }
 
   template <typename T>
+    requires(!kIsTVar<T>)
   void Store(T& dst, T val) const {
     CheckType<T>();
     auto a = reinterpret_cast<std::uintptr_t>(&dst);
@@ -74,17 +112,139 @@ class Tx {
   void FreeBytes(void* p) const { sys_.TxFree(p); }
 
   // --- condition synchronization ---
-  [[noreturn]] void Retry() const { sys_.Retry(); }
+  // Inside an OrElse branch that still has an alternative, Retry() transfers
+  // control to that alternative instead of descheduling (see OrElse below).
+  [[noreturn]] void Retry() const {
+    if (sys_.OrElseAltPending()) {
+      throw TxRetrySignal{};
+    }
+    sys_.Retry();
+  }
 
-  // Await on the words containing the given variables (Algorithm 6).
+  // Await on the words containing the given variables (Algorithm 6). Like
+  // Retry, an Await inside an OrElse branch with an alternative pending
+  // transfers to the alternative instead of descheduling — every wait style
+  // composes uniformly under OrElse.
   template <typename... Ts>
+    requires(!kIsTVar<Ts> && ...)
   [[noreturn]] void Await(const Ts&... vars) const {
+    if (sys_.OrElseAltPending()) {
+      throw TxRetrySignal{};
+    }
     const TmWord* addrs[] = {WordAddrOf(vars)...};
     sys_.Await(addrs, sizeof...(Ts));
   }
 
+  // Await on every backing word of the given TVars.
+  template <typename... Ts>
+  [[noreturn]] void Await(const TVar<Ts>&... vars) const {
+    if (sys_.OrElseAltPending()) {
+      throw TxRetrySignal{};
+    }
+    constexpr std::size_t kN = (TVar<Ts>::kWords + ... + 0);
+    static_assert(kN > 0, "Await needs at least one variable");
+    const TmWord* addrs[kN];
+    std::size_t i = 0;
+    (AppendWords(vars, addrs, i), ...);
+    sys_.Await(addrs, kN);
+  }
+
   [[noreturn]] void WaitPred(WaitPredFn fn, const WaitArgs& args) const {
+    if (sys_.OrElseAltPending()) {
+      throw TxRetrySignal{};
+    }
     sys_.WaitPred(fn, args);
+  }
+
+  // --- bounded waits ---
+  // Wait like Retry/Await/WaitPred, but give up after `timeout` of total
+  // elapsed time. On expiry the call returns WaitResult::kTimedOut from a
+  // fresh execution of the body, which stays live and committable — the idiom:
+  //
+  //   auto got = Atomically(sys, [&](Tx& tx) -> std::optional<V> {
+  //     if (tx.Load(count) == 0) {
+  //       if (tx.RetryFor(100ms) == WaitResult::kTimedOut) return std::nullopt;
+  //     }
+  //     return TakeOne(tx);
+  //   });
+  //
+  // A satisfied wait never returns (the wakeup restarts the body), and
+  // RetryFor(kNoTimeout) is exactly Retry(). Inside an OrElse branch with an
+  // alternative pending, a bounded retry also transfers to the alternative.
+  WaitResult RetryFor(std::chrono::nanoseconds timeout) const {
+    if (sys_.OrElseAltPending()) {
+      throw TxRetrySignal{};
+    }
+    return sys_.RetryFor(timeout);
+  }
+
+  template <typename... Ts>
+    requires(!kIsTVar<Ts> && ...)
+  WaitResult AwaitFor(std::chrono::nanoseconds timeout, const Ts&... vars) const {
+    if (sys_.OrElseAltPending()) {
+      throw TxRetrySignal{};
+    }
+    const TmWord* addrs[] = {WordAddrOf(vars)...};
+    return sys_.AwaitFor(addrs, sizeof...(Ts), timeout);
+  }
+
+  template <typename... Ts>
+  WaitResult AwaitFor(std::chrono::nanoseconds timeout,
+                      const TVar<Ts>&... vars) const {
+    if (sys_.OrElseAltPending()) {
+      throw TxRetrySignal{};
+    }
+    constexpr std::size_t kN = (TVar<Ts>::kWords + ... + 0);
+    static_assert(kN > 0, "AwaitFor needs at least one variable");
+    const TmWord* addrs[kN];
+    std::size_t i = 0;
+    (AppendWords(vars, addrs, i), ...);
+    return sys_.AwaitFor(addrs, kN, timeout);
+  }
+
+  WaitResult WaitPredFor(WaitPredFn fn, const WaitArgs& args,
+                         std::chrono::nanoseconds timeout) const {
+    if (sys_.OrElseAltPending()) {
+      throw TxRetrySignal{};
+    }
+    return sys_.WaitPredFor(fn, args, timeout);
+  }
+
+  // --- composable choice (orElse) ---
+  // Runs `body1` (a callable taking Tx&). If it completes, its result is the
+  // result of the whole OrElse. If it waits — Retry(), Await(), WaitPred(),
+  // or any of their timed variants — its speculative writes
+  // (and transactional allocations) are rolled back to the savepoint taken
+  // here and `body2` runs against the restored state. If body2 also retries
+  // (with no further alternative), the transaction descheds normally — and
+  // because the retry waitset keeps entries across the partial rollback, the
+  // thread wakes on a write to *either* branch's read set, the composed-choice
+  // guarantee of composable STM. Nests: in OrElse(a, OrElse-free b) inside
+  // OrElse(x, y), retries cascade innermost-first.
+  template <typename B1, typename B2>
+  auto OrElse(B1&& body1, B2&& body2) const {
+    using R = std::invoke_result_t<B1&, Tx&>;
+    static_assert(std::is_same_v<R, std::invoke_result_t<B2&, Tx&>>,
+                  "OrElse branches must return the same type");
+    Tx tx(sys_);
+    const TxSavepoint sp = sys_.TakeSavepoint();
+    sys_.EnterOrElse();
+    try {
+      if constexpr (std::is_void_v<R>) {
+        body1(tx);
+        sys_.ExitOrElse();
+        return;
+      } else {
+        R result = body1(tx);
+        sys_.ExitOrElse();
+        return result;
+      }
+    } catch (const TxRetrySignal&) {
+      sys_.ExitOrElse();
+      sys_.OnOrElseFallback();
+      sys_.RollbackToSavepoint(sp);
+      return body2(tx);
+    }
   }
 
   [[noreturn]] void RetryOrig() const { sys_.RetryOrig(); }
@@ -101,7 +261,9 @@ class Tx {
   template <typename T>
   static constexpr void CheckType() {
     static_assert(std::is_trivially_copyable_v<T>, "transactional data must be POD");
-    static_assert(sizeof(T) <= sizeof(TmWord), "word-granularity TM: sizeof(T) <= 8");
+    static_assert(sizeof(T) <= sizeof(TmWord),
+                  "word-granularity raw access: sizeof(T) <= 8 — use TVar<T> "
+                  "for larger types");
   }
 
   template <typename T>
@@ -109,6 +271,13 @@ class Tx {
     CheckType<T>();
     auto a = reinterpret_cast<std::uintptr_t>(&var);
     return reinterpret_cast<const TmWord*>(a & ~(sizeof(TmWord) - 1));
+  }
+
+  template <typename T>
+  static void AppendWords(const TVar<T>& v, const TmWord** out, std::size_t& i) {
+    for (std::size_t w = 0; w < TVar<T>::kWords; ++w) {
+      out[i++] = v.word(w);
+    }
   }
 
   TmSystem& sys_;
@@ -148,6 +317,12 @@ auto Atomically(TmSystem& sys, Body&& body) {
       }
     }
   }
+}
+
+// Convenience: Atomically(sys, b1 `orElse` b2).
+template <typename B1, typename B2>
+auto AtomicallyOrElse(TmSystem& sys, B1&& body1, B2&& body2) {
+  return Atomically(sys, [&](Tx& tx) { return tx.OrElse(body1, body2); });
 }
 
 }  // namespace tcs

@@ -1,0 +1,104 @@
+// TVar<T>: a typed transactional cell.
+//
+// The raw Tx::Load/Store surface exposes the TM's word granularity directly:
+// values must be trivially copyable, at most 8 bytes, and must not straddle an
+// aligned word boundary — constraints the *user* has to prove about memory the
+// user owns. TVar<T> removes all three by owning the storage itself: any
+// trivially-copyable T is held in a word-aligned array of ceil(sizeof(T)/8)
+// TmWords, and transactional access splits the value across those words under
+// the hood. Multi-word reads are consistent because every word read validates
+// against the transaction's start time (opacity), and multi-word writes commit
+// or roll back as a unit like any other transactional write set.
+//
+//   tcs::TVar<Order> pending;                 // any trivially-copyable struct
+//   tcs::Atomically(rt.sys(), [&](tcs::Tx& tx) {
+//     Order o = tx.Load(pending);
+//     o.fills++;
+//     tx.Store(pending, o);
+//   });
+//
+// Padding bytes are always written as zero, so waitset value comparisons on
+// the final word are deterministic (a silent re-store of an equal T stays
+// silent, and never wakes a Retry waiter).
+#ifndef TCS_CORE_TVAR_H_
+#define TCS_CORE_TVAR_H_
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "src/tm/word.h"
+
+namespace tcs {
+
+template <typename T>
+class TVar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "TVar<T> requires a trivially-copyable T");
+
+ public:
+  // Number of TmWords backing one T.
+  static constexpr std::size_t kWords =
+      (sizeof(T) + sizeof(TmWord) - 1) / sizeof(TmWord);
+
+  TVar() : TVar(T{}) {}
+  explicit TVar(const T& init) { UnsafeWrite(init); }
+
+  TVar(const TVar&) = delete;
+  TVar& operator=(const TVar&) = delete;
+
+  // Non-transactional access, for single-threaded setup/teardown and reporting
+  // only — never while transactions on other threads may touch this cell.
+  T UnsafeRead() const {
+    T out;
+    std::memcpy(&out, words_.data(), sizeof(T));
+    return out;
+  }
+
+  void UnsafeWrite(const T& v) { words_ = Encode(v); }
+
+  // Address of the i-th backing word, for Await address lists and WaitPred
+  // predicates (which read through TmSystem::Read at word granularity).
+  const TmWord* word(std::size_t i = 0) const { return &words_[i]; }
+  TmWord* word_mut(std::size_t i = 0) { return &words_[i]; }
+
+  // Encodes `v` into a zero-padded word image (the representation stored by
+  // transactional Stores). T's own padding bytes (internal and trailing) hold
+  // indeterminate garbage in the source object; they must be zeroed here, or a
+  // re-store of an equal value would change the backing words — waking Retry
+  // waiters spuriously and breaking the value-based waitset's silent-store
+  // immunity.
+  static std::array<TmWord, kWords> Encode(const T& v) {
+    std::array<TmWord, kWords> out{};
+    T tmp = v;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_clear_padding(&tmp);
+#endif
+    std::memcpy(out.data(), &tmp, sizeof(T));
+    return out;
+  }
+
+  static T Decode(const std::array<TmWord, kWords>& words) {
+    T out;
+    std::memcpy(&out, words.data(), sizeof(T));
+    return out;
+  }
+
+ private:
+  alignas(alignof(T) > alignof(TmWord) ? alignof(T) : alignof(TmWord))
+      std::array<TmWord, kWords> words_;
+};
+
+// Trait used by Tx to keep the deprecated raw Load/Store overloads from
+// swallowing TVar arguments.
+template <typename T>
+struct IsTVar : std::false_type {};
+template <typename T>
+struct IsTVar<TVar<T>> : std::true_type {};
+template <typename T>
+inline constexpr bool kIsTVar = IsTVar<std::remove_cv_t<T>>::value;
+
+}  // namespace tcs
+
+#endif  // TCS_CORE_TVAR_H_

@@ -9,7 +9,7 @@ BoundedBuffer::BoundedBuffer(Runtime* rt, Mechanism mech, std::uint64_t capacity
   TCS_CHECK(capacity > 0);
   TCS_CHECK_MSG(mech == Mechanism::kPthreads || rt != nullptr,
                 "TM mechanisms need a Runtime");
-  buf_ = std::make_unique<std::uint64_t[]>(capacity);
+  buf_ = std::make_unique<TVar<std::uint64_t>[]>(capacity);
   if (mech == Mechanism::kTmCondVar) {
     cv_notempty_ = std::make_unique<TmCondVar>(rt->config().max_threads);
     cv_notfull_ = std::make_unique<TmCondVar>(rt->config().max_threads);
@@ -33,47 +33,149 @@ std::uint64_t BoundedBuffer::Get(Tx& tx) {
 
 bool BoundedBuffer::NotFullPred(TmSystem& sys, const WaitArgs& args) {
   const auto* b = reinterpret_cast<const BoundedBuffer*>(args.v[0]);
-  TmWord count = sys.Read(reinterpret_cast<const TmWord*>(&b->count_));
+  TmWord count = sys.Read(b->count_.word());
   return count < b->cap_;
 }
 
 bool BoundedBuffer::NotEmptyPred(TmSystem& sys, const WaitArgs& args) {
   const auto* b = reinterpret_cast<const BoundedBuffer*>(args.v[0]);
-  TmWord count = sys.Read(reinterpret_cast<const TmWord*>(&b->count_));
+  TmWord count = sys.Read(b->count_.word());
   return count > 0;
 }
 
 void BoundedBuffer::UnsafePrefill(std::uint64_t n, std::uint64_t value_base) {
-  TCS_CHECK(count_ == 0 && n <= cap_);
+  TCS_CHECK(count_.UnsafeRead() == 0 && n <= cap_);
   for (std::uint64_t i = 0; i < n; ++i) {
-    buf_[i] = value_base + i;
+    buf_[i].UnsafeWrite(value_base + i);
   }
-  nextprod_ = n % cap_;
-  nextcons_ = 0;
-  count_ = n;
+  nextprod_.UnsafeWrite(n % cap_);
+  nextcons_.UnsafeWrite(0);
+  count_.UnsafeWrite(n);
 }
 
 void BoundedBuffer::ProducePthreads(std::uint64_t x) {
   std::unique_lock<std::mutex> lk(mu_);
-  while (count_ == cap_) {
+  while (count_.UnsafeRead() == cap_) {
     notfull_.wait(lk);
   }
-  buf_[nextprod_] = x;
-  nextprod_ = (nextprod_ + 1) % cap_;
-  count_++;
+  std::uint64_t np = nextprod_.UnsafeRead();
+  buf_[np].UnsafeWrite(x);
+  nextprod_.UnsafeWrite((np + 1) % cap_);
+  count_.UnsafeWrite(count_.UnsafeRead() + 1);
   notempty_.notify_one();
 }
 
 std::uint64_t BoundedBuffer::ConsumePthreads() {
   std::unique_lock<std::mutex> lk(mu_);
-  while (count_ == 0) {
+  while (count_.UnsafeRead() == 0) {
     notempty_.wait(lk);
   }
-  std::uint64_t x = buf_[nextcons_];
-  nextcons_ = (nextcons_ + 1) % cap_;
-  count_--;
+  std::uint64_t nc = nextcons_.UnsafeRead();
+  std::uint64_t x = buf_[nc].UnsafeRead();
+  nextcons_.UnsafeWrite((nc + 1) % cap_);
+  count_.UnsafeWrite(count_.UnsafeRead() - 1);
   notfull_.notify_one();
   return x;
+}
+
+bool BoundedBuffer::TryProducePthreadsFor(std::uint64_t x,
+                                          std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!notfull_.wait_for(lk, timeout,
+                         [&] { return count_.UnsafeRead() < cap_; })) {
+    return false;
+  }
+  std::uint64_t np = nextprod_.UnsafeRead();
+  buf_[np].UnsafeWrite(x);
+  nextprod_.UnsafeWrite((np + 1) % cap_);
+  count_.UnsafeWrite(count_.UnsafeRead() + 1);
+  notempty_.notify_one();
+  return true;
+}
+
+std::optional<std::uint64_t> BoundedBuffer::TryConsumePthreadsFor(
+    std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!notempty_.wait_for(lk, timeout,
+                          [&] { return count_.UnsafeRead() > 0; })) {
+    return std::nullopt;
+  }
+  std::uint64_t nc = nextcons_.UnsafeRead();
+  std::uint64_t x = buf_[nc].UnsafeRead();
+  nextcons_.UnsafeWrite((nc + 1) % cap_);
+  count_.UnsafeWrite(count_.UnsafeRead() - 1);
+  notfull_.notify_one();
+  return x;
+}
+
+WaitResult BoundedBuffer::WaitNotFullFor(Tx& tx, std::chrono::nanoseconds timeout) {
+  switch (mech_) {
+    case Mechanism::kWaitPred: {
+      WaitArgs args;
+      args.v[0] = reinterpret_cast<TmWord>(this);
+      args.n = 1;
+      return tx.WaitPredFor(&BoundedBuffer::NotFullPred, args, timeout);
+    }
+    case Mechanism::kAwait:
+      return tx.AwaitFor(timeout, count_);
+    default:
+      // Retry-style mechanisms (and the baselines, which have no native timed
+      // form) all bound their wait with RetryFor.
+      return tx.RetryFor(timeout);
+  }
+}
+
+WaitResult BoundedBuffer::WaitNotEmptyFor(Tx& tx, std::chrono::nanoseconds timeout) {
+  switch (mech_) {
+    case Mechanism::kWaitPred: {
+      WaitArgs args;
+      args.v[0] = reinterpret_cast<TmWord>(this);
+      args.n = 1;
+      return tx.WaitPredFor(&BoundedBuffer::NotEmptyPred, args, timeout);
+    }
+    case Mechanism::kAwait:
+      return tx.AwaitFor(timeout, count_);
+    default:
+      return tx.RetryFor(timeout);
+  }
+}
+
+bool BoundedBuffer::TryProduceFor(std::uint64_t x,
+                                  std::chrono::nanoseconds timeout) {
+  if (mech_ == Mechanism::kPthreads) {
+    return TryProducePthreadsFor(x, timeout);
+  }
+  return Atomically(rt_->sys(), [&](Tx& tx) -> bool {
+    if (Full(tx)) {
+      if (WaitNotFullFor(tx, timeout) == WaitResult::kTimedOut) {
+        return false;
+      }
+    }
+    Put(tx, x);
+    if (mech_ == Mechanism::kTmCondVar) {
+      tx.CondSignal(*cv_notempty_);
+    }
+    return true;
+  });
+}
+
+std::optional<std::uint64_t> BoundedBuffer::TryConsumeFor(
+    std::chrono::nanoseconds timeout) {
+  if (mech_ == Mechanism::kPthreads) {
+    return TryConsumePthreadsFor(timeout);
+  }
+  return Atomically(rt_->sys(), [&](Tx& tx) -> std::optional<std::uint64_t> {
+    if (Empty(tx)) {
+      if (WaitNotEmptyFor(tx, timeout) == WaitResult::kTimedOut) {
+        return std::nullopt;
+      }
+    }
+    std::uint64_t x = Get(tx);
+    if (mech_ == Mechanism::kTmCondVar) {
+      tx.CondSignal(*cv_notfull_);
+    }
+    return x;
+  });
 }
 
 // Figure 2.2: the Put front ends for each mechanism. The TM variants need no

@@ -7,18 +7,25 @@
 // composite atomic operations — e.g. the Produce1Consume2 scenario of
 // Algorithm 3 — can be built on top; with Retry/Await/WaitPred such compositions
 // stay atomic, which is the paper's central programmability claim.
+//
+// Shared state lives in TVar<T> cells (core/tvar.h). Bounded variants
+// (TryProduceFor/TryConsumeFor) give up after a timeout, mapping each TM
+// mechanism onto its timed wait (RetryFor/AwaitFor/WaitPredFor).
 #ifndef TCS_SYNC_BOUNDED_BUFFER_H_
 #define TCS_SYNC_BOUNDED_BUFFER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "src/condsync/tm_condvar.h"
 #include "src/core/mechanism.h"
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
+#include "src/core/tvar.h"
 
 namespace tcs {
 
@@ -34,6 +41,12 @@ class BoundedBuffer {
   void Produce(std::uint64_t x);
   std::uint64_t Consume();
 
+  // Bounded operations: wait at most `timeout` (total elapsed, across internal
+  // restarts) for space / an element. Return false / nullopt on timeout without
+  // having modified the buffer. kNoTimeout degrades to the blocking form.
+  bool TryProduceFor(std::uint64_t x, std::chrono::nanoseconds timeout);
+  std::optional<std::uint64_t> TryConsumeFor(std::chrono::nanoseconds timeout);
+
   // Non-blocking transactional building blocks (Algorithm 2's internal methods).
   bool Full(Tx& tx) const { return tx.Load(count_) == cap_; }
   bool Empty(Tx& tx) const { return tx.Load(count_) == 0; }
@@ -41,8 +54,8 @@ class BoundedBuffer {
   std::uint64_t Get(Tx& tx);
   std::uint64_t Count(Tx& tx) const { return tx.Load(count_); }
 
-  // The count word, for Await address lists.
-  const std::uint64_t& count_ref() const { return count_; }
+  // The count cell, for Await address lists and custom predicates.
+  const TVar<std::uint64_t>& count_ref() const { return count_; }
 
   std::uint64_t capacity() const { return cap_; }
   Mechanism mechanism() const { return mech_; }
@@ -58,17 +71,25 @@ class BoundedBuffer {
  private:
   void ProducePthreads(std::uint64_t x);
   std::uint64_t ConsumePthreads();
+  bool TryProducePthreadsFor(std::uint64_t x, std::chrono::nanoseconds timeout);
+  std::optional<std::uint64_t> TryConsumePthreadsFor(
+      std::chrono::nanoseconds timeout);
+
+  // Timed wait for "not full"/"not empty" using the mechanism's bounded wait;
+  // returns kTimedOut from a fresh attempt, otherwise descheds (never returns).
+  WaitResult WaitNotFullFor(Tx& tx, std::chrono::nanoseconds timeout);
+  WaitResult WaitNotEmptyFor(Tx& tx, std::chrono::nanoseconds timeout);
 
   Runtime* rt_;
   const Mechanism mech_;
   const std::uint64_t cap_;
 
-  // Shared fields of Algorithm 2; transactional words under TM mechanisms, plain
-  // data under the pthread lock.
-  std::unique_ptr<std::uint64_t[]> buf_;
-  std::uint64_t count_ = 0;
-  std::uint64_t nextprod_ = 0;
-  std::uint64_t nextcons_ = 0;
+  // Shared fields of Algorithm 2; TVar cells under TM mechanisms, accessed
+  // through UnsafeRead/UnsafeWrite under the pthread lock.
+  std::unique_ptr<TVar<std::uint64_t>[]> buf_;
+  TVar<std::uint64_t> count_{0};
+  TVar<std::uint64_t> nextprod_{0};
+  TVar<std::uint64_t> nextcons_{0};
 
   // Pthreads baseline state.
   std::mutex mu_;

@@ -16,21 +16,23 @@ PhaseBarrier::PhaseBarrier(Runtime* rt, Mechanism mech, int parties)
 
 bool PhaseBarrier::GenerationChangedPred(TmSystem& sys, const WaitArgs& args) {
   const auto* b = reinterpret_cast<const PhaseBarrier*>(args.v[0]);
-  TmWord gen = sys.Read(reinterpret_cast<const TmWord*>(&b->generation_));
+  TmWord gen = sys.Read(b->generation_.word());
   return gen != args.v[1];
 }
 
 void PhaseBarrier::ArriveAndWait() {
   if (mech_ == Mechanism::kPthreads) {
     std::unique_lock<std::mutex> lk(mu_);
-    std::uint64_t my_gen = generation_;
-    if (++arrived_ == parties_) {
-      arrived_ = 0;
-      generation_++;
+    std::uint64_t my_gen = generation_.UnsafeRead();
+    std::uint64_t a = arrived_.UnsafeRead() + 1;
+    if (a == parties_) {
+      arrived_.UnsafeWrite(0);
+      generation_.UnsafeWrite(my_gen + 1);
       cv_.notify_all();
       return;
     }
-    while (generation_ == my_gen) {
+    arrived_.UnsafeWrite(a);
+    while (generation_.UnsafeRead() == my_gen) {
       cv_.wait(lk);
     }
     return;

@@ -21,6 +21,7 @@
 #include "src/core/mechanism.h"
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
+#include "src/core/tvar.h"
 
 namespace tcs {
 
@@ -42,8 +43,8 @@ class PhaseBarrier {
   const Mechanism mech_;
   const std::uint64_t parties_;
 
-  std::uint64_t arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  TVar<std::uint64_t> arrived_{0};
+  TVar<std::uint64_t> generation_{0};
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -14,15 +14,15 @@ TicketGate::TicketGate(Runtime* rt, Mechanism mech) : rt_(rt), mech_(mech) {
 
 bool TicketGate::ReachedPred(TmSystem& sys, const WaitArgs& args) {
   const auto* g = reinterpret_cast<const TicketGate*>(args.v[0]);
-  TmWord v = sys.Read(reinterpret_cast<const TmWord*>(&g->value_));
+  TmWord v = sys.Read(g->value_.word());
   return v >= args.v[1];
 }
 
 void TicketGate::Publish(std::uint64_t value) {
   if (mech_ == Mechanism::kPthreads) {
     std::unique_lock<std::mutex> lk(mu_);
-    TCS_DCHECK(value >= value_);
-    value_ = value;
+    TCS_DCHECK(value >= value_.UnsafeRead());
+    value_.UnsafeWrite(value);
     cv_.notify_all();
     return;
   }
@@ -37,7 +37,7 @@ void TicketGate::Publish(std::uint64_t value) {
 void TicketGate::Bump() {
   if (mech_ == Mechanism::kPthreads) {
     std::unique_lock<std::mutex> lk(mu_);
-    value_++;
+    value_.UnsafeWrite(value_.UnsafeRead() + 1);
     cv_.notify_all();
     return;
   }
@@ -52,7 +52,7 @@ void TicketGate::Bump() {
 void TicketGate::WaitFor(std::uint64_t target) {
   if (mech_ == Mechanism::kPthreads) {
     std::unique_lock<std::mutex> lk(mu_);
-    while (value_ < target) {
+    while (value_.UnsafeRead() < target) {
       cv_.wait(lk);
     }
     return;
@@ -80,6 +80,38 @@ void TicketGate::WaitFor(std::uint64_t target) {
       default:
         tx.RestartNow();
     }
+  });
+}
+
+bool TicketGate::WaitForUpTo(std::uint64_t target,
+                             std::chrono::nanoseconds timeout) {
+  if (mech_ == Mechanism::kPthreads) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, timeout,
+                        [&] { return value_.UnsafeRead() >= target; });
+  }
+  return Atomically(rt_->sys(), [&](Tx& tx) -> bool {
+    if (tx.Load(value_) >= target) {
+      return true;
+    }
+    WaitResult r;
+    switch (mech_) {
+      case Mechanism::kWaitPred: {
+        WaitArgs args;
+        args.v[0] = reinterpret_cast<TmWord>(this);
+        args.v[1] = target;
+        args.n = 2;
+        r = tx.WaitPredFor(&TicketGate::ReachedPred, args, timeout);
+        break;
+      }
+      case Mechanism::kAwait:
+        r = tx.AwaitFor(timeout, value_);
+        break;
+      default:
+        r = tx.RetryFor(timeout);
+        break;
+    }
+    return r != WaitResult::kTimedOut;
   });
 }
 

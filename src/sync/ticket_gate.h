@@ -5,6 +5,7 @@
 #ifndef TCS_SYNC_TICKET_GATE_H_
 #define TCS_SYNC_TICKET_GATE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "src/core/mechanism.h"
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
+#include "src/core/tvar.h"
 
 namespace tcs {
 
@@ -33,8 +35,11 @@ class TicketGate {
   // Blocks until published progress >= target.
   void WaitFor(std::uint64_t target);
 
+  // Waits at most `timeout` for progress >= target; true iff reached.
+  bool WaitForUpTo(std::uint64_t target, std::chrono::nanoseconds timeout);
+
   // Current value (transaction-free snapshot; for reporting only).
-  std::uint64_t UnsafeValue() const { return value_; }
+  std::uint64_t UnsafeValue() const { return value_.UnsafeRead(); }
 
   // WaitPred predicate: value >= args.v[1]; args.v[0] = TicketGate*.
   static bool ReachedPred(TmSystem& sys, const WaitArgs& args);
@@ -43,7 +48,7 @@ class TicketGate {
   Runtime* rt_;
   const Mechanism mech_;
 
-  std::uint64_t value_ = 0;
+  TVar<std::uint64_t> value_{0};
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -9,7 +9,7 @@ WorkQueue::WorkQueue(Runtime* rt, Mechanism mech, std::uint64_t capacity)
   TCS_CHECK(capacity > 0);
   TCS_CHECK_MSG(mech == Mechanism::kPthreads || rt != nullptr,
                 "TM mechanisms need a Runtime");
-  buf_ = std::make_unique<std::uint64_t[]>(capacity);
+  buf_ = std::make_unique<TVar<std::uint64_t>[]>(capacity);
   if (mech == Mechanism::kTmCondVar) {
     cv_notempty_ = std::make_unique<TmCondVar>(rt->config().max_threads);
     cv_notfull_ = std::make_unique<TmCondVar>(rt->config().max_threads);
@@ -18,42 +18,63 @@ WorkQueue::WorkQueue(Runtime* rt, Mechanism mech, std::uint64_t capacity)
 
 bool WorkQueue::CanPopPred(TmSystem& sys, const WaitArgs& args) {
   const auto* q = reinterpret_cast<const WorkQueue*>(args.v[0]);
-  TmWord count = sys.Read(reinterpret_cast<const TmWord*>(&q->count_));
+  TmWord count = sys.Read(q->count_.word());
   if (count > 0) {
     return true;
   }
-  return sys.Read(reinterpret_cast<const TmWord*>(&q->closed_)) != 0;
+  return sys.Read(q->closed_.word()) != 0;
 }
 
 bool WorkQueue::CanPushPred(TmSystem& sys, const WaitArgs& args) {
   const auto* q = reinterpret_cast<const WorkQueue*>(args.v[0]);
-  TmWord count = sys.Read(reinterpret_cast<const TmWord*>(&q->count_));
+  TmWord count = sys.Read(q->count_.word());
   return count < q->cap_;
 }
 
 void WorkQueue::PushPthreads(std::uint64_t task) {
   std::unique_lock<std::mutex> lk(mu_);
-  while (count_ == cap_) {
+  while (count_.UnsafeRead() == cap_) {
     notfull_.wait(lk);
   }
-  TCS_CHECK_MSG(closed_ == 0, "push to closed queue");
-  buf_[tail_ % cap_] = task;
-  tail_++;
-  count_++;
+  TCS_CHECK_MSG(closed_.UnsafeRead() == 0, "push to closed queue");
+  std::uint64_t t = tail_.UnsafeRead();
+  buf_[t % cap_].UnsafeWrite(task);
+  tail_.UnsafeWrite(t + 1);
+  count_.UnsafeWrite(count_.UnsafeRead() + 1);
   notempty_.notify_one();
 }
 
 std::optional<std::uint64_t> WorkQueue::PopPthreads() {
   std::unique_lock<std::mutex> lk(mu_);
-  while (count_ == 0 && closed_ == 0) {
+  while (count_.UnsafeRead() == 0 && closed_.UnsafeRead() == 0) {
     notempty_.wait(lk);
   }
-  if (count_ == 0) {
+  if (count_.UnsafeRead() == 0) {
     return std::nullopt;
   }
-  std::uint64_t t = buf_[head_ % cap_];
-  head_++;
-  count_--;
+  std::uint64_t h = head_.UnsafeRead();
+  std::uint64_t t = buf_[h % cap_].UnsafeRead();
+  head_.UnsafeWrite(h + 1);
+  count_.UnsafeWrite(count_.UnsafeRead() - 1);
+  notfull_.notify_one();
+  return t;
+}
+
+std::optional<std::uint64_t> WorkQueue::PopPthreadsFor(
+    std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!notempty_.wait_for(lk, timeout, [&] {
+        return count_.UnsafeRead() > 0 || closed_.UnsafeRead() != 0;
+      })) {
+    return std::nullopt;
+  }
+  if (count_.UnsafeRead() == 0) {
+    return std::nullopt;
+  }
+  std::uint64_t h = head_.UnsafeRead();
+  std::uint64_t t = buf_[h % cap_].UnsafeRead();
+  head_.UnsafeWrite(h + 1);
+  count_.UnsafeWrite(count_.UnsafeRead() - 1);
   notfull_.notify_one();
   return t;
 }
@@ -136,10 +157,54 @@ std::optional<std::uint64_t> WorkQueue::Pop() {
   });
 }
 
+std::optional<std::uint64_t> WorkQueue::PopFor(std::chrono::nanoseconds timeout) {
+  if (mech_ == Mechanism::kPthreads) {
+    return PopPthreadsFor(timeout);
+  }
+  return Atomically(rt_->sys(), [&](Tx& tx) -> std::optional<std::uint64_t> {
+    std::uint64_t count = tx.Load(count_);
+    if (count == 0) {
+      if (tx.Load(closed_) != 0) {
+        return std::nullopt;
+      }
+      WaitResult r;
+      switch (mech_) {
+        case Mechanism::kWaitPred: {
+          WaitArgs args;
+          args.v[0] = reinterpret_cast<TmWord>(this);
+          args.n = 1;
+          r = tx.WaitPredFor(&WorkQueue::CanPopPred, args, timeout);
+          break;
+        }
+        case Mechanism::kAwait:
+          r = tx.AwaitFor(timeout, count_, closed_);
+          break;
+        default:
+          r = tx.RetryFor(timeout);
+          break;
+      }
+      if (r == WaitResult::kTimedOut) {
+        return std::nullopt;
+      }
+      // A bounded wait that is satisfied restarts the transaction instead of
+      // returning; reaching here with an empty queue is impossible.
+      count = tx.Load(count_);
+    }
+    std::uint64_t h = tx.Load(head_);
+    std::uint64_t t = tx.Load(buf_[h % cap_]);
+    tx.Store(head_, h + 1);
+    tx.Store(count_, count - 1);
+    if (mech_ == Mechanism::kTmCondVar) {
+      tx.CondSignal(*cv_notfull_);
+    }
+    return t;
+  });
+}
+
 void WorkQueue::Close() {
   if (mech_ == Mechanism::kPthreads) {
     std::unique_lock<std::mutex> lk(mu_);
-    closed_ = 1;
+    closed_.UnsafeWrite(1);
     notempty_.notify_all();
     return;
   }

@@ -3,9 +3,12 @@
 // This is the synchronization skeleton of the task-pool PARSEC benchmarks
 // (bodytrack, raytrace, ferret's stages): workers block on "queue non-empty or
 // closed", submitters block on "queue not full". Closing wakes all poppers.
+// Shared state lives in TVar cells; PopFor() bounds the worker's wait so pools
+// can implement idle-timeout shutdown.
 #ifndef TCS_SYNC_WORK_QUEUE_H_
 #define TCS_SYNC_WORK_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -16,6 +19,7 @@
 #include "src/core/mechanism.h"
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
+#include "src/core/tvar.h"
 
 namespace tcs {
 
@@ -34,6 +38,11 @@ class WorkQueue {
   // closed and drained.
   std::optional<std::uint64_t> Pop();
 
+  // Like Pop(), but waits at most `timeout`: returns nullopt on timeout as well
+  // as on closed-and-drained. (Callers that must distinguish can check
+  // closed() afterwards.)
+  std::optional<std::uint64_t> PopFor(std::chrono::nanoseconds timeout);
+
   // Marks the queue closed and wakes all blocked poppers.
   void Close();
 
@@ -46,16 +55,17 @@ class WorkQueue {
  private:
   void PushPthreads(std::uint64_t task);
   std::optional<std::uint64_t> PopPthreads();
+  std::optional<std::uint64_t> PopPthreadsFor(std::chrono::nanoseconds timeout);
 
   Runtime* rt_;
   const Mechanism mech_;
   const std::uint64_t cap_;
 
-  std::unique_ptr<std::uint64_t[]> buf_;
-  std::uint64_t count_ = 0;
-  std::uint64_t head_ = 0;
-  std::uint64_t tail_ = 0;
-  std::uint64_t closed_ = 0;
+  std::unique_ptr<TVar<std::uint64_t>[]> buf_;
+  TVar<std::uint64_t> count_{0};
+  TVar<std::uint64_t> head_{0};
+  TVar<std::uint64_t> tail_{0};
+  TVar<std::uint64_t> closed_{0};
 
   std::mutex mu_;
   std::condition_variable notempty_;

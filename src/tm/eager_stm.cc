@@ -139,6 +139,16 @@ void EagerStm::Rollback(TxDesc& d) {
   quiesce_.SetInactive(d.tid);
 }
 
+// OrElse partial rollback: restore the branch's in-place writes from the undo
+// log, newest first. Orecs the branch locked stay locked — releasing them would
+// need a version bump that could abort our own still-valid reads, and holding a
+// lock for an undone write is merely pessimistic, never incorrect (commit will
+// publish a new version for an unchanged location, like any undone write).
+void EagerStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
+  TCS_DCHECK(d.redo.Empty());
+  d.undo.UndoTo(sp.undo_size);
+}
+
 TmWord EagerStm::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {
   // Reads of locations this transaction wrote must log the value memory will hold
   // after rollback (Algorithm 5's consultation of `undos`); logging the speculative

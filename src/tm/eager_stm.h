@@ -24,6 +24,7 @@ class EagerStm final : public TmSystem {
   TmWord ReadWord(TxDesc& d, const TmWord* addr) override;
   void WriteWord(TxDesc& d, TmWord* addr, TmWord val) override;
   void Rollback(TxDesc& d) override;
+  void PartialRollback(TxDesc& d, const TxSavepoint& sp) override;
   TmWord PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) override;
   void PrepareAwait(TxDesc& d, const TmWord* const* addrs, std::size_t n) override;
 

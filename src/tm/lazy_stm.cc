@@ -98,6 +98,14 @@ void LazyStm::Rollback(TxDesc& d) {
   quiesce_.SetInactive(d.tid);
 }
 
+// OrElse partial rollback: buffered writes never touched memory, so dropping
+// the branch's redo entries (and un-overwriting shared ones) is the whole job.
+void LazyStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
+  TCS_DCHECK(d.undo.Empty());
+  TCS_DCHECK(d.locks.empty());  // lazy STM locks only inside CommitTx
+  d.redo.RollbackTo(sp.redo);
+}
+
 TmWord LazyStm::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {
   // A read satisfied from the redo log returned a speculative value; the waitset
   // must instead hold the (untouched) memory value, which is what the location

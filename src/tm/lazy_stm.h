@@ -22,6 +22,7 @@ class LazyStm final : public TmSystem {
   TmWord ReadWord(TxDesc& d, const TmWord* addr) override;
   void WriteWord(TxDesc& d, TmWord* addr, TmWord val) override;
   void Rollback(TxDesc& d) override;
+  void PartialRollback(TxDesc& d, const TxSavepoint& sp) override;
   TmWord PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) override;
 };
 

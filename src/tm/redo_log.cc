@@ -41,7 +41,13 @@ void RedoLog::Reindex() {
 void RedoLog::Put(TmWord* addr, TmWord val) {
   std::size_t slot = IndexSlot(addr);
   if (index_[slot] != 0) {
-    entries_[index_[slot] - 1].val = val;
+    Entry& e = entries_[index_[slot] - 1];
+    if (journal_enabled_) {
+      // Journal the replaced value so an OrElse savepoint rollback can
+      // restore it. Disabled (the common case) until a savepoint is taken.
+      journal_.push_back({index_[slot] - 1, e.val});
+    }
+    e.val = val;
     return;
   }
   entries_.push_back({addr, val});
@@ -69,8 +75,25 @@ void RedoLog::WriteBack() {
   }
 }
 
+void RedoLog::RollbackTo(const Savepoint& sp) {
+  while (journal_.size() > sp.journal) {
+    const Overwrite& o = journal_.back();
+    if (o.idx < sp.entries) {
+      entries_[o.idx].val = o.prev_val;
+    }
+    // Overwrites of entries above the mark vanish with their entry.
+    journal_.pop_back();
+  }
+  if (entries_.size() > sp.entries) {
+    entries_.resize(sp.entries);
+    Reindex();
+  }
+}
+
 void RedoLog::Clear() {
   entries_.clear();
+  journal_.clear();
+  journal_enabled_ = false;
   if (index_.size() > kInitialIndexSize * 8) {
     index_.assign(kInitialIndexSize, 0);
     index_mask_ = kInitialIndexSize - 1;

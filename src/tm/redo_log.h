@@ -15,10 +15,30 @@ namespace tcs {
 
 class RedoLog {
  public:
+  // Savepoint for OrElse partial rollback: remembers how many entries (and how
+  // many journaled overwrites) existed when an OrElse branch began.
+  struct Savepoint {
+    std::size_t entries;
+    std::size_t journal;
+  };
+
   RedoLog();
 
   // Records (or overwrites) the speculative value for `addr`.
   void Put(TmWord* addr, TmWord val);
+
+  // Called when a savepoint is taken: from here until Clear(), overwrites of
+  // existing entries are journaled so RollbackTo can restore them. Attempts
+  // that never take a savepoint (no OrElse) pay nothing on Put.
+  Savepoint Mark() {
+    journal_enabled_ = true;
+    return {entries_.size(), journal_.size()};
+  }
+
+  // Reverts the log to the state captured by `sp`: overwrites of pre-savepoint
+  // entries are restored from the journal (newest first), entries appended
+  // after the mark are dropped, and the lookup index is rebuilt.
+  void RollbackTo(const Savepoint& sp);
 
   // True if this transaction wrote `addr`; returns the speculative value.
   bool Lookup(const TmWord* addr, TmWord* out) const;
@@ -43,10 +63,19 @@ class RedoLog {
     TmWord val;
   };
 
+  // One journaled overwrite: entry `idx` held `prev_val` before a later Put
+  // replaced it. Replayed in reverse by RollbackTo.
+  struct Overwrite {
+    std::uint32_t idx;
+    TmWord prev_val;
+  };
+
   std::size_t IndexSlot(const TmWord* addr) const;
   void Reindex();
 
   std::vector<Entry> entries_;
+  std::vector<Overwrite> journal_;
+  bool journal_enabled_ = false;
   // Open-addressing table of entry indices + 1 (0 = empty).
   std::vector<std::uint32_t> index_;
   std::size_t index_mask_;

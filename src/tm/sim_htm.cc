@@ -261,6 +261,19 @@ void SimHtm::Rollback(TxDesc& d) {
   quiesce_.SetInactive(d.tid);
 }
 
+// OrElse partial rollback. In hardware mode writes are buffered (redo log,
+// like lazy STM); in serial-irrevocable software mode they are in place with
+// undo logging (like eager STM). Lines locked by the abandoned branch stay
+// locked until the transaction ends, which is pessimistic but correct — the
+// same argument as EagerStm::PartialRollback.
+void SimHtm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
+  if (d.htm_serial) {
+    d.undo.UndoTo(sp.undo_size);
+  } else {
+    d.redo.RollbackTo(sp.redo);
+  }
+}
+
 TmWord SimHtm::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {
   // Waitset logging only happens in serial software mode (hardware transactions
   // cannot publish waitsets), where updates are in place with undo logging.

@@ -152,6 +152,12 @@ void TmSystem::Begin() {
     d.waitset.Clear();
   }
   d.skip_backoff = false;
+  if (!d.internal) {
+    // A restart unwinds past any OrElse frames without running their handlers;
+    // the fresh attempt starts with no alternatives armed. The timed-wait
+    // deadline deliberately survives restarts (see TxDesc).
+    d.orelse_alts = 0;
+  }
   BeginTx(d);
 }
 
@@ -211,6 +217,8 @@ void TmSystem::ResetDescAfterTx(TxDesc& d) {
   ClearAccessSets(d);
   d.waitset.Clear();
   d.retry_logging = false;
+  d.orelse_alts = 0;
+  d.has_deadline = false;
   d.htm_software_next = false;
   d.htm_attempts = 0;
   d.htm_abort_code = 0;
@@ -329,6 +337,118 @@ void TmSystem::Retry() {
   Deschedule(&FindChangesPred, args);
 }
 
+bool TmSystem::DeadlineExpired(TxDesc& d, std::chrono::nanoseconds timeout) {
+  auto now = std::chrono::steady_clock::now();
+  if (!d.has_deadline) {
+    // First timed-wait call of this transaction: arm the shared deadline. It
+    // survives restarts (logging restart, conflict aborts, false wakeups) so
+    // the bound covers total elapsed time.
+    d.has_deadline = true;
+    auto max_tp = std::chrono::steady_clock::time_point::max();
+    d.deadline = (timeout > max_tp - now) ? max_tp : now + timeout;
+    return false;
+  }
+  if (now >= d.deadline) {
+    d.has_deadline = false;
+    d.stats.Bump(Counter::kWaitTimeouts);
+    return true;
+  }
+  return false;
+}
+
+WaitResult TmSystem::RetryFor(std::chrono::nanoseconds timeout) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "RetryFor outside transaction");
+  if (timeout >= kNoTimeout) {
+    Retry();
+  }
+  if (DeadlineExpired(d, timeout)) {
+    return WaitResult::kTimedOut;
+  }
+  if (NeedsSoftwareForCondSync(d)) {
+    SwitchToSoftwareMode(d, /*enable_retry_logging=*/true);
+  }
+  if (!d.retry_logging) {
+    d.retry_logging = true;
+    d.skip_backoff = true;
+    AbortCurrent(d, Counter::kRetryRestarts);
+  }
+  WaitArgs args;
+  args.v[0] = reinterpret_cast<TmWord>(&d.waitset);
+  args.n = 1;
+  DescheduleImpl(&FindChangesPred, args, /*timed=*/true);
+}
+
+WaitResult TmSystem::AwaitFor(const TmWord* const* addrs, std::size_t n,
+                              std::chrono::nanoseconds timeout) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "AwaitFor outside transaction");
+  if (timeout >= kNoTimeout) {
+    Await(addrs, n);
+  }
+  if (DeadlineExpired(d, timeout)) {
+    return WaitResult::kTimedOut;
+  }
+  if (NeedsSoftwareForCondSync(d)) {
+    SwitchToSoftwareMode(d, /*enable_retry_logging=*/false);
+  }
+  PrepareAwait(d, addrs, n);
+  WaitArgs args;
+  args.v[0] = reinterpret_cast<TmWord>(&d.waitset);
+  args.n = 1;
+  DescheduleImpl(&FindChangesPred, args, /*timed=*/true);
+}
+
+WaitResult TmSystem::WaitPredFor(WaitPredFn fn, const WaitArgs& args,
+                                 std::chrono::nanoseconds timeout) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "WaitPredFor outside transaction");
+  if (timeout >= kNoTimeout) {
+    WaitPred(fn, args);
+  }
+  if (DeadlineExpired(d, timeout)) {
+    return WaitResult::kTimedOut;
+  }
+  if (NeedsSoftwareForCondSync(d)) {
+    // No pred-table fast path here: the 8-bit abort code cannot carry a
+    // deadline, so timed predicate waits always take the software-mode route.
+    SwitchToSoftwareMode(d, /*enable_retry_logging=*/false);
+  }
+  DescheduleImpl(fn, args, /*timed=*/true);
+}
+
+TxSavepoint TmSystem::TakeSavepoint() {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "savepoint outside transaction");
+  return {d.undo.Size(), d.redo.Mark(), d.mem.AllocCount(), d.mem.FreeCount()};
+}
+
+void TmSystem::RollbackToSavepoint(const TxSavepoint& sp) {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "savepoint rollback outside transaction");
+  d.stats.Bump(Counter::kPartialRollbacks);
+  PartialRollback(d, sp);
+  d.mem.RollbackTo(sp.alloc_count, sp.free_count);
+}
+
+void TmSystem::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
+  d.undo.UndoTo(sp.undo_size);
+  d.redo.RollbackTo(sp.redo);
+}
+
+void TmSystem::EnterOrElse() {
+  TxDesc& d = Desc();
+  TCS_CHECK_MSG(d.nesting > 0, "OrElse outside transaction");
+  ++d.orelse_alts;
+}
+
+void TmSystem::ExitOrElse() {
+  TxDesc& d = Desc();
+  if (d.orelse_alts > 0) {
+    --d.orelse_alts;
+  }
+}
+
 void TmSystem::Await(const TmWord* const* addrs, std::size_t n) {
   TxDesc& d = Desc();
   TCS_CHECK_MSG(d.nesting > 0, "Await outside transaction");
@@ -420,6 +540,7 @@ void TmSystem::OnRestart() {
 }
 
 TxStats TmSystem::AggregateStats() const {
+  SpinLockGuard g(registration_lock_);
   TxStats total;
   for (const auto& d : descs_) {
     if (d != nullptr) {
@@ -430,6 +551,7 @@ TxStats TmSystem::AggregateStats() const {
 }
 
 void TmSystem::ResetStats() {
+  SpinLockGuard g(registration_lock_);
   for (const auto& d : descs_) {
     if (d != nullptr) {
       d->stats.Reset();

@@ -14,6 +14,7 @@
 #ifndef TCS_TM_TM_SYSTEM_H_
 #define TCS_TM_TM_SYSTEM_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -34,6 +35,21 @@ namespace tcs {
 
 class WaiterRegistry;
 class RetryOrigRegistry;
+
+// Outcome of a bounded wait (RetryFor/AwaitFor/WaitPredFor). A satisfied wait
+// never *returns* — wakeup restarts the transaction body, which re-reads state
+// and takes its normal path — so user code only ever observes kTimedOut from
+// these calls; kSatisfied exists for adapters that translate the protocol into
+// a plain boolean result.
+enum class WaitResult : int {
+  kSatisfied = 0,
+  kTimedOut = 1,
+};
+
+// Timeout sentinel: a timed wait given kNoTimeout degrades to exactly its
+// untimed counterpart (RetryFor(kNoTimeout) == Retry()).
+inline constexpr std::chrono::nanoseconds kNoTimeout =
+    std::chrono::nanoseconds::max();
 
 class TmSystem {
  public:
@@ -73,6 +89,35 @@ class TmSystem {
   [[noreturn]] void Deschedule(WaitPredFn fn, const WaitArgs& args);
   [[noreturn]] void RetryOrig();
   [[noreturn]] void RestartNow();
+
+  // --- bounded (timed) condition synchronization ---
+  // Like Retry/Await/WaitPred, but the wait is bounded by `timeout` of total
+  // elapsed time (accumulated across the transaction's restarts). On expiry the
+  // transaction restarts once more and the call returns kTimedOut from that
+  // fresh attempt, leaving the attempt live and committable so the body can
+  // take an alternative action atomically. These never return kSatisfied: a
+  // wakeup restarts the body instead. The waiter's registry slot is always
+  // deregistered before kTimedOut is delivered (no leaked waitset entries).
+  WaitResult RetryFor(std::chrono::nanoseconds timeout);
+  WaitResult AwaitFor(const TmWord* const* addrs, std::size_t n,
+                      std::chrono::nanoseconds timeout);
+  WaitResult WaitPredFor(WaitPredFn fn, const WaitArgs& args,
+                         std::chrono::nanoseconds timeout);
+
+  // --- OrElse support (driven by Tx::OrElse in core/transaction.h) ---
+  // Captures the attempt's speculative-write extent so an OrElse branch can be
+  // partially rolled back if it retries.
+  TxSavepoint TakeSavepoint();
+  // Undoes everything the attempt did after `sp` was taken: in-place writes are
+  // restored from the undo log, buffered writes dropped from the redo log, and
+  // the branch's transactional allocations freed. Reads, acquired orecs, and
+  // retry-waitset entries survive (see TxSavepoint's comment).
+  void RollbackToSavepoint(const TxSavepoint& sp);
+  // OrElse alternative bookkeeping: Retry() raises TxRetrySignal while >0.
+  void EnterOrElse();
+  void ExitOrElse();
+  bool OrElseAltPending() { return Desc().orelse_alts > 0; }
+  void OnOrElseFallback() { Desc().stats.Bump(Counter::kOrElseFallbacks); }
 
   // TMCondVar support: commits the in-flight transaction at a wait point (this is
   // the atomicity break of transactional condition variables) and queues `sig` to
@@ -137,6 +182,11 @@ class TmSystem {
   // Undo writes, release locks, clear access sets; must leave the waitset intact.
   virtual void Rollback(TxDesc& d) = 0;
 
+  // Partial rollback to an OrElse savepoint. The default handles both log
+  // styles (undo entries above the mark restored in place, redo entries above
+  // the mark dropped); backends refine it to assert their invariants.
+  virtual void PartialRollback(TxDesc& d, const TxSavepoint& sp);
+
   // Value `addr` will hold after this transaction rolls back. Backends with
   // in-place updates consult the undo log (Algorithm 5's read of `undos`).
   virtual TmWord PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed);
@@ -174,6 +224,15 @@ class TmSystem {
   QuiesceTable quiesce_;
 
  private:
+  // Shared body of Deschedule and the timed waits: publish, double-check, and
+  // sleep — bounded by d's deadline when `timed` is set. A timeout deregisters
+  // the slot (draining any racing wakeup post) and restarts the transaction;
+  // the re-executed body's *For call then observes the expired deadline.
+  [[noreturn]] void DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed);
+  // Establishes/checks the shared deadline for a timed wait. Returns true if
+  // the deadline has expired (deadline cleared, kWaitTimeouts bumped): the
+  // caller must return WaitResult::kTimedOut.
+  bool DeadlineExpired(TxDesc& d, std::chrono::nanoseconds timeout);
   void ClearAccessSets(TxDesc& d);
   void ResetDescAfterTx(TxDesc& d);
   TxDesc& RegisterThread();
@@ -184,7 +243,9 @@ class TmSystem {
   static void ReleaseTidIfAlive(std::uint64_t uid, TxDesc* d);
 
   const std::uint64_t uid_;
-  SpinLock registration_lock_;
+  // Guards descriptor registration; also taken (mutable) by the stats readers
+  // so monitoring scans don't race slot creation.
+  mutable SpinLock registration_lock_;
   std::vector<std::unique_ptr<TxDesc>> descs_;
   std::vector<int> free_tids_;
   int next_tid_ = 0;

@@ -9,6 +9,7 @@
 #define TCS_TM_TX_DESC_H_
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -55,6 +56,20 @@ struct DeferredCvSignal {
   bool broadcast;
 };
 
+// Marks the state of the running attempt when an OrElse branch begins, so the
+// branch's speculative effects — and only those — can be rolled back if it
+// retries. Reads (and the orecs locked for writes) made by the abandoned branch
+// deliberately stay: the decision to take the alternative depended on what the
+// branch observed, so serializability still has to validate them, and the
+// retry waitset keeps the branch's entries so a deschedule after both branches
+// fail waits on the union of their read sets.
+struct TxSavepoint {
+  std::size_t undo_size;
+  RedoLog::Savepoint redo;
+  std::size_t alloc_count;
+  std::size_t free_count;
+};
+
 struct TxDesc {
   TxDesc(int tid_in, std::uint64_t backoff_seed)
       : tid(tid_in), backoff(backoff_seed) {}
@@ -85,6 +100,18 @@ struct TxDesc {
   bool retry_logging = false;  // the paper's is_retry: log ⟨addr,value⟩ on every read
   Semaphore sem;               // per-thread sleep semaphore
   bool woke_from_sleep = false;
+
+  // --- OrElse / timed-wait state ---
+  // Number of OrElse alternatives the current attempt still has available; a
+  // Retry() while this is non-zero throws TxRetrySignal to the innermost OrElse
+  // frame instead of descheduling.
+  std::uint32_t orelse_alts = 0;
+  // Timed-wait deadline. Set by the first RetryFor/AwaitFor/WaitPredFor call of
+  // a transaction and persists across its restarts (logging restart, false
+  // wakeups), so the timeout bounds total elapsed wait, not one sleep. Cleared
+  // when the expiry is delivered as WaitResult::kTimedOut or at commit.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
   std::vector<DeferredCvSignal> deferred_signals;
   // Writer-side snapshot of acquired orecs, taken just before lock release when
   // Retry-Orig waiters exist (Algorithm 1's TxCommit intersection needs it).

@@ -12,6 +12,14 @@ namespace tcs {
 
 struct TxRestart {};
 
+// Control-flow signal for the OrElse combinator: a Retry() raised inside an
+// OrElse branch that still has an alternative throws this instead of
+// descheduling. The enclosing OrElse frame catches it, rolls the branch's
+// speculative writes back to its savepoint, and runs the alternative. It never
+// escapes Atomically(): a Retry with no remaining alternative goes through the
+// normal TmSystem::Retry() deschedule path instead.
+struct TxRetrySignal {};
+
 }  // namespace tcs
 
 #endif  // TCS_TM_TX_EXCEPTIONS_H_

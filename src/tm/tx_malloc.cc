@@ -35,6 +35,16 @@ void TxMallocLog::OnAbort() {
   frees_.clear();
 }
 
+void TxMallocLog::RollbackTo(std::size_t alloc_mark, std::size_t free_mark) {
+  while (mallocs_.size() > alloc_mark) {
+    std::free(mallocs_.back());
+    mallocs_.pop_back();
+  }
+  if (frees_.size() > free_mark) {
+    frees_.resize(free_mark);
+  }
+}
+
 void TxMallocLog::DeferForDeschedule() {
   for (void* p : mallocs_) {
     deferred_.push_back(p);

@@ -30,6 +30,10 @@ class TxMallocLog {
   // Deschedule: keep this attempt's allocations alive until after wakeup.
   void DeferForDeschedule();
 
+  // OrElse partial rollback: releases allocations made after the savepoint
+  // (the discarded branch's) and forgets its deferred frees.
+  void RollbackTo(std::size_t alloc_mark, std::size_t free_mark);
+
   // After wakeup: reclaim the allocations kept alive across the sleep.
   void ReclaimDeferred();
 

@@ -8,6 +8,14 @@ void UndoLog::UndoAll() {
   }
 }
 
+void UndoLog::UndoTo(std::size_t mark) {
+  while (entries_.size() > mark) {
+    const Entry& e = entries_.back();
+    StoreWordRelease(e.addr, e.val);
+    entries_.pop_back();
+  }
+}
+
 bool UndoLog::FindOriginal(const TmWord* addr, TmWord* out) const {
   for (const Entry& e : entries_) {
     if (e.addr == addr) {

@@ -25,6 +25,11 @@ class UndoLog {
   // Restores logged values in reverse order (Algorithm 11, line 1).
   void UndoAll();
 
+  // Partial rollback for OrElse savepoints: restores (in reverse) and discards
+  // every entry appended after the log held `mark` entries. Entries at or below
+  // the mark — and the write locks covering them — are untouched.
+  void UndoTo(std::size_t mark);
+
   // Pre-transaction value of `addr`, i.e. the value logged by the *first* write to
   // it. Used by Retry's waitset population (Algorithm 5): a read-after-write must
   // log the value the location will hold after rollback, never the speculative

@@ -7,11 +7,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "src/condsync/tm_condvar.h"
+#include "src/condsync/waiter_registry.h"
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
+#include "src/core/tvar.h"
 
 namespace tcs {
 namespace {
@@ -444,6 +447,394 @@ INSTANTIATE_TEST_SUITE_P(StmBackends, RetryOrigTest,
                          [](const ::testing::TestParamInfo<Backend>& info) {
                            return info.param == Backend::kEagerStm ? "EagerStm"
                                                                    : "LazyStm";
+                         });
+
+// --- OrElse: composable choice with partial rollback ---
+
+class OrElseTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  OrElseTest() : rt_(ConfigFor(GetParam())) {}
+  Runtime rt_;
+};
+
+TEST_P(OrElseTest, FirstBranchWinsWhenItCompletes) {
+  TVar<std::uint64_t> x(7);
+  std::uint64_t got = Atomically(rt_.sys(), [&](Tx& tx) {
+    return tx.OrElse([&](Tx& t) { return t.Load(x); },
+                     [&](Tx&) -> std::uint64_t { return 999; });
+  });
+  EXPECT_EQ(got, 7u);
+  EXPECT_EQ(rt_.AggregateStats().Get(Counter::kOrElseFallbacks), 0u);
+}
+
+TEST_P(OrElseTest, FallsBackWhenFirstBranchRetries) {
+  TVar<std::uint64_t> empty_flag(0);
+  std::uint64_t got = Atomically(rt_.sys(), [&](Tx& tx) {
+    return tx.OrElse(
+        [&](Tx& t) -> std::uint64_t {
+          if (t.Load(empty_flag) == 0) {
+            t.Retry();
+          }
+          return 1;
+        },
+        [&](Tx&) -> std::uint64_t { return 2; });
+  });
+  EXPECT_EQ(got, 2u);
+  TxStats s = rt_.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kOrElseFallbacks), 1u);
+  EXPECT_GE(s.Get(Counter::kPartialRollbacks), 1u);
+  // The fallback happened inside one transaction: no deschedule, no sleep.
+  EXPECT_EQ(s.Get(Counter::kSleeps), 0u);
+}
+
+TEST_P(OrElseTest, PartialRollbackUndoesFirstBranchWrites) {
+  TVar<std::uint64_t> cell(5);
+  TVar<std::uint64_t> gate(0);
+  std::uint64_t seen_in_branch2 = 99;
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    tx.OrElse(
+        [&](Tx& t) {
+          t.Store(cell, std::uint64_t{77});  // speculative, must be undone
+          if (t.Load(gate) == 0) {
+            t.Retry();
+          }
+        },
+        [&](Tx& t) { seen_in_branch2 = t.Load(cell); });
+  });
+  EXPECT_EQ(seen_in_branch2, 5u) << "branch 2 must see pre-branch-1 state";
+  EXPECT_EQ(cell.UnsafeRead(), 5u) << "branch 1's write must not commit";
+}
+
+TEST_P(OrElseTest, SecondBranchWritesCommit) {
+  TVar<std::uint64_t> a(0);
+  TVar<std::uint64_t> b(0);
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    tx.OrElse(
+        [&](Tx& t) {
+          t.Store(a, std::uint64_t{1});
+          t.Retry();
+        },
+        [&](Tx& t) { t.Store(b, std::uint64_t{2}); });
+  });
+  EXPECT_EQ(a.UnsafeRead(), 0u);
+  EXPECT_EQ(b.UnsafeRead(), 2u);
+}
+
+TEST_P(OrElseTest, NestedOrElseCascadesInnermostFirst) {
+  TVar<std::uint64_t> never(0);
+  std::uint64_t got = Atomically(rt_.sys(), [&](Tx& tx) {
+    return tx.OrElse(
+        [&](Tx& t) -> std::uint64_t {
+          return t.OrElse(
+              [&](Tx& t2) -> std::uint64_t {
+                if (t2.Load(never) == 0) {
+                  t2.Retry();  // inner branch 1 fails
+                }
+                return 1;
+              },
+              [&](Tx& t2) -> std::uint64_t {
+                if (t2.Load(never) == 0) {
+                  t2.Retry();  // inner branch 2 fails -> outer alternative
+                }
+                return 2;
+              });
+        },
+        [&](Tx&) -> std::uint64_t { return 3; });
+  });
+  EXPECT_EQ(got, 3u);
+  EXPECT_GE(rt_.AggregateStats().Get(Counter::kOrElseFallbacks), 2u);
+}
+
+TEST_P(OrElseTest, BothBranchesRetryWakesOnEitherReadSet) {
+  // The acceptance scenario: both branches retry, so the thread descheds on
+  // the *union* of their read sets. A write to either cell must wake it.
+  for (int round = 0; round < 2; ++round) {
+    Runtime rt(ConfigFor(GetParam()));
+    TVar<std::uint64_t> cell_a(0);
+    TVar<std::uint64_t> cell_b(0);
+    std::uint64_t got = 0;
+    std::thread waiter([&] {
+      got = Atomically(rt.sys(), [&](Tx& tx) {
+        return tx.OrElse(
+            [&](Tx& t) -> std::uint64_t {
+              std::uint64_t v = t.Load(cell_a);
+              if (v == 0) {
+                t.Retry();
+              }
+              return 100 + v;
+            },
+            [&](Tx& t) -> std::uint64_t {
+              std::uint64_t v = t.Load(cell_b);
+              if (v == 0) {
+                t.Retry();
+              }
+              return 200 + v;
+            });
+      });
+    });
+    AwaitCounter(rt, Counter::kSleeps, 1);
+    if (round == 0) {
+      // Wake via the FIRST branch's read set.
+      Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell_a, std::uint64_t{1}); });
+      waiter.join();
+      EXPECT_EQ(got, 101u);
+    } else {
+      // Wake via the SECOND branch's read set.
+      Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell_b, std::uint64_t{5}); });
+      waiter.join();
+      EXPECT_EQ(got, 205u);
+    }
+    EXPECT_GE(rt.AggregateStats().Get(Counter::kWakeups), 1u);
+  }
+}
+
+TEST_P(OrElseTest, AwaitAndWaitPredAlsoTransferToAlternative) {
+  // Every wait style inside an OrElse branch — not just Retry — must fall
+  // back to the alternative instead of descheduling the whole transaction.
+  TVar<std::uint64_t> cell(0);
+  std::uint64_t got = Atomically(rt_.sys(), [&](Tx& tx) {
+    return tx.OrElse(
+        [&](Tx& t) -> std::uint64_t {
+          if (t.Load(cell) == 0) {
+            t.Await(cell);  // would sleep forever without the fallback
+          }
+          return 1;
+        },
+        [&](Tx&) -> std::uint64_t { return 2; });
+  });
+  EXPECT_EQ(got, 2u);
+  got = Atomically(rt_.sys(), [&](Tx& tx) {
+    return tx.OrElse(
+        [&](Tx& t) -> std::uint64_t {
+          if (t.Load(cell) == 0) {
+            WaitArgs args;
+            args.v[0] = reinterpret_cast<TmWord>(&cell);
+            args.v[1] = 1;
+            args.n = 2;
+            t.WaitPred(&CountAtLeastPred, args);
+          }
+          return 1;
+        },
+        [&](Tx&) -> std::uint64_t { return 3; });
+  });
+  EXPECT_EQ(got, 3u);
+  EXPECT_EQ(rt_.AggregateStats().Get(Counter::kSleeps), 0u);
+}
+
+TEST_P(OrElseTest, ComposesAcrossNestedAtomically) {
+  // Subsumption nesting: a Retry raised inside a nested Atomically body
+  // propagates to the enclosing OrElse alternative (§1.2 composability).
+  TVar<std::uint64_t> empty_flag(0);
+  auto blocking_take = [&](Tx& tx) -> std::uint64_t {
+    return Atomically(tx.sys(), [&](Tx& t) -> std::uint64_t {
+      if (t.Load(empty_flag) == 0) {
+        t.Retry();
+      }
+      return 1;
+    });
+  };
+  std::uint64_t got = Atomically(rt_.sys(), [&](Tx& tx) {
+    return tx.OrElse([&](Tx& t) { return blocking_take(t); },
+                     [&](Tx&) -> std::uint64_t { return 42; });
+  });
+  EXPECT_EQ(got, 42u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, OrElseTest,
+                         ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                           Backend::kSimHtm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           switch (info.param) {
+                             case Backend::kEagerStm:
+                               return "EagerStm";
+                             case Backend::kLazyStm:
+                               return "LazyStm";
+                             case Backend::kSimHtm:
+                               return "SimHtm";
+                           }
+                           return "Unknown";
+                         });
+
+// --- Timed waits: RetryFor / AwaitFor / WaitPredFor ---
+
+class TimedWaitTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  TimedWaitTest() : rt_(ConfigFor(GetParam())) {}
+  Runtime rt_;
+};
+
+TEST_P(TimedWaitTest, RetryForTimesOutAndLeavesNoRegistryEntry) {
+  TVar<std::uint64_t> flag(0);
+  bool got = Atomically(rt_.sys(), [&](Tx& tx) -> bool {
+    if (tx.Load(flag) == 0) {
+      if (tx.RetryFor(std::chrono::milliseconds(30)) == WaitResult::kTimedOut) {
+        return false;
+      }
+    }
+    return true;
+  });
+  EXPECT_FALSE(got);
+  TxStats s = rt_.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kWaitTimeouts), 1u);
+  EXPECT_GE(s.Get(Counter::kSleeps), 1u);
+  // The acceptance criterion: the expired waiter must not leak its slot.
+  EXPECT_EQ(rt_.sys().waiters().RegisteredCount(), 0);
+  // And later writer commits must not pay wake checks for a ghost waiter.
+  std::uint64_t checks_before = s.Get(Counter::kWakeChecks);
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{1}); });
+  EXPECT_EQ(rt_.AggregateStats().Get(Counter::kWakeChecks), checks_before);
+}
+
+TEST_P(TimedWaitTest, RetryForWakesBeforeDeadline) {
+  TVar<std::uint64_t> flag(0);
+  bool got = false;
+  std::thread waiter([&] {
+    got = Atomically(rt_.sys(), [&](Tx& tx) -> bool {
+      if (tx.Load(flag) == 0) {
+        if (tx.RetryFor(std::chrono::seconds(30)) == WaitResult::kTimedOut) {
+          return false;
+        }
+      }
+      return true;
+    });
+  });
+  AwaitCounter(rt_, Counter::kSleeps, 1);
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{1}); });
+  waiter.join();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(rt_.AggregateStats().Get(Counter::kWaitTimeouts), 0u);
+}
+
+TEST_P(TimedWaitTest, RetryForInfiniteTimeoutEqualsRetry) {
+  // kNoTimeout must behave exactly like plain Retry: sleep indefinitely, wake
+  // on a relevant write, never produce a timeout.
+  TVar<std::uint64_t> flag(0);
+  std::thread waiter([&] {
+    Atomically(rt_.sys(), [&](Tx& tx) {
+      if (tx.Load(flag) == 0) {
+        WaitResult r = tx.RetryFor(kNoTimeout);
+        // Unreachable: an untimed retry never returns.
+        ADD_FAILURE() << "RetryFor(kNoTimeout) returned "
+                      << static_cast<int>(r);
+      }
+    });
+  });
+  AwaitCounter(rt_, Counter::kSleeps, 1);
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{1}); });
+  waiter.join();
+  TxStats s = rt_.AggregateStats();
+  EXPECT_EQ(s.Get(Counter::kWaitTimeouts), 0u);
+  EXPECT_GE(s.Get(Counter::kWakeups), 1u);
+  EXPECT_GE(s.Get(Counter::kDeschedules), 1u);
+}
+
+TEST_P(TimedWaitTest, AwaitForTimesOut) {
+  TVar<std::uint64_t> cell(0);
+  bool timed_out = Atomically(rt_.sys(), [&](Tx& tx) -> bool {
+    if (tx.Load(cell) == 0) {
+      return tx.AwaitFor(std::chrono::milliseconds(30), cell) ==
+             WaitResult::kTimedOut;
+    }
+    return false;
+  });
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(rt_.AggregateStats().Get(Counter::kWaitTimeouts), 1u);
+  EXPECT_EQ(rt_.sys().waiters().RegisteredCount(), 0);
+}
+
+bool FlagSetPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* cell = reinterpret_cast<const TVar<std::uint64_t>*>(args.v[0]);
+  return sys.Read(cell->word()) != 0;
+}
+
+TEST_P(TimedWaitTest, WaitPredForTimesOut) {
+  TVar<std::uint64_t> cell(0);
+  bool timed_out = Atomically(rt_.sys(), [&](Tx& tx) -> bool {
+    if (tx.Load(cell) == 0) {
+      WaitArgs args;
+      args.v[0] = reinterpret_cast<TmWord>(&cell);
+      args.n = 1;
+      return tx.WaitPredFor(&FlagSetPred, args, std::chrono::milliseconds(30)) ==
+             WaitResult::kTimedOut;
+    }
+    return false;
+  });
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(rt_.AggregateStats().Get(Counter::kWaitTimeouts), 1u);
+  EXPECT_EQ(rt_.sys().waiters().RegisteredCount(), 0);
+}
+
+TEST_P(TimedWaitTest, TimeoutRaceWithWakeupDrainsSemaphore) {
+  // Hammer the timeout/wakeup race: a waiter with a tiny deadline against a
+  // writer committing at the same moment. Whatever interleaving happens, the
+  // waiter must terminate (bounded!), leave no registry entry, and a stale
+  // semaphore post must never satisfy the next round's sleep spuriously.
+  for (int round = 1; round <= 50; ++round) {
+    TVar<std::uint64_t> flag(0);
+    std::thread waiter([&] {
+      (void)Atomically(rt_.sys(), [&](Tx& tx) -> bool {
+        if (tx.Load(flag) == 0) {
+          if (tx.RetryFor(std::chrono::microseconds(200)) ==
+              WaitResult::kTimedOut) {
+            return false;
+          }
+        }
+        return true;
+      });
+    });
+    Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{1}); });
+    waiter.join();
+    ASSERT_EQ(rt_.sys().waiters().RegisteredCount(), 0) << "round " << round;
+  }
+}
+
+TEST_P(TimedWaitTest, DeadlineSpansRestartsNotSleeps) {
+  // Two unsatisfying wakeups before the deadline: the bound covers total
+  // elapsed time, so the waiter re-sleeps with the remaining budget and
+  // eventually reports kTimedOut rather than resetting its clock per sleep.
+  TVar<std::uint64_t> target(0);
+  TVar<std::uint64_t> noise(0);
+  std::atomic<bool> done{false};
+  bool got = true;
+  std::thread waiter([&] {
+    got = Atomically(rt_.sys(), [&](Tx& tx) -> bool {
+      tx.Load(noise);
+      if (tx.Load(target) == 0) {
+        if (tx.RetryFor(std::chrono::milliseconds(150)) ==
+            WaitResult::kTimedOut) {
+          return false;
+        }
+      }
+      return true;
+    });
+    done.store(true);
+  });
+  // Unsatisfying wakeups: noise changes, target stays 0.
+  auto start = std::chrono::steady_clock::now();
+  std::uint64_t n = 0;
+  while (!done.load() &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(20)) {
+    Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(noise, ++n); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  waiter.join();
+  EXPECT_FALSE(got) << "waiter should time out despite repeated false wakeups";
+  EXPECT_GE(rt_.AggregateStats().Get(Counter::kWaitTimeouts), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TimedWaitTest,
+                         ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                           Backend::kSimHtm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           switch (info.param) {
+                             case Backend::kEagerStm:
+                               return "EagerStm";
+                             case Backend::kLazyStm:
+                               return "LazyStm";
+                             case Backend::kSimHtm:
+                               return "SimHtm";
+                           }
+                           return "Unknown";
                          });
 
 // Simulated-HTM specifics.
