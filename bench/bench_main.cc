@@ -1,0 +1,187 @@
+// Unified benchmark runner: sweeps the bounded-buffer grid, the mini-PARSEC
+// apps, and the wake-index ablation over a thread × backend × mechanism
+// matrix, and emits one machine-readable BENCH_wakeup.json so performance is
+// comparable PR-to-PR (the CI bench-smoke job uploads it as an artifact).
+//
+// Flags:
+//   --quick              CI-sized run: eager backend only, small op counts
+//   --out=PATH           output file (default BENCH_wakeup.json)
+//   --scenario=NAME      all | wake_index | bounded | parsec (default all)
+//   --ops=N --trials=N --scale=N --max_threads=N --commits=N
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/bounded_grid.h"
+#include "bench/parsec_grid.h"
+#include "bench/report.h"
+#include "bench/wake_scenarios.h"
+
+namespace tcs {
+namespace {
+
+std::string FlagString(int argc, char** argv, const std::string& key,
+                       const std::string& def) {
+  std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return def;
+}
+
+void EmitWakeIndex(JsonWriter& w, const std::vector<Backend>& backends,
+                   const std::vector<int>& waiter_counts,
+                   std::uint64_t commits) {
+  w.Key("wake_index").BeginArray();
+  struct Summary {
+    Backend backend;
+    int waiters;
+    double speedup;
+  };
+  std::vector<Summary> summaries;
+  for (Backend b : backends) {
+    for (int n : waiter_counts) {
+      WakeTrialResult scan =
+          RunWakeIndexTrial(b, /*targeted=*/false, n, commits);
+      WakeTrialResult idx = RunWakeIndexTrial(b, /*targeted=*/true, n, commits);
+      for (const WakeTrialResult* r : {&scan, &idx}) {
+        w.BeginObject();
+        w.Key("backend").String(BackendName(r->backend));
+        w.Key("mode").String(r->targeted ? "wake_index" : "global_scan");
+        w.Key("waiters").Int(r->waiters);
+        w.Key("producer_commits").U64(r->producer_commits);
+        w.Key("seconds").Double(r->seconds);
+        w.Key("commits_per_sec").Double(r->commits_per_sec);
+        w.Key("wake_checks").U64(r->wake_checks);
+        w.Key("wake_checks_per_commit").Double(r->wake_checks_per_commit);
+        w.Key("wakeups").U64(r->wakeups);
+        w.EndObject();
+      }
+      double speedup = scan.commits_per_sec > 0
+                           ? idx.commits_per_sec / scan.commits_per_sec
+                           : 0.0;
+      summaries.push_back({b, n, speedup});
+      std::printf("wake_index  backend=%-10s waiters=%-4d "
+                  "global=%.0f/s targeted=%.0f/s speedup=%.2fx\n",
+                  BackendName(b), n, scan.commits_per_sec, idx.commits_per_sec,
+                  speedup);
+    }
+  }
+  w.EndArray();
+  w.Key("wake_index_summary").BeginArray();
+  for (const Summary& s : summaries) {
+    w.BeginObject();
+    w.Key("backend").String(BackendName(s.backend));
+    w.Key("waiters").Int(s.waiters);
+    w.Key("speedup_wake_index_vs_global_scan").Double(s.speedup);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+void EmitBounded(JsonWriter& w, const std::vector<Backend>& backends,
+                 const BoundedGridOptions& base) {
+  w.Key("bounded_buffer").BeginArray();
+  for (Backend b : backends) {
+    BoundedGridOptions opts = base;
+    opts.backend = b;
+    opts.include_retry_orig = (b != Backend::kSimHtm);
+    for (const BoundedGridRow& r : CollectBoundedGrid(opts)) {
+      w.BeginObject();
+      w.Key("backend").String(BackendName(b));
+      w.Key("mechanism").String(MechanismName(r.mech));
+      w.Key("producers").Int(r.producers);
+      w.Key("consumers").Int(r.consumers);
+      w.Key("buffer_size").U64(r.buffer_size);
+      w.Key("mean_s").Double(r.mean_s);
+      w.Key("stddev_s").Double(r.stddev_s);
+      w.EndObject();
+    }
+    std::printf("bounded_buffer backend=%s done\n", BackendName(b));
+  }
+  w.EndArray();
+}
+
+void EmitParsec(JsonWriter& w, const std::vector<Backend>& backends,
+                const ParsecGridOptions& base) {
+  w.Key("parsec").BeginArray();
+  for (Backend b : backends) {
+    ParsecGridOptions opts = base;
+    opts.backend = b;
+    opts.include_retry_orig = (b != Backend::kSimHtm);
+    for (const ParsecGridRow& r : CollectParsecGrid(opts)) {
+      w.BeginObject();
+      w.Key("backend").String(BackendName(b));
+      w.Key("app").String(r.app);
+      w.Key("mechanism").String(MechanismName(r.mech));
+      w.Key("threads").Int(r.threads);
+      w.Key("mean_s").Double(r.mean_s);
+      w.Key("stddev_s").Double(r.stddev_s);
+      w.EndObject();
+    }
+    std::printf("parsec backend=%s done\n", BackendName(b));
+  }
+  w.EndArray();
+}
+
+int Run(int argc, char** argv) {
+  BenchFlags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const std::string out = FlagString(argc, argv, "out", "BENCH_wakeup.json");
+  const std::string scenario = FlagString(argc, argv, "scenario", "all");
+
+  std::vector<Backend> backends =
+      quick ? std::vector<Backend>{Backend::kEagerStm}
+            : std::vector<Backend>{Backend::kEagerStm, Backend::kLazyStm,
+                                   Backend::kSimHtm};
+
+  std::vector<int> waiter_counts = quick ? std::vector<int>{16, 64}
+                                         : std::vector<int>{4, 16, 64};
+  std::uint64_t commits = flags.GetU64("commits", quick ? 1500 : 4000);
+
+  BoundedGridOptions bounded;
+  bounded.ops = flags.GetU64("ops", quick ? 1 << 11 : 1 << 14);
+  bounded.trials = flags.GetU64("trials", quick ? 1 : 3);
+  bounded.max_side = static_cast<int>(flags.GetU64("max_side", quick ? 2 : 4));
+
+  ParsecGridOptions parsec;
+  parsec.scale = flags.GetU64("scale", quick ? 1 : 2);
+  parsec.trials = flags.GetU64("trials", quick ? 1 : 3);
+  parsec.max_threads =
+      static_cast<int>(flags.GetU64("max_threads", quick ? 4 : 8));
+  if (quick) {
+    parsec.apps = {"fluidanimate", "streamcluster"};
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("tcsync");
+  w.Key("schema_version").Int(1);
+  w.Key("quick").Bool(quick);
+  w.Key("scenarios").BeginObject();
+  if (scenario == "all" || scenario == "wake_index") {
+    EmitWakeIndex(w, backends, waiter_counts, commits);
+  }
+  if (scenario == "all" || scenario == "bounded") {
+    EmitBounded(w, backends, bounded);
+  }
+  if (scenario == "all" || scenario == "parsec") {
+    EmitParsec(w, backends, parsec);
+  }
+  w.EndObject();
+  w.EndObject();
+  if (!w.WriteFile(out)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main(int argc, char** argv) { return tcs::Run(argc, argv); }

@@ -70,15 +70,8 @@ BoundedGridOptions ApplyFlags(BoundedGridOptions opts, const BenchFlags& flags) 
   return opts;
 }
 
-void RunBoundedGrid(const char* figure_name, const BoundedGridOptions& opts) {
-  PrintHeader(figure_name,
-              "bounded buffer: time in seconds per trial; rows = panel(p-c) x "
-              "buffer size x mechanism");
-  std::printf("# backend=%s ops=%llu trials=%llu\n", BackendName(opts.backend),
-              static_cast<unsigned long long>(opts.ops),
-              static_cast<unsigned long long>(opts.trials));
-  PrintColumns({"panel", "bufsize", "mechanism", "mean_s", "stddev_s"});
-
+std::vector<BoundedGridRow> CollectBoundedGrid(const BoundedGridOptions& opts) {
+  std::vector<BoundedGridRow> rows;
   for (int p : {1, 2, 4, 8}) {
     for (int c : {1, 2, 4, 8}) {
       if (p > opts.max_side || c > opts.max_side) {
@@ -95,16 +88,32 @@ void RunBoundedGrid(const char* figure_name, const BoundedGridOptions& opts) {
             samples.push_back(RunTrial(opts.backend, m, p, c, buf, opts.ops));
           }
           TrialStats s = Summarize(samples);
-          char panel[16];
-          std::snprintf(panel, sizeof(panel), "p%d-c%d", p, c);
-          char mean[32];
-          char dev[32];
-          std::snprintf(mean, sizeof(mean), "%.4f", s.mean);
-          std::snprintf(dev, sizeof(dev), "%.4f", s.stddev);
-          PrintColumns({panel, std::to_string(buf), MechanismName(m), mean, dev});
+          rows.push_back({p, c, buf, m, s.mean, s.stddev});
         }
       }
     }
+  }
+  return rows;
+}
+
+void RunBoundedGrid(const char* figure_name, const BoundedGridOptions& opts) {
+  PrintHeader(figure_name,
+              "bounded buffer: time in seconds per trial; rows = panel(p-c) x "
+              "buffer size x mechanism");
+  std::printf("# backend=%s ops=%llu trials=%llu\n", BackendName(opts.backend),
+              static_cast<unsigned long long>(opts.ops),
+              static_cast<unsigned long long>(opts.trials));
+  PrintColumns({"panel", "bufsize", "mechanism", "mean_s", "stddev_s"});
+
+  for (const BoundedGridRow& r : CollectBoundedGrid(opts)) {
+    char panel[16];
+    std::snprintf(panel, sizeof(panel), "p%d-c%d", r.producers, r.consumers);
+    char mean[32];
+    char dev[32];
+    std::snprintf(mean, sizeof(mean), "%.4f", r.mean_s);
+    std::snprintf(dev, sizeof(dev), "%.4f", r.stddev_s);
+    PrintColumns({panel, std::to_string(r.buffer_size), MechanismName(r.mech),
+                  mean, dev});
   }
 }
 

@@ -5,8 +5,10 @@
 #define TCS_BENCH_BOUNDED_GRID_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/mechanism.h"
 #include "src/tm/tm_config.h"
 
 namespace tcs {
@@ -24,6 +26,20 @@ struct BoundedGridOptions {
   // counts above this (override with --max_threads).
   int max_side = 8;
 };
+
+// One measured grid point; the JSON harness (bench_main) serializes these and
+// the figure binaries print them.
+struct BoundedGridRow {
+  int producers;
+  int consumers;
+  std::uint64_t buffer_size;
+  Mechanism mech;
+  double mean_s;
+  double stddev_s;
+};
+
+// Runs the full grid and returns one row per (panel, buffer size, mechanism).
+std::vector<BoundedGridRow> CollectBoundedGrid(const BoundedGridOptions& opts);
 
 // Runs the full grid and prints one row per (panel, buffer size, mechanism).
 void RunBoundedGrid(const char* figure_name, const BoundedGridOptions& opts);

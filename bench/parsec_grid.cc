@@ -19,16 +19,21 @@ ParsecGridOptions ApplyParsecFlags(ParsecGridOptions opts, const BenchFlags& fla
   return opts;
 }
 
-void RunParsecGrid(const char* figure_name, const ParsecGridOptions& opts) {
-  PrintHeader(figure_name,
-              "mini-PARSEC: time in seconds; rows = app x threads x mechanism; "
-              "checksums verified against the Pthreads reference");
-  std::printf("# backend=%s scale=%llu trials=%llu\n", BackendName(opts.backend),
-              static_cast<unsigned long long>(opts.scale),
-              static_cast<unsigned long long>(opts.trials));
-  PrintColumns({"app", "threads", "mechanism", "mean_s", "stddev_s"});
-
+std::vector<ParsecGridRow> CollectParsecGrid(const ParsecGridOptions& opts) {
+  std::vector<ParsecGridRow> rows;
   for (const AppInfo& app : MiniParsecApps()) {
+    if (!opts.apps.empty()) {
+      bool wanted = false;
+      for (const std::string& name : opts.apps) {
+        if (name == app.name) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) {
+        continue;
+      }
+    }
     for (int threads : {1, 2, 4, 8}) {
       if (threads > opts.max_threads) {
         continue;
@@ -60,14 +65,29 @@ void RunParsecGrid(const char* figure_name, const ParsecGridOptions& opts) {
                         "mechanism changed an app checksum — synchronization bug");
         }
         TrialStats s = Summarize(samples);
-        char mean[32];
-        char dev[32];
-        std::snprintf(mean, sizeof(mean), "%.4f", s.mean);
-        std::snprintf(dev, sizeof(dev), "%.4f", s.stddev);
-        PrintColumns({app.name, std::to_string(threads), MechanismName(m), mean,
-                      dev});
+        rows.push_back({app.name, threads, m, s.mean, s.stddev});
       }
     }
+  }
+  return rows;
+}
+
+void RunParsecGrid(const char* figure_name, const ParsecGridOptions& opts) {
+  PrintHeader(figure_name,
+              "mini-PARSEC: time in seconds; rows = app x threads x mechanism; "
+              "checksums verified against the Pthreads reference");
+  std::printf("# backend=%s scale=%llu trials=%llu\n", BackendName(opts.backend),
+              static_cast<unsigned long long>(opts.scale),
+              static_cast<unsigned long long>(opts.trials));
+  PrintColumns({"app", "threads", "mechanism", "mean_s", "stddev_s"});
+
+  for (const ParsecGridRow& r : CollectParsecGrid(opts)) {
+    char mean[32];
+    char dev[32];
+    std::snprintf(mean, sizeof(mean), "%.4f", r.mean_s);
+    std::snprintf(dev, sizeof(dev), "%.4f", r.stddev_s);
+    PrintColumns({r.app, std::to_string(r.threads), MechanismName(r.mech), mean,
+                  dev});
   }
 }
 

@@ -3,7 +3,11 @@
 #ifndef TCS_BENCH_PARSEC_GRID_H_
 #define TCS_BENCH_PARSEC_GRID_H_
 
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
+#include "src/core/mechanism.h"
 #include "src/tm/tm_config.h"
 
 namespace tcs {
@@ -14,7 +18,21 @@ struct ParsecGridOptions {
   std::uint64_t scale = 4;
   std::uint64_t trials = 3;
   int max_threads = 8;
+  // Restrict to these apps when non-empty (bench_main --quick uses a subset).
+  std::vector<std::string> apps;
 };
+
+struct ParsecGridRow {
+  std::string app;
+  int threads;
+  Mechanism mech;
+  double mean_s;
+  double stddev_s;
+};
+
+// Runs the sweep and returns one row per (app, threads, mechanism); aborts if
+// any mechanism disagrees with the run's reference checksum.
+std::vector<ParsecGridRow> CollectParsecGrid(const ParsecGridOptions& opts);
 
 void RunParsecGrid(const char* figure_name, const ParsecGridOptions& opts);
 

@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer for the benchmark harness — no dependencies,
+// emits the BENCH_*.json trajectory files that make perf claims comparable
+// PR-to-PR.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("backend").String("eager-stm");
+//   w.Key("rows").BeginArray();
+//   w.BeginObject(); w.Key("threads").U64(4); w.EndObject();
+//   w.EndArray();
+//   w.EndObject();
+//   w.WriteFile("BENCH_wakeup.json");
+#ifndef TCS_BENCH_REPORT_H_
+#define TCS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(const std::string& k);
+
+  JsonWriter& String(const std::string& v);
+  JsonWriter& U64(std::uint64_t v);
+  JsonWriter& Int(std::int64_t v);
+  JsonWriter& Double(double v);  // non-finite values emit null
+  JsonWriter& Bool(bool v);
+
+  const std::string& str() const { return out_; }
+
+  // Writes the document to `path`; returns false (and prints to stderr) on
+  // failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void Separate();
+
+  std::string out_;
+  // One entry per open container: true once a value has been emitted there.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_BENCH_REPORT_H_

@@ -1,0 +1,35 @@
+// The many-waiters wakeup scenario behind the wake-index ablation: N waiters
+// parked on N disjoint buffers, one hot producer repeatedly touching a single
+// buffer. With the sharded wake index a producer commit wake-checks only the
+// shard its write lands in (~1 relevant waiter); with the global scan it
+// re-runs every registered waiter's predicate — O(all) vs O(relevant).
+#ifndef TCS_BENCH_WAKE_SCENARIOS_H_
+#define TCS_BENCH_WAKE_SCENARIOS_H_
+
+#include <cstdint>
+
+#include "src/tm/tm_config.h"
+
+namespace tcs {
+
+struct WakeTrialResult {
+  Backend backend;
+  bool targeted = false;
+  int waiters = 0;
+  std::uint64_t producer_commits = 0;
+  double seconds = 0.0;            // hot-producer phase wall time
+  double commits_per_sec = 0.0;    // wake-path throughput
+  std::uint64_t wake_checks = 0;   // predicate evaluations writers paid
+  std::uint64_t wakeups = 0;
+  double wake_checks_per_commit = 0.0;
+};
+
+// Runs one trial: parks `waiters` threads on disjoint cache-line-padded cells,
+// then times `producer_commits` writer commits against cell 0 (waiter 0 cycles
+// wake/sleep; all others stay parked), and finally releases everyone.
+WakeTrialResult RunWakeIndexTrial(Backend backend, bool targeted, int waiters,
+                                  std::uint64_t producer_commits);
+
+}  // namespace tcs
+
+#endif  // TCS_BENCH_WAKE_SCENARIOS_H_

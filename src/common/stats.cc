@@ -50,6 +50,14 @@ std::string_view CounterName(Counter c) {
       return "orelse_fallbacks";
     case Counter::kPartialRollbacks:
       return "partial_rollbacks";
+    case Counter::kIndexedDeschedules:
+      return "indexed_deschedules";
+    case Counter::kGlobalDeschedules:
+      return "global_deschedules";
+    case Counter::kWaitsetPruned:
+      return "waitset_pruned";
+    case Counter::kOrElseOrecReleases:
+      return "orelse_orec_releases";
     case Counter::kNumCounters:
       break;
   }

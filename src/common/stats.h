@@ -36,6 +36,10 @@ enum class Counter : int {
   kWaitTimeouts,       // timed waits that expired and returned kTimedOut
   kOrElseFallbacks,    // OrElse branches abandoned for their alternative
   kPartialRollbacks,   // savepoint rollbacks performed by OrElse
+  kIndexedDeschedules,  // deschedules registered in the sharded wakeup index
+  kGlobalDeschedules,   // deschedules on the index's global fallback list
+  kWaitsetPruned,       // duplicate waitset entries dropped before publication
+  kOrElseOrecReleases,  // orecs released by an abandoned OrElse branch
   kNumCounters,
 };
 

@@ -2,7 +2,19 @@
 // condition-synchronization mechanism. Retry, Await, and WaitPred all reduce to
 // Deschedule(f, p): roll back, double-check f(p) inside a registration
 // transaction, publish ⟨f, p⟩, sleep, and on wakeup restart the whole transaction.
+//
+// Registration is dual. Every waiter sets its presence bit in the
+// WaiterRegistry (the writer's "anyone waiting at all?" fast path). Waiters
+// whose predicate is the value-based findChanges additionally index themselves
+// in the sharded WakeIndex under the orec of each waitset address, so a
+// committing writer wake-checks only the waiters its write set could have
+// satisfied; arbitrary-predicate waiters land on the index's global fallback
+// list, which every writer still visits. See wake_index.h for the
+// no-lost-wakeup argument.
+#include <vector>
+
 #include "src/condsync/waiter_registry.h"
+#include "src/condsync/wake_index.h"
 #include "src/tm/tm_system.h"
 
 namespace tcs {
@@ -23,6 +35,18 @@ void TmSystem::Deschedule(WaitPredFn fn, const WaitArgs& args) {
 
 void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
   TxDesc& d = Desc();
+  // findChanges waiters carry their exact address list; prune the duplicates
+  // retry logging can accumulate (an OrElse whose branches both read an
+  // address publishes the union waitset with one entry per branch) so each
+  // address is published — and indexed — once.
+  WaitSet* ws = nullptr;
+  if (fn == &FindChangesPred) {
+    ws = reinterpret_cast<WaitSet*>(args.v[0]);
+    std::size_t pruned = ws->Prune();
+    if (pruned > 0) {
+      d.stats.Bump(Counter::kWaitsetPruned, pruned);
+    }
+  }
   d.stats.Bump(Counter::kDeschedules);
   d.stats.Bump(Counter::kWaitsetEntries, d.waitset.Size());
   if (d.woke_from_sleep) {
@@ -38,8 +62,21 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
 
   WaiterSlot& slot = waiters_->slot(d.tid);
   slot.Prepare(fn, args, &d.sem);
-  // The presence bit must be visible before the registration transaction can
-  // commit; committing writers order their peek against it through the clock.
+  // Index entries and the presence bit must be visible before the registration
+  // transaction can commit; committing writers order their peeks against both
+  // through the clock.
+  if (cfg_.targeted_wakeup && ws != nullptr) {
+    std::vector<const Orec*> read_orecs;
+    read_orecs.reserve(ws->Size());
+    for (const WaitSet::Entry& e : ws->entries()) {
+      read_orecs.push_back(&orecs_.For(e.addr));
+    }
+    wake_index_->AddIndexed(d.tid, read_orecs.data(), read_orecs.size());
+    d.stats.Bump(Counter::kIndexedDeschedules);
+  } else {
+    wake_index_->AddGlobal(d.tid);
+    d.stats.Bump(Counter::kGlobalDeschedules);
+  }
   waiters_->MarkRegistered(d.tid);
 
   // The registration transaction: re-evaluate the precondition and, only if it
@@ -93,19 +130,23 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     }
   }
   waiters_->UnmarkRegistered(d.tid);
+  // Clears this tid's shard and fallback entries alike, so every exit —
+  // wakeup, timeout, and the no-sleep double-check — leaves the index clean.
+  wake_index_->Remove(d.tid);
 
   d.mem.ReclaimDeferred();
   d.skip_backoff = true;
   throw TxRestart{};
 }
 
-void TmSystem::WakeWaiters() {
+void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
   TxDesc& d = Desc();
   bool stop = false;
-  waiters_->ForEachRegistered([&](int tid, WaiterSlot& slot) {
+  auto visit = [&](int tid) -> bool {
     if (tid == d.tid || stop) {
       return !stop;
     }
+    WaiterSlot& slot = waiters_->slot(tid);
     bool wake = false;
     RunInternalTx([&] {
       wake = false;
@@ -128,7 +169,20 @@ void TmSystem::WakeWaiters() {
       }
     }
     return !stop;
-  });
+  };
+  if (cfg_.targeted_wakeup && !write_orecs.empty()) {
+    // Targeted pass: only the shards this write set covers, plus the global
+    // fallback list. Work scales with relevant waiters, not registered ones.
+    wake_index_->ForEachCandidate(write_orecs.data(), write_orecs.size(),
+                                  visit);
+  } else {
+    // Global scan: targeting disabled, or the write-set snapshot was not taken
+    // (no waiter was visible mid-commit; any waiter visible now either
+    // registered after this commit serialized — and so re-checked its
+    // predicate against our writes — or is covered by this conservative scan).
+    waiters_->ForEachRegistered(
+        [&](int tid, WaiterSlot&) { return visit(tid); });
+  }
 }
 
 }  // namespace tcs

@@ -1,0 +1,85 @@
+#include "src/condsync/wake_index.h"
+
+namespace tcs {
+
+namespace {
+
+bool IsPowerOfTwo(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int Log2(int v) {
+  int l = 0;
+  while ((1 << l) < v) {
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace
+
+WakeIndex::WakeIndex(int max_threads, int num_shards)
+    : capacity_(max_threads),
+      mask_words_((max_threads + 63) / 64),
+      num_shards_(num_shards),
+      shards_log2_(Log2(num_shards)) {
+  TCS_CHECK(max_threads > 0);
+  TCS_CHECK_MSG(IsPowerOfTwo(num_shards) && num_shards <= 64,
+                "wake-index shard count must be a power of two in [1, 64]");
+  constexpr std::size_t kWordsPerLine =
+      kCacheLineBytes / sizeof(std::atomic<std::uint64_t>);
+  stride_ = ((static_cast<std::size_t>(mask_words_) + kWordsPerLine - 1) /
+             kWordsPerLine) *
+            kWordsPerLine;
+  bits_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(num_shards_) * stride_);
+  global_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(mask_words_));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(num_shards_) * stride_;
+       ++i) {
+    bits_[i].store(0, std::memory_order_relaxed);
+  }
+  for (int w = 0; w < mask_words_; ++w) {
+    global_[w].store(0, std::memory_order_relaxed);
+  }
+  per_tid_shards_ = std::make_unique<std::uint64_t[]>(
+      static_cast<std::size_t>(max_threads));
+  per_tid_global_ =
+      std::make_unique<std::uint8_t[]>(static_cast<std::size_t>(max_threads));
+  for (int t = 0; t < max_threads; ++t) {
+    per_tid_shards_[t] = 0;
+    per_tid_global_[t] = 0;
+  }
+}
+
+int WakeIndex::ShardPopulation(int s) const {
+  int n = 0;
+  for (int w = 0; w < mask_words_; ++w) {
+    n += __builtin_popcountll(ShardWord(s, w).load(std::memory_order_seq_cst));
+  }
+  return n;
+}
+
+int WakeIndex::GlobalPopulation() const {
+  int n = 0;
+  for (int w = 0; w < mask_words_; ++w) {
+    n += __builtin_popcountll(global_[w].load(std::memory_order_seq_cst));
+  }
+  return n;
+}
+
+bool WakeIndex::Empty() const {
+  for (int w = 0; w < mask_words_; ++w) {
+    if (global_[w].load(std::memory_order_seq_cst) != 0) {
+      return false;
+    }
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    for (int w = 0; w < mask_words_; ++w) {
+      if (ShardWord(s, w).load(std::memory_order_seq_cst) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tcs

@@ -1,0 +1,186 @@
+// The wakeup index: a sharded orec→waiter map that lets a committing writer
+// notify only the waiters whose published waitsets its write set could have
+// changed, instead of re-running every registered waiter's predicate.
+//
+// Motivation. Deschedule's wakeWaiters (Algorithm 4) is a scan: every writer
+// commit re-evaluates every registered waiter's waitfunc, so wakeup cost grows
+// with *total* waiters. For the paper's four-thread experiments that is fine;
+// at many-waiter scale it is exactly the concurrency cost the TM literature
+// warns about. The index restores O(relevant): a descheduling waiter whose
+// predicate is the value-based findChanges (Retry/Await — the waitset lists the
+// precise addresses it depends on) registers under the *shard* of each orec
+// covering a waitset address; a committing writer unions the shards of its
+// commit-time write-set orecs and wake-checks only those candidates.
+//
+// Conservativeness argument (no lost wakeups). A findChanges waiter can only
+// become satisfied when some written address changes a waitset entry's value;
+// that address maps to an orec the writer locked at commit, so the writer's
+// shard union covers the waiter's shard — address overlap ⊆ orec overlap
+// (hashing) ⊆ shard overlap (coarser hashing). Waiters whose predicate is an
+// arbitrary WaitPred function have no address list to index; they register on
+// the global fallback list, which every writer always visits. Both sides are
+// strictly conservative: a spurious candidate costs one rejected wake-check
+// transaction, never a wrong wake (the check itself is still transactional).
+//
+// Publication ordering mirrors the WaiterRegistry presence bitmap: a waiter
+// inserts its index entries (seq_cst) *before* its registration transaction
+// begins, and a writer reads shards only after its commit's seq_cst fence, so
+// "registration serialized before my commit" implies "I see the entries" — the
+// same clock-RMW chain that closes the bitmap's lost-wakeup window.
+#ifndef TCS_CONDSYNC_WAKE_INDEX_H_
+#define TCS_CONDSYNC_WAKE_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/assert.h"
+#include "src/common/cache_line.h"
+
+namespace tcs {
+
+struct Orec;
+
+class WakeIndex {
+ public:
+  // `num_shards` must be a power of two in [1, 64] (a waiter's shard membership
+  // is tracked as one 64-bit set).
+  WakeIndex(int max_threads, int num_shards);
+
+  WakeIndex(const WakeIndex&) = delete;
+  WakeIndex& operator=(const WakeIndex&) = delete;
+
+  int shard_count() const { return num_shards_; }
+
+  // Shard covering an orec. Stable for the index's lifetime, so the waiter and
+  // writer sides always agree.
+  int ShardOf(const Orec* o) const {
+    if (shards_log2_ == 0) {
+      return 0;
+    }
+    auto a = reinterpret_cast<std::uintptr_t>(o);
+    return static_cast<int>((static_cast<std::uint64_t>(a >> 3) *
+                             0x9E3779B97F4A7C15ULL) >>
+                            (64 - shards_log2_));
+  }
+
+  // Waiter side. All three calls for a given tid are made by the owning thread
+  // only, before its registration transaction (Add*) or after deregistering
+  // (Remove); tid reuse across threads is ordered by descriptor recycling.
+
+  // Registers tid under the shard of each given orec (duplicates collapse).
+  void AddIndexed(int tid, const Orec* const* orecs, std::size_t n) {
+    std::uint64_t set = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      set |= std::uint64_t{1} << ShardOf(orecs[i]);
+    }
+    per_tid_shards_[tid] = set;
+    const std::uint64_t bit = std::uint64_t{1} << (tid % 64);
+    const int w = tid / 64;
+    while (set != 0) {
+      int s = __builtin_ctzll(set);
+      set &= set - 1;
+      ShardWord(s, w).fetch_or(bit, std::memory_order_seq_cst);
+    }
+  }
+
+  // Registers tid on the global fallback list (predicate with no address list:
+  // every committing writer must consider it).
+  void AddGlobal(int tid) {
+    per_tid_global_[tid] = 1;
+    global_[tid / 64].fetch_or(std::uint64_t{1} << (tid % 64),
+                               std::memory_order_seq_cst);
+  }
+
+  // Clears every entry tid holds, indexed or global. Idempotent, so the single
+  // deregistration point covers wakeup, timeout, and the no-sleep double-check
+  // path alike — a timed wait that expires leaves nothing behind.
+  void Remove(int tid) {
+    std::uint64_t set = per_tid_shards_[tid];
+    per_tid_shards_[tid] = 0;
+    const std::uint64_t clear = ~(std::uint64_t{1} << (tid % 64));
+    const int w = tid / 64;
+    while (set != 0) {
+      int s = __builtin_ctzll(set);
+      set &= set - 1;
+      ShardWord(s, w).fetch_and(clear, std::memory_order_seq_cst);
+    }
+    if (per_tid_global_[tid] != 0) {
+      per_tid_global_[tid] = 0;
+      global_[w].fetch_and(clear, std::memory_order_seq_cst);
+    }
+  }
+
+  // Writer side: invokes fn(tid) once for every candidate — each global waiter
+  // plus each waiter registered under a shard covering `orecs`. fn returns
+  // false to stop early. Zero allocation; cost is
+  // O(mask_words × (1 + distinct shards touched)).
+  template <typename Fn>
+  void ForEachCandidate(const Orec* const* orecs, std::size_t n, Fn&& fn) {
+    std::uint64_t shard_set = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_set |= std::uint64_t{1} << ShardOf(orecs[i]);
+    }
+    for (int w = 0; w < mask_words_; ++w) {
+      std::uint64_t bits = global_[w].load(std::memory_order_seq_cst);
+      std::uint64_t ss = shard_set;
+      while (ss != 0) {
+        int s = __builtin_ctzll(ss);
+        ss &= ss - 1;
+        bits |= ShardWord(s, w).load(std::memory_order_seq_cst);
+      }
+      while (bits != 0) {
+        int bit = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        if (!fn(w * 64 + bit)) {
+          return;
+        }
+      }
+    }
+  }
+
+  // --- introspection (tests, leak checks) ---
+
+  // True if tid holds any entry, indexed or global.
+  bool HasEntries(int tid) const {
+    return per_tid_shards_[tid] != 0 || per_tid_global_[tid] != 0;
+  }
+
+  bool IsGlobal(int tid) const { return per_tid_global_[tid] != 0; }
+
+  // The shard set tid registered under (bit s ⇔ shard s).
+  std::uint64_t ShardSetOf(int tid) const { return per_tid_shards_[tid]; }
+
+  // Conservative count of tids present in shard `s` / on the global list.
+  int ShardPopulation(int s) const;
+  int GlobalPopulation() const;
+
+  // True iff no shard and no global word holds any bit (leak detector).
+  bool Empty() const;
+
+ private:
+  std::atomic<std::uint64_t>& ShardWord(int shard, int word) {
+    return bits_[static_cast<std::size_t>(shard) * stride_ + word];
+  }
+  const std::atomic<std::uint64_t>& ShardWord(int shard, int word) const {
+    return bits_[static_cast<std::size_t>(shard) * stride_ + word];
+  }
+
+  int capacity_;
+  int mask_words_;
+  int num_shards_;
+  int shards_log2_;
+  // Cache-line-aligned stride so concurrent registrations in different shards
+  // do not false-share.
+  std::size_t stride_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bits_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> global_;
+  // Owner-thread-only bookkeeping of what each tid registered, so Remove can
+  // clear exactly those entries without scanning all shards.
+  std::unique_ptr<std::uint64_t[]> per_tid_shards_;
+  std::unique_ptr<std::uint8_t[]> per_tid_global_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_CONDSYNC_WAKE_INDEX_H_

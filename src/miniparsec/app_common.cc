@@ -16,23 +16,6 @@ std::uint64_t BusyWork(std::uint64_t seed, int rounds) {
   return z;
 }
 
-void SharedAccumulator::Add(std::uint64_t v) {
-  if (mech_ == Mechanism::kPthreads) {
-    std::lock_guard<std::mutex> g(mu_);
-    value_ += v;
-    return;
-  }
-  Atomically(rt_->sys(), [&](Tx& tx) { tx.Store(value_, tx.Load(value_) + v); });
-}
-
-std::uint64_t SharedAccumulator::Get() {
-  if (mech_ == Mechanism::kPthreads) {
-    std::lock_guard<std::mutex> g(mu_);
-    return value_;
-  }
-  return Atomically(rt_->sys(), [&](Tx& tx) { return tx.Load(value_); });
-}
-
 double NowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())

@@ -81,21 +81,64 @@ AppResult RunX264(const AppConfig& cfg);
 // Deterministic compute kernel: `rounds` iterations of integer mixing.
 std::uint64_t BusyWork(std::uint64_t seed, int rounds);
 
-// Order-insensitive shared accumulator: the transactionalized critical section
-// the PARSEC ports replace locks with. Under kPthreads it is a mutex-protected
-// counter; under TM mechanisms it is a transactional word.
-class SharedAccumulator {
+// A shared typed cell updated under the run's mechanism: the transactionalized
+// critical section the PARSEC ports replace locks with. Under kPthreads the
+// cell is mutex-protected; under TM mechanisms it is a typed transactional
+// cell (TVar<T> — the deprecated raw Load/Store shim is no longer used
+// anywhere in mini-PARSEC) whose words commit as a unit.
+template <typename T>
+class SharedCell {
  public:
-  SharedAccumulator(Runtime* rt, Mechanism mech) : rt_(rt), mech_(mech) {}
+  SharedCell(Runtime* rt, Mechanism mech) : rt_(rt), mech_(mech) {}
 
-  void Add(std::uint64_t v);
-  std::uint64_t Get();
+  // Applies `fn(T&)` atomically.
+  template <typename Fn>
+  void Update(Fn&& fn) {
+    if (mech_ == Mechanism::kPthreads) {
+      std::lock_guard<std::mutex> g(mu_);
+      T t = cell_.UnsafeRead();
+      fn(t);
+      cell_.UnsafeWrite(t);
+      return;
+    }
+    Atomically(rt_->sys(), [&](Tx& tx) {
+      T t = tx.Load(cell_);
+      fn(t);
+      tx.Store(cell_, t);
+    });
+  }
+
+  // Atomic read of the whole cell.
+  T Snapshot() {
+    if (mech_ == Mechanism::kPthreads) {
+      std::lock_guard<std::mutex> g(mu_);
+      return cell_.UnsafeRead();
+    }
+    return Atomically(rt_->sys(), [&](Tx& tx) { return tx.Load(cell_); });
+  }
+
+  // Quiescent read (workers joined).
+  T UnsafeRead() const { return cell_.UnsafeRead(); }
 
  private:
   Runtime* rt_;
   Mechanism mech_;
-  std::uint64_t value_ = 0;
+  TVar<T> cell_;
   std::mutex mu_;
+};
+
+// Order-insensitive counter, the common single-word case of SharedCell.
+class SharedAccumulator {
+ public:
+  SharedAccumulator(Runtime* rt, Mechanism mech) : cell_(rt, mech) {}
+
+  void Add(std::uint64_t v) {
+    cell_.Update([v](std::uint64_t& total) { total += v; });
+  }
+  std::uint64_t Get() { return cell_.Snapshot(); }
+
+ private:
+  SharedCell<std::uint64_t> cell_;
 };
 
 // Wall-clock helper.

@@ -17,6 +17,15 @@ constexpr int kStepsPerScale = 10;
 constexpr std::uint64_t kCells = 256;
 constexpr int kPhaseRounds = 80;
 
+// Per-phase energy totals, held in one typed transactional cell (TVar<T>
+// spreads the struct across three backing words; a transactional update
+// commits them as a unit). Under kPthreads the same cell is mutex-protected.
+struct EnergyTotals {
+  std::uint64_t density;
+  std::uint64_t forces;
+  std::uint64_t moved;
+};
+
 }  // namespace
 
 AppResult RunFluidanimate(const AppConfig& cfg) {
@@ -34,7 +43,7 @@ AppResult RunFluidanimate(const AppConfig& cfg) {
   PhaseBarrier force_barrier(rt.get(), cfg.mech, workers_n);    // [sync: force_barrier]
   PhaseBarrier advance_barrier(rt.get(), cfg.mech, workers_n);  // [sync: advance_barrier]
   PhaseBarrier rebin_barrier(rt.get(), cfg.mech, workers_n);    // [sync: rebin_barrier]
-  SharedAccumulator energy(rt.get(), cfg.mech);
+  SharedCell<EnergyTotals> energy(rt.get(), cfg.mech);
 
   double t0 = NowSeconds();
   std::vector<std::thread> workers;
@@ -63,7 +72,11 @@ AppResult RunFluidanimate(const AppConfig& cfg) {
           moved += BusyWork(step_seed + 2 * kCells + c, kPhaseRounds / 2);
         }
         advance_barrier.ArriveAndWait();
-        energy.Add(densities + forces + moved);
+        energy.Update([&](EnergyTotals& t) {
+          t.density += densities;
+          t.forces += forces;
+          t.moved += moved;
+        });
         rebin_barrier.ArriveAndWait();
       }
     });
@@ -72,7 +85,8 @@ AppResult RunFluidanimate(const AppConfig& cfg) {
     w.join();
   }
   double t1 = NowSeconds();
-  return {energy.Get(), t1 - t0};
+  EnergyTotals total = energy.UnsafeRead();  // workers joined: quiescent
+  return {total.density + total.forces + total.moved, t1 - t0};
 }
 
 }  // namespace tcs

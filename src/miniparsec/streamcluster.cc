@@ -20,6 +20,15 @@ constexpr int kRoundsPerScale = 8;
 constexpr std::uint64_t kPoints = 256;
 constexpr int kPhaseRounds = 70;
 
+// Per-phase clustering cost, one typed transactional cell (TVar<T> backs the
+// struct with three words committed as a unit); mutex-protected under
+// kPthreads.
+struct RoundCost {
+  std::uint64_t assign;
+  std::uint64_t update;
+  std::uint64_t evaluate;
+};
+
 }  // namespace
 
 AppResult RunStreamcluster(const AppConfig& cfg) {
@@ -39,7 +48,7 @@ AppResult RunStreamcluster(const AppConfig& cfg) {
   PhaseBarrier evaluate_barrier(rt.get(), cfg.mech, workers_n);  // [sync: evaluate_barrier]
   TicketGate center_open(rt.get(), cfg.mech);  // [sync: open_center_gate]
   TicketGate result_ready(rt.get(), cfg.mech);  // [sync: result_gate]
-  SharedAccumulator cost(rt.get(), cfg.mech);
+  SharedCell<RoundCost> cost(rt.get(), cfg.mech);
 
   double t0 = NowSeconds();
   std::vector<std::thread> workers;
@@ -69,7 +78,11 @@ AppResult RunStreamcluster(const AppConfig& cfg) {
         for (std::uint64_t p = lo; p < hi; ++p) {
           eval_cost += BusyWork(round_seed + 2 * kPoints + p, kPhaseRounds / 2);
         }
-        cost.Add(assign_cost + update_cost + eval_cost);
+        cost.Update([&](RoundCost& c) {
+          c.assign += assign_cost;
+          c.update += update_cost;
+          c.evaluate += eval_cost;
+        });
         evaluate_barrier.ArriveAndWait();
         if (w == 0) {
           result_ready.Bump();
@@ -81,7 +94,10 @@ AppResult RunStreamcluster(const AppConfig& cfg) {
   for (int r = 0; r < rounds; ++r) {
     center_open.Publish(static_cast<std::uint64_t>(r) + 1);
     result_ready.WaitFor(static_cast<std::uint64_t>(r) + 1);
-    checksum ^= BusyWork(cost.Get() + static_cast<std::uint64_t>(r), 4);
+    RoundCost c = cost.Snapshot();
+    checksum ^= BusyWork(c.assign + c.update + c.evaluate +
+                             static_cast<std::uint64_t>(r),
+                         4);
   }
   for (auto& w : workers) {
     w.join();

@@ -140,13 +140,83 @@ void EagerStm::Rollback(TxDesc& d) {
 }
 
 // OrElse partial rollback: restore the branch's in-place writes from the undo
-// log, newest first. Orecs the branch locked stay locked — releasing them would
-// need a version bump that could abort our own still-valid reads, and holding a
-// lock for an undone write is merely pessimistic, never incorrect (commit will
-// publish a new version for an unchanged location, like any undone write).
+// log, newest first, then release the orecs the branch acquired so concurrent
+// transactions are not blocked on locks guarding writes that no longer exist.
+//
+// Release protocol (mirrors Algorithm 11's abort release): every location an
+// above-mark lock covers was first written by the branch — a pre-branch write
+// to the same orec would have acquired it below the mark — so after UndoTo the
+// memory under it holds pre-transaction values, and the lock is released at
+// prev_version + 1 (the bump keeps a concurrent TxRead's double-check from
+// having accepted a speculative value mid-branch; the clock advance makes the
+// bumped versions legal, exactly as in Rollback).
+//
+// The bumped versions can exceed this transaction's own start time, which
+// would make its later reads — and commit-time validation of earlier reads —
+// of those very locations abort it (and re-running the branch re-releases,
+// livelocking). So the release is paired with a timestamp extension: advance
+// d.start to the post-release clock after revalidating every read orec. A
+// read orec still unlocked at or below the old start is unchanged since it was
+// read (committed writers always publish versions newer than any concurrent
+// start); one holding exactly a word this rollback just published was
+// untouched by anyone else since we read it (we held the lock in between, and
+// the value beneath has been restored). Anything else is foreign interference,
+// and the transaction conservatively aborts — no worse than the conflict it
+// was already heading for.
 void EagerStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
   TCS_DCHECK(d.redo.Empty());
   d.undo.UndoTo(sp.undo_size);
+  TCS_DCHECK(sp.locks_size <= d.locks.size());
+  if (sp.locks_size == d.locks.size()) {
+    return;
+  }
+  struct Released {
+    const Orec* orec;
+    std::uint64_t word;
+  };
+  std::vector<Released> released;
+  released.reserve(d.locks.size() - sp.locks_size);
+  for (std::size_t i = sp.locks_size; i < d.locks.size(); ++i) {
+    const LockedOrec& l = d.locks[i];
+    std::uint64_t w = Orec::MakeVersion(l.prev_version + 1);
+    l.orec->word.store(w, std::memory_order_release);
+    released.push_back({l.orec, w});
+  }
+  d.locks.resize(sp.locks_size);
+  d.stats.Bump(Counter::kOrElseOrecReleases, released.size());
+  clock_.Increment();
+  std::uint64_t new_start = clock_.Load();
+  for (std::size_t i = 0; i < d.reads.size(); ++i) {
+    Orec* o = d.reads[i];
+    std::uint64_t w = o->word.load(std::memory_order_acquire);
+    if (Orec::IsLocked(w)) {
+      if (Orec::Owner(w) == d.tid) {
+        continue;
+      }
+      AbortCurrent(d, Counter::kAborts);
+    }
+    if (Orec::Version(w) <= d.start) {
+      continue;
+    }
+    bool own_release = false;
+    for (const Released& r : released) {
+      if (r.orec == o && r.word == w) {
+        own_release = true;
+        break;
+      }
+    }
+    if (!own_release) {
+      AbortCurrent(d, Counter::kAborts);
+    }
+    // Exact-match revalidation (timestamp extension) records the word observed
+    // at read time; refresh it so a later extension doesn't misread our own
+    // release bump as foreign interference.
+    if (cfg_.timestamp_extension) {
+      d.read_words[i] = w;
+    }
+  }
+  d.start = new_start;
+  quiesce_.SetActive(d.tid, new_start);
 }
 
 TmWord EagerStm::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {

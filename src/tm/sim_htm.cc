@@ -192,6 +192,9 @@ void SimHtm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
 bool SimHtm::CommitTx(TxDesc& d) {
   if (d.htm_serial) {
     bool writer = !d.undo.Empty();
+    // Serial mode holds no orecs; the targeted wake pass derives the write
+    // set's lines from the undo log before it is discarded.
+    SnapshotCommitOrecsFromUndoIfNeeded(d);
     d.undo.Clear();
     d.reads.clear();
     quiesce_.SetInactive(d.tid);
@@ -223,6 +226,7 @@ bool SimHtm::CommitTx(TxDesc& d) {
       }
     }
   }
+  SnapshotCommitOrecsIfNeeded(d);
   d.redo.WriteBack();
   for (const LockedOrec& l : d.locks) {
     l.orec->word.store(Orec::MakeVersion(end), std::memory_order_release);
@@ -263,14 +267,27 @@ void SimHtm::Rollback(TxDesc& d) {
 
 // OrElse partial rollback. In hardware mode writes are buffered (redo log,
 // like lazy STM); in serial-irrevocable software mode they are in place with
-// undo logging (like eager STM). Lines locked by the abandoned branch stay
-// locked until the transaction ends, which is pessimistic but correct — the
-// same argument as EagerStm::PartialRollback.
+// undo logging (like eager STM). Buffered mode releases the lines the branch
+// acquired at their exact pre-acquisition version: memory was never touched,
+// so no version bump is needed (the same reasoning as Rollback's restore), a
+// re-acquisition by the surviving branch validates exactly as the first one
+// did, and this transaction's own reads of those lines stay valid.
 void SimHtm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
   if (d.htm_serial) {
     d.undo.UndoTo(sp.undo_size);
-  } else {
-    d.redo.RollbackTo(sp.redo);
+    return;
+  }
+  d.redo.RollbackTo(sp.redo);
+  TCS_DCHECK(sp.locks_size <= d.locks.size());
+  std::size_t released = d.locks.size() - sp.locks_size;
+  for (std::size_t i = sp.locks_size; i < d.locks.size(); ++i) {
+    const LockedOrec& l = d.locks[i];
+    l.orec->word.store(Orec::MakeVersion(l.prev_version),
+                       std::memory_order_release);
+  }
+  d.locks.resize(sp.locks_size);
+  if (released > 0) {
+    d.stats.Bump(Counter::kOrElseOrecReleases, released);
   }
 }
 

@@ -51,6 +51,15 @@ struct TmConfig {
   // Wake at most one satisfied waiter per writer commit instead of all of them
   // (our mechanisms "essentially broadcast", §2.4.1; this knob quantifies that).
   bool wake_single = false;
+
+  // Sharded wakeup index (src/condsync/wake_index.h): committing writers
+  // wake-check only the waiters registered under shards their write-set orecs
+  // cover, plus arbitrary-predicate waiters on the global fallback list.
+  // Disabled, every writer commit re-checks every registered waiter (the
+  // paper's original global scan — kept as the ablation baseline).
+  bool targeted_wakeup = true;
+  // Shard count for the wakeup index; power of two in [1, 64].
+  int wake_index_shards = 64;
 };
 
 }  // namespace tcs

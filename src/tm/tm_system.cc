@@ -6,6 +6,7 @@
 #include "src/condsync/retry_orig.h"
 #include "src/condsync/tm_condvar.h"
 #include "src/condsync/waiter_registry.h"
+#include "src/condsync/wake_index.h"
 #include "src/tm/eager_stm.h"
 #include "src/tm/lazy_stm.h"
 #include "src/tm/sim_htm.h"
@@ -66,6 +67,8 @@ TmSystem::TmSystem(const TmConfig& config)
   descs_.resize(static_cast<std::size_t>(cfg_.max_threads));
   waiters_ = std::make_unique<WaiterRegistry>(cfg_.max_threads);
   retry_orig_ = std::make_unique<RetryOrigRegistry>(cfg_.max_threads);
+  wake_index_ =
+      std::make_unique<WakeIndex>(cfg_.max_threads, cfg_.wake_index_shards);
   std::lock_guard<std::mutex> g(LiveSystemsMutex());
   LiveSystems().emplace(uid_, this);
 }
@@ -195,11 +198,11 @@ void TmSystem::Commit() {
       // Order this writer's published state against the waiter-presence peeks
       // below (see WaiterRegistry's header for the full argument).
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (!commit_orecs.empty()) {
+      if (!commit_orecs.empty() && retry_orig_->HasWaiters()) {
         retry_orig_->OnWriterCommit(commit_orecs);
       }
       if (waiters_->HasWaiters()) {
-        WakeWaiters();
+        WakeWaiters(commit_orecs);
       }
     }
   }
@@ -308,13 +311,31 @@ void TmSystem::SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging) {
 }
 
 void TmSystem::SnapshotCommitOrecsIfNeeded(TxDesc& d) {
-  if (d.internal || !retry_orig_->HasWaiters()) {
+  if (d.internal) {
+    return;
+  }
+  if (!retry_orig_->HasWaiters() &&
+      !(cfg_.targeted_wakeup && waiters_->HasWaiters())) {
     return;
   }
   d.commit_orecs.clear();
   d.commit_orecs.reserve(d.locks.size());
   for (const LockedOrec& l : d.locks) {
     d.commit_orecs.push_back(l.orec);
+  }
+}
+
+void TmSystem::SnapshotCommitOrecsFromUndoIfNeeded(TxDesc& d) {
+  // Serial-irrevocable commits hold no orecs; their write set is the undo log.
+  // Retry-Orig never runs on the HTM backend, so only the wake index needs the
+  // snapshot here.
+  if (d.internal || !(cfg_.targeted_wakeup && waiters_->HasWaiters())) {
+    return;
+  }
+  d.commit_orecs.clear();
+  d.commit_orecs.reserve(d.undo.Size());
+  for (const UndoLog::Entry& e : d.undo.entries()) {
+    d.commit_orecs.push_back(&orecs_.For(e.addr));
   }
 }
 
@@ -420,7 +441,8 @@ WaitResult TmSystem::WaitPredFor(WaitPredFn fn, const WaitArgs& args,
 TxSavepoint TmSystem::TakeSavepoint() {
   TxDesc& d = Desc();
   TCS_CHECK_MSG(d.nesting > 0, "savepoint outside transaction");
-  return {d.undo.Size(), d.redo.Mark(), d.mem.AllocCount(), d.mem.FreeCount()};
+  return {d.undo.Size(), d.redo.Mark(), d.locks.size(), d.mem.AllocCount(),
+          d.mem.FreeCount()};
 }
 
 void TmSystem::RollbackToSavepoint(const TxSavepoint& sp) {

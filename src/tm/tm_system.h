@@ -35,6 +35,7 @@ namespace tcs {
 
 class WaiterRegistry;
 class RetryOrigRegistry;
+class WakeIndex;
 
 // Outcome of a bounded wait (RetryFor/AwaitFor/WaitPredFor). A satisfied wait
 // never *returns* — wakeup restarts the transaction body, which re-reads state
@@ -157,11 +158,16 @@ class TmSystem {
   // Called by the restart loop between attempts.
   void OnRestart();
 
-  // Post-commit scan that wakes satisfied waiters (Algorithm 4's wakeWaiters).
-  void WakeWaiters();
+  // Post-commit pass that wakes satisfied waiters (Algorithm 4's wakeWaiters).
+  // `write_orecs` is the committing writer's write-set orec snapshot: with
+  // targeted wakeup it selects the wake-index shards to visit; when it is
+  // empty (or targeting is disabled) the pass degrades to the paper's global
+  // scan over every registered waiter.
+  void WakeWaiters(const std::vector<const Orec*>& write_orecs);
 
   WaiterRegistry& waiters() { return *waiters_; }
   RetryOrigRegistry& retry_orig() { return *retry_orig_; }
+  WakeIndex& wake_index() { return *wake_index_; }
 
   // Sleep semaphore of a registered thread (used by TMCondVar signalers).
   Semaphore& SemOf(int tid);
@@ -216,7 +222,13 @@ class TmSystem {
   // after wakeup because the published waitset may point into them (§2.2.4).
   void RollbackForDeschedule(TxDesc& d);
 
+  // Snapshots the write-set orecs into d.commit_orecs when a post-commit
+  // consumer needs them: Retry-Orig's intersection (Algorithm 1) or the
+  // targeted wake index. Called by backends at commit time while d.locks is
+  // still populated; the serial variant derives orecs from the undo log for
+  // the simulated HTM's lock-free serial-irrevocable mode.
   void SnapshotCommitOrecsIfNeeded(TxDesc& d);
+  void SnapshotCommitOrecsFromUndoIfNeeded(TxDesc& d);
 
   TmConfig cfg_;
   OrecTable orecs_;
@@ -252,6 +264,7 @@ class TmSystem {
 
   std::unique_ptr<WaiterRegistry> waiters_;
   std::unique_ptr<RetryOrigRegistry> retry_orig_;
+  std::unique_ptr<WakeIndex> wake_index_;
 };
 
 // The wait predicate implementing Retry and Await wakeups: true iff any ⟨addr,val⟩

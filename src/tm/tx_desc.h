@@ -66,6 +66,11 @@ struct DeferredCvSignal {
 struct TxSavepoint {
   std::size_t undo_size;
   RedoLog::Savepoint redo;
+  // Orecs locked after this mark were first acquired by the branch; backends
+  // that can release them safely on partial rollback do so (eager restores
+  // prev_version + 1 for orecs outside the read set; the simulated HTM's
+  // buffered mode restores the exact pre-acquisition version).
+  std::size_t locks_size;
   std::size_t alloc_count;
   std::size_t free_count;
 };

@@ -1,5 +1,7 @@
 #include "src/tm/wait_set.h"
 
+#include <unordered_set>
+
 namespace tcs {
 
 bool WaitSet::ContainsAddr(const TmWord* addr) const {
@@ -9,6 +11,23 @@ bool WaitSet::ContainsAddr(const TmWord* addr) const {
     }
   }
   return false;
+}
+
+std::size_t WaitSet::Prune() {
+  if (entries_.size() < 2) {
+    return 0;
+  }
+  std::unordered_set<const TmWord*> seen;
+  seen.reserve(entries_.size());
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (seen.insert(entries_[i].addr).second) {
+      entries_[keep++] = entries_[i];
+    }
+  }
+  std::size_t removed = entries_.size() - keep;
+  entries_.resize(keep);
+  return removed;
 }
 
 }  // namespace tcs

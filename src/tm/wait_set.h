@@ -30,6 +30,16 @@ class WaitSet {
 
   bool ContainsAddr(const TmWord* addr) const;
 
+  // Drops entries whose address already appears earlier in the set, returning
+  // how many were removed. Duplicates arise when retry logging re-reads an
+  // address — most commonly an OrElse whose branches both read it, leaving the
+  // union waitset with one entry per branch. Opacity guarantees every read of
+  // an address within one attempt logged the same pre-transaction value, so
+  // dropping the later copies changes neither findChanges' verdict nor the set
+  // of orecs the waiter registers under — it only shrinks what every
+  // subsequent wake check re-reads.
+  std::size_t Prune();
+
   const std::vector<Entry>& entries() const { return entries_; }
 
  private:

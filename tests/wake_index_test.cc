@@ -1,0 +1,506 @@
+// Tests for the sharded wakeup index (src/condsync/wake_index.h): unit-level
+// shard bookkeeping, targeted-wake correctness across all three backends, no
+// lost wakeups with many disjoint waiters, leak-freedom under concurrent
+// register/deregister/timeout churn, waitset pruning, and the OrElse
+// partial-rollback orec release. ManyWaitersChurn doubles as the TSan run of
+// the many-waiters ablation (CI runs this binary under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/condsync/waiter_registry.h"
+#include "src/condsync/wake_index.h"
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+#include "src/core/tvar.h"
+#include "src/tm/orec_table.h"
+
+namespace tcs {
+namespace {
+
+TmConfig ConfigFor(Backend b, bool targeted = true) {
+  TmConfig cfg;
+  cfg.backend = b;
+  cfg.orec_table_log2 = 12;
+  cfg.max_threads = 96;
+  cfg.targeted_wakeup = targeted;
+  return cfg;
+}
+
+void AwaitCounter(Runtime& rt, Counter c, std::uint64_t target) {
+  for (int i = 0; i < 100000; ++i) {
+    if (rt.AggregateStats().Get(c) >= target) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  FAIL() << "counter " << CounterName(c) << " never reached " << target;
+}
+
+// Cache-line padding keeps each cell in its own orec on every backend,
+// including the simulated HTM's line-granular table.
+struct PaddedCell {
+  alignas(64) TVar<std::uint64_t> v;
+};
+
+// --- unit tests over the bare index ---
+
+TEST(WakeIndexUnitTest, EmptyIndexYieldsNoCandidates) {
+  WakeIndex idx(64, 64);
+  Orec o;
+  const Orec* orecs[] = {&o};
+  int visits = 0;
+  idx.ForEachCandidate(orecs, 1, [&](int) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+  EXPECT_TRUE(idx.Empty());
+}
+
+TEST(WakeIndexUnitTest, IndexedWaiterIsCandidateOnlyForItsShards) {
+  WakeIndex idx(128, 64);
+  // Find two orecs in different shards.
+  std::vector<Orec> orecs(256);
+  const Orec* a = &orecs[0];
+  const Orec* b = nullptr;
+  for (std::size_t i = 1; i < orecs.size(); ++i) {
+    if (idx.ShardOf(&orecs[i]) != idx.ShardOf(a)) {
+      b = &orecs[i];
+      break;
+    }
+  }
+  ASSERT_NE(b, nullptr) << "256 orecs all hashed to one of 64 shards";
+
+  const Orec* reg[] = {a};
+  idx.AddIndexed(7, reg, 1);
+  EXPECT_TRUE(idx.HasEntries(7));
+  EXPECT_FALSE(idx.IsGlobal(7));
+  EXPECT_EQ(__builtin_popcountll(idx.ShardSetOf(7)), 1);
+
+  std::vector<int> seen;
+  const Orec* writes_a[] = {a};
+  idx.ForEachCandidate(writes_a, 1, [&](int tid) {
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{7}));
+
+  seen.clear();
+  const Orec* writes_b[] = {b};
+  idx.ForEachCandidate(writes_b, 1, [&](int tid) {
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_TRUE(seen.empty()) << "disjoint shard produced a candidate";
+
+  idx.Remove(7);
+  EXPECT_FALSE(idx.HasEntries(7));
+  EXPECT_TRUE(idx.Empty());
+}
+
+TEST(WakeIndexUnitTest, GlobalWaiterIsAlwaysACandidate) {
+  WakeIndex idx(64, 64);
+  Orec o;
+  idx.AddGlobal(3);
+  EXPECT_TRUE(idx.IsGlobal(3));
+  const Orec* writes[] = {&o};
+  std::vector<int> seen;
+  idx.ForEachCandidate(writes, 1, [&](int tid) {
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{3}));
+  idx.Remove(3);
+  EXPECT_TRUE(idx.Empty());
+}
+
+TEST(WakeIndexUnitTest, DuplicateOrecsRegisterShardOnce) {
+  WakeIndex idx(64, 64);
+  Orec o;
+  const Orec* reg[] = {&o, &o, &o};
+  idx.AddIndexed(1, reg, 3);
+  EXPECT_EQ(__builtin_popcountll(idx.ShardSetOf(1)), 1);
+  EXPECT_EQ(idx.ShardPopulation(idx.ShardOf(&o)), 1);
+  idx.Remove(1);
+  EXPECT_TRUE(idx.Empty());
+}
+
+TEST(WakeIndexUnitTest, RemoveIsIdempotentAndExact) {
+  WakeIndex idx(128, 16);
+  std::vector<Orec> orecs(32);
+  std::vector<const Orec*> reg;
+  for (const Orec& o : orecs) {
+    reg.push_back(&o);
+  }
+  idx.AddIndexed(64, reg.data(), reg.size());
+  idx.AddGlobal(65);
+  idx.Remove(64);
+  idx.Remove(64);  // second removal is a no-op
+  EXPECT_FALSE(idx.HasEntries(64));
+  EXPECT_TRUE(idx.HasEntries(65));
+  idx.Remove(65);
+  EXPECT_TRUE(idx.Empty());
+}
+
+TEST(WakeIndexUnitTest, SingleShardDegradesToGlobalScan) {
+  WakeIndex idx(64, 1);
+  Orec a;
+  Orec b;
+  const Orec* reg[] = {&a};
+  idx.AddIndexed(2, reg, 1);
+  const Orec* writes[] = {&b};  // different orec, same (only) shard
+  std::vector<int> seen;
+  idx.ForEachCandidate(writes, 1, [&](int tid) {
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{2}));
+}
+
+// --- behavioral tests through the runtime ---
+
+class WakeIndexBackendTest : public ::testing::TestWithParam<Backend> {};
+
+// A committing writer's wake work must scale with the waiters its write set
+// could satisfy, not with the number of registered waiters: the same workload
+// under the global scan pays ~waiters × commits checks, under the index ~1 per
+// commit (plus rare shard collisions).
+TEST_P(WakeIndexBackendTest, TargetedWakeSkipsIrrelevantWaiters) {
+  constexpr int kWaiters = 16;
+  constexpr std::uint64_t kCommits = 200;
+  std::uint64_t checks[2] = {0, 0};
+  for (bool targeted : {false, true}) {
+    Runtime rt(ConfigFor(GetParam(), targeted));
+    auto cells = std::make_unique<PaddedCell[]>(kWaiters);
+    std::vector<std::thread> waiters;
+    for (int w = 0; w < kWaiters; ++w) {
+      waiters.emplace_back([&, w] {
+        Atomically(rt.sys(), [&](Tx& tx) {
+          if (tx.Load(cells[w].v) == 0) {
+            tx.Retry();
+          }
+        });
+      });
+    }
+    AwaitCounter(rt, Counter::kSleeps, kWaiters);
+    rt.ResetStats();
+    // The hot producer touches cell 0 with silent stores: every commit is a
+    // writer commit, no waiter is ever satisfied, and under targeting only
+    // cell 0's shard is ever checked.
+    for (std::uint64_t i = 0; i < kCommits; ++i) {
+      Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cells[0].v, std::uint64_t{0}); });
+    }
+    checks[targeted ? 1 : 0] = rt.AggregateStats().Get(Counter::kWakeChecks);
+    EXPECT_EQ(rt.AggregateStats().Get(Counter::kWakeups), 0u);
+    // Release everyone.
+    for (int w = 0; w < kWaiters; ++w) {
+      Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cells[w].v, std::uint64_t{1}); });
+    }
+    for (auto& t : waiters) {
+      t.join();
+    }
+  }
+  EXPECT_EQ(checks[0], kWaiters * kCommits) << "global scan checks everyone";
+  // ≥2x is the acceptance floor; with 16 disjoint waiters the expected factor
+  // is ~16 minus shard collisions.
+  EXPECT_LE(checks[1] * 2, checks[0])
+      << "targeted wakeup did not reduce wake-check work";
+}
+
+// Writing each cell in turn must wake exactly its waiter — shard targeting
+// must never lose a wakeup (the test hangs on a lost one; ctest's timeout
+// turns that into a failure).
+TEST_P(WakeIndexBackendTest, EveryDisjointWaiterWakesOnItsOwnWrite) {
+  constexpr int kWaiters = 24;
+  Runtime rt(ConfigFor(GetParam()));
+  auto cells = std::make_unique<PaddedCell[]>(kWaiters);
+  std::vector<std::thread> waiters;
+  std::atomic<int> woken{0};
+  for (int w = 0; w < kWaiters; ++w) {
+    waiters.emplace_back([&, w] {
+      Atomically(rt.sys(), [&](Tx& tx) {
+        if (tx.Load(cells[w].v) == 0) {
+          tx.Retry();
+        }
+      });
+      woken.fetch_add(1);
+    });
+  }
+  AwaitCounter(rt, Counter::kSleeps, kWaiters);
+  for (int w = 0; w < kWaiters; ++w) {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.Store(cells[w].v, static_cast<std::uint64_t>(w) + 1);
+    });
+  }
+  for (auto& t : waiters) {
+    t.join();
+  }
+  EXPECT_EQ(woken.load(), kWaiters);
+}
+
+// WaitPred has no address list, so it must take the global-fallback path and
+// still be woken by any writer that satisfies it.
+bool CellAtLeastPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* cell = reinterpret_cast<const TVar<std::uint64_t>*>(args.v[0]);
+  return sys.Read(cell->word()) >= args.v[1];
+}
+
+TEST_P(WakeIndexBackendTest, WaitPredFallsBackToGlobalList) {
+  Runtime rt(ConfigFor(GetParam()));
+  TVar<std::uint64_t> cell(0);
+  std::thread waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(cell) < 2) {
+        WaitArgs args;
+        args.v[0] = reinterpret_cast<TmWord>(&cell);
+        args.v[1] = 2;
+        args.n = 2;
+        tx.WaitPred(&CellAtLeastPred, args);
+      }
+    });
+  });
+  AwaitCounter(rt, Counter::kSleeps, 1);
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kGlobalDeschedules), 1u);
+  EXPECT_EQ(rt.sys().wake_index().GlobalPopulation(), 1);
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{2}); });
+  waiter.join();
+  EXPECT_TRUE(rt.sys().wake_index().Empty());
+}
+
+// Retry/Await waiters must land in the index, not on the fallback list.
+TEST_P(WakeIndexBackendTest, RetryWaitersAreIndexed) {
+  Runtime rt(ConfigFor(GetParam()));
+  TVar<std::uint64_t> cell(0);
+  std::thread waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(cell) == 0) {
+        tx.Retry();
+      }
+    });
+  });
+  AwaitCounter(rt, Counter::kSleeps, 1);
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kIndexedDeschedules), 1u);
+  EXPECT_EQ(rt.sys().wake_index().GlobalPopulation(), 0);
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{1}); });
+  waiter.join();
+  EXPECT_TRUE(rt.sys().wake_index().Empty());
+}
+
+// Concurrent register/deregister/timeout churn: short timed waits racing
+// writer commits. Whatever interleaving occurs, every thread terminates and
+// neither the registry nor any index shard leaks an entry. This is also the
+// TSan run of the many-waiters ablation shape (disjoint cells, hot writer).
+TEST_P(WakeIndexBackendTest, ManyWaitersChurnLeavesNoEntries) {
+  constexpr int kThreads = 12;
+  constexpr int kRoundsPerThread = 40;
+  Runtime rt(ConfigFor(GetParam()));
+  auto cells = std::make_unique<PaddedCell[]>(kThreads);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load()) {
+      // Bump a rotating cell so some waits are satisfied and some time out.
+      int target = static_cast<int>(i % kThreads);
+      Atomically(rt.sys(), [&](Tx& tx) {
+        tx.Store(cells[target].v, tx.Load(cells[target].v) + 1);
+      });
+      ++i;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < kThreads; ++t) {
+    waiters.emplace_back([&, t] {
+      std::uint64_t last = 0;
+      for (int r = 0; r < kRoundsPerThread; ++r) {
+        // Race a tiny deadline against the writer: exercises wakeup, timeout,
+        // and the timeout-vs-wake semaphore drain.
+        auto timeout = std::chrono::microseconds(50 + (r % 7) * 100);
+        last = Atomically(rt.sys(), [&](Tx& tx) -> std::uint64_t {
+          std::uint64_t cur = tx.Load(cells[t].v);
+          if (cur == last) {
+            if (tx.RetryFor(timeout) == WaitResult::kTimedOut) {
+              return cur;
+            }
+          }
+          return cur;
+        });
+      }
+    });
+  }
+  for (auto& t : waiters) {
+    t.join();
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(rt.sys().waiters().RegisteredCount(), 0);
+  EXPECT_TRUE(rt.sys().wake_index().Empty())
+      << "an index entry leaked through the churn";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, WakeIndexBackendTest,
+                         ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                           Backend::kSimHtm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           switch (info.param) {
+                             case Backend::kEagerStm:
+                               return "EagerStm";
+                             case Backend::kLazyStm:
+                               return "LazyStm";
+                             case Backend::kSimHtm:
+                               return "SimHtm";
+                           }
+                           return "Unknown";
+                         });
+
+// --- waitset pruning ---
+
+class WaitsetPruneTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(WaitsetPruneTest, OrElseUnionWaitsetDropsDuplicates) {
+  // Both branches read `shared`, so the union waitset holds two entries for
+  // it; pruning must publish (and index) it once — and the wakeup must still
+  // arrive through the deduplicated entry.
+  Runtime rt(ConfigFor(GetParam()));
+  TVar<std::uint64_t> shared(0);
+  std::thread waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.OrElse(
+          [&](Tx& t) {
+            if (t.Load(shared) == 0) {
+              t.Retry();
+            }
+          },
+          [&](Tx& t) {
+            if (t.Load(shared) == 0) {
+              t.Retry();
+            }
+          });
+    });
+  });
+  AwaitCounter(rt, Counter::kSleeps, 1);
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kWaitsetPruned), 1u);
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(shared, std::uint64_t{1}); });
+  waiter.join();
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kWakeups), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, WaitsetPruneTest,
+                         ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                           Backend::kSimHtm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           switch (info.param) {
+                             case Backend::kEagerStm:
+                               return "EagerStm";
+                             case Backend::kLazyStm:
+                               return "LazyStm";
+                             case Backend::kSimHtm:
+                               return "SimHtm";
+                           }
+                           return "Unknown";
+                         });
+
+// --- OrElse partial-rollback orec release ---
+
+TEST(OrElseOrecReleaseTest, EagerReleasesBlindWrittenOrecs) {
+  Runtime rt(ConfigFor(Backend::kEagerStm));
+  TVar<std::uint64_t> cell(5);
+  TVar<std::uint64_t> other(0);
+  Atomically(rt.sys(), [&](Tx& tx) {
+    tx.OrElse(
+        [&](Tx& t) {
+          t.Store(cell, std::uint64_t{77});  // blind write, then abandon
+          t.Retry();
+        },
+        [&](Tx& t) {
+          // The released orec must be usable by this very transaction again:
+          // read (the timestamp extension keeps our snapshot valid past the
+          // release bump) and re-write.
+          EXPECT_EQ(t.Load(cell), 5u);
+          t.Store(cell, std::uint64_t{6});
+          t.Store(other, std::uint64_t{1});
+        });
+  });
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kOrElseOrecReleases), 1u);
+  EXPECT_EQ(cell.UnsafeRead(), 6u);
+  EXPECT_EQ(other.UnsafeRead(), 1u);
+}
+
+TEST(OrElseOrecReleaseTest, EagerReleaseUnblocksConcurrentWriter) {
+  // While the surviving branch runs, another thread must be able to commit to
+  // the location the abandoned branch blind-wrote. Without the release it
+  // would spin on the still-held orec until the OrElse transaction finished.
+  Runtime rt(ConfigFor(Backend::kEagerStm));
+  TVar<std::uint64_t> contested(0);
+  TVar<std::uint64_t> gate(0);
+  std::atomic<bool> sidecar_done{false};
+  std::thread sidecar;
+  Atomically(rt.sys(), [&](Tx& tx) {
+    tx.OrElse(
+        [&](Tx& t) {
+          t.Store(contested, std::uint64_t{99});
+          t.Retry();
+        },
+        [&](Tx& t) {
+          if (!sidecar.joinable()) {
+            // Escape action (runs at most a handful of times on restart):
+            // start a writer targeting the released orec and wait for it.
+            sidecar = std::thread([&] {
+              for (int i = 0; i < 10000 && !sidecar_done.load(); ++i) {
+                bool won = Atomically(rt.sys(), [&](Tx& tx2) -> bool {
+                  if (tx2.Load(contested) == 0) {
+                    tx2.Store(contested, std::uint64_t{1});
+                    return true;
+                  }
+                  return false;
+                });
+                if (won) {
+                  break;
+                }
+              }
+              sidecar_done.store(true);
+            });
+          }
+          // Wait outside the contested orec until the sidecar committed.
+          if (t.Load(gate) == 0 && !sidecar_done.load()) {
+            if (t.RetryFor(std::chrono::milliseconds(2)) ==
+                WaitResult::kTimedOut) {
+              t.RestartNow();
+            }
+          }
+        });
+  });
+  sidecar.join();
+  EXPECT_EQ(contested.UnsafeRead(), 1u)
+      << "sidecar writer never got through the released orec";
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kOrElseOrecReleases), 1u);
+}
+
+TEST(OrElseOrecReleaseTest, SimHtmReleasesBranchLines) {
+  Runtime rt(ConfigFor(Backend::kSimHtm));
+  TVar<std::uint64_t> cell(5);
+  TVar<std::uint64_t> other(0);
+  Atomically(rt.sys(), [&](Tx& tx) {
+    tx.OrElse(
+        [&](Tx& t) {
+          t.Store(cell, std::uint64_t{77});
+          t.Retry();
+        },
+        [&](Tx& t) {
+          EXPECT_EQ(t.Load(cell), 5u);
+          t.Store(other, std::uint64_t{1});
+        });
+  });
+  // Hardware-mode writes are buffered, so the branch's lines release at their
+  // exact pre-acquisition version.
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kOrElseOrecReleases), 1u);
+  EXPECT_EQ(cell.UnsafeRead(), 5u);
+  EXPECT_EQ(other.UnsafeRead(), 1u);
+}
+
+}  // namespace
+}  // namespace tcs
