@@ -31,9 +31,12 @@ Row RunOne(Mechanism mech, std::uint64_t extra_reads, std::uint64_t commits) {
   cfg.backend = Backend::kEagerStm;
   cfg.max_threads = 8;
   Runtime rt(cfg);
-  std::vector<std::uint64_t> table(extra_reads + 1, 1);
-  std::uint64_t flag = 0;
-  std::uint64_t unrelated = 0;
+  std::vector<TVar<std::uint64_t>> table(extra_reads + 1);
+  for (auto& cell : table) {
+    cell.UnsafeWrite(1);
+  }
+  TVar<std::uint64_t> flag(0);
+  TVar<std::uint64_t> unrelated(0);
 
   std::thread waiter([&] {
     Atomically(rt.sys(), [&](Tx& tx) {

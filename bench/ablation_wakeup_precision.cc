@@ -18,8 +18,8 @@ namespace tcs {
 namespace {
 
 bool ThresholdPred(TmSystem& sys, const WaitArgs& args) {
-  const auto* counter = reinterpret_cast<const std::uint64_t*>(args.v[0]);
-  return sys.Read(reinterpret_cast<const TmWord*>(counter)) >= args.v[1];
+  const auto* counter = reinterpret_cast<const TVar<std::uint64_t>*>(args.v[0]);
+  return sys.Read(counter->word()) >= args.v[1];
 }
 
 struct Row {
@@ -37,7 +37,7 @@ Row RunOne(Backend backend, Mechanism mech, std::uint64_t steps) {
   cfg.backend = backend;
   cfg.max_threads = 16;
   Runtime rt(cfg);
-  std::uint64_t counter = 0;
+  TVar<std::uint64_t> counter(0);
   constexpr int kWaiters = 4;
 
   double t0 = NowSec();

@@ -22,7 +22,7 @@ TmConfig MicroConfig(Backend b) {
 
 void BM_ReadOnlyTx(benchmark::State& state) {
   Runtime rt(MicroConfig(BackendOf(state)));
-  std::uint64_t x = 42;
+  TVar<std::uint64_t> x(42);
   for (auto _ : state) {
     std::uint64_t v = Atomically(rt.sys(), [&](Tx& tx) { return tx.Load(x); });
     benchmark::DoNotOptimize(v);
@@ -32,17 +32,17 @@ BENCHMARK(BM_ReadOnlyTx)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_WriterTx(benchmark::State& state) {
   Runtime rt(MicroConfig(BackendOf(state)));
-  std::uint64_t x = 0;
+  TVar<std::uint64_t> x(0);
   for (auto _ : state) {
     Atomically(rt.sys(), [&](Tx& tx) { tx.Store(x, tx.Load(x) + 1); });
   }
-  benchmark::DoNotOptimize(x);
+  benchmark::DoNotOptimize(x.UnsafeRead());
 }
 BENCHMARK(BM_WriterTx)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_Tx10Reads(benchmark::State& state) {
   Runtime rt(MicroConfig(BackendOf(state)));
-  std::uint64_t xs[10] = {};
+  TVar<std::uint64_t> xs[10];
   for (auto _ : state) {
     std::uint64_t sum = Atomically(rt.sys(), [&](Tx& tx) {
       std::uint64_t s = 0;
@@ -58,7 +58,7 @@ BENCHMARK(BM_Tx10Reads)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_Tx10Writes(benchmark::State& state) {
   Runtime rt(MicroConfig(BackendOf(state)));
-  std::uint64_t xs[10] = {};
+  TVar<std::uint64_t> xs[10];
   for (auto _ : state) {
     Atomically(rt.sys(), [&](Tx& tx) {
       for (auto& x : xs) {
@@ -71,7 +71,7 @@ BENCHMARK(BM_Tx10Writes)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ReadOwnWrite(benchmark::State& state) {
   Runtime rt(MicroConfig(BackendOf(state)));
-  std::uint64_t x = 0;
+  TVar<std::uint64_t> x(0);
   for (auto _ : state) {
     Atomically(rt.sys(), [&](Tx& tx) {
       tx.Store(x, std::uint64_t{1});
@@ -85,7 +85,7 @@ BENCHMARK(BM_ReadOwnWrite)->Arg(0)->Arg(1)->Arg(2);
 // paper's design keeps off in-flight (hardware) transactions.
 void BM_WriterCommitNoWaiters(benchmark::State& state) {
   Runtime rt(MicroConfig(BackendOf(state)));
-  std::uint64_t x = 0;
+  TVar<std::uint64_t> x(0);
   for (auto _ : state) {
     Atomically(rt.sys(), [&](Tx& tx) { tx.Store(x, tx.Load(x) + 1); });
   }

@@ -65,7 +65,9 @@ std::vector<ParsecGridRow> CollectParsecGrid(const ParsecGridOptions& opts) {
                         "mechanism changed an app checksum — synchronization bug");
         }
         TrialStats s = Summarize(samples);
-        rows.push_back({app.name, threads, m, s.mean, s.stddev});
+        double throughput =
+            s.mean > 0 ? static_cast<double>(opts.scale) / s.mean : 0.0;
+        rows.push_back({app.name, threads, m, s.mean, s.stddev, throughput});
       }
     }
   }
@@ -79,15 +81,18 @@ void RunParsecGrid(const char* figure_name, const ParsecGridOptions& opts) {
   std::printf("# backend=%s scale=%llu trials=%llu\n", BackendName(opts.backend),
               static_cast<unsigned long long>(opts.scale),
               static_cast<unsigned long long>(opts.trials));
-  PrintColumns({"app", "threads", "mechanism", "mean_s", "stddev_s"});
+  PrintColumns({"app", "threads", "mechanism", "mean_s", "stddev_s",
+                "throughput"});
 
   for (const ParsecGridRow& r : CollectParsecGrid(opts)) {
     char mean[32];
     char dev[32];
+    char tput[32];
     std::snprintf(mean, sizeof(mean), "%.4f", r.mean_s);
     std::snprintf(dev, sizeof(dev), "%.4f", r.stddev_s);
+    std::snprintf(tput, sizeof(tput), "%.2f", r.throughput);
     PrintColumns({r.app, std::to_string(r.threads), MechanismName(r.mech), mean,
-                  dev});
+                  dev, tput});
   }
 }
 

@@ -28,6 +28,9 @@ struct ParsecGridRow {
   Mechanism mech;
   double mean_s;
   double stddev_s;
+  // Scale-normalized throughput (workload units per second): scale / mean_s,
+  // comparable across runs with different --scale values.
+  double throughput;
 };
 
 // Runs the sweep and returns one row per (app, threads, mechanism); aborts if

@@ -27,7 +27,7 @@ int RunScenario(bool use_condvar) {
   Runtime rt({.backend = Backend::kEagerStm});
   BoundedBuffer buf(&rt, Mechanism::kRetry, 8);
   TmCondVar notempty(8);
-  std::uint64_t inprogress = 0;
+  TVar<std::uint64_t> inprogress(0);
   std::atomic<bool> stop{false};
   std::atomic<int> observed{0};
 

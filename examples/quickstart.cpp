@@ -100,7 +100,7 @@ int main() {
   std::printf("bounded consume on empty buffer: %s\n",
               got.has_value() ? "got a value (unexpected!)" : "timed out (expected)");
 
-  // The same primitive, raw: wait up to 50ms for a flag.
+  // The same primitive, used directly: wait up to 50ms for a flag.
   TVar<std::uint64_t> flag(0);
   bool ready = Atomically(rt.sys(), [&](Tx& tx) -> bool {
     if (tx.Load(flag) == 0) {

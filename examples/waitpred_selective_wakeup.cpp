@@ -20,13 +20,13 @@ using namespace tcs;
 namespace {
 
 struct JobBoard {
-  std::uint64_t top_priority = 0;  // priority of the best pending job
-  std::uint64_t job_payload = 0;
+  TVar<std::uint64_t> top_priority;  // priority of the best pending job
+  TVar<std::uint64_t> job_payload;
 };
 
 bool PriorityAtLeast(TmSystem& sys, const WaitArgs& args) {
   const auto* board = reinterpret_cast<const JobBoard*>(args.v[0]);
-  TmWord p = sys.Read(reinterpret_cast<const TmWord*>(&board->top_priority));
+  TmWord p = sys.Read(board->top_priority.word());
   return p >= args.v[1];
 }
 

@@ -58,6 +58,10 @@ std::string_view CounterName(Counter c) {
       return "waitset_pruned";
     case Counter::kOrElseOrecReleases:
       return "orelse_orec_releases";
+    case Counter::kExtendOnValidation:
+      return "extend_on_validation";
+    case Counter::kExtendOnOrecRelease:
+      return "extend_on_orec_release";
     case Counter::kNumCounters:
       break;
   }

@@ -40,6 +40,8 @@ enum class Counter : int {
   kGlobalDeschedules,   // deschedules on the index's global fallback list
   kWaitsetPruned,       // duplicate waitset entries dropped before publication
   kOrElseOrecReleases,  // orecs released by an abandoned OrElse branch
+  kExtendOnValidation,  // shared TryExtendTimestamp calls from read validation
+  kExtendOnOrecRelease,  // shared TryExtendTimestamp calls from orec release
   kNumCounters,
 };
 

@@ -100,8 +100,8 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     d.stats.Bump(Counter::kSleeps);
     bool acquired = true;
     if (timed) {
-      TCS_DCHECK(d.has_deadline);
-      acquired = d.sem.WaitUntil(d.deadline);
+      // Set by the DeadlineExpired check of the *For call that led here.
+      acquired = d.sem.WaitUntil(d.active_deadline);
     } else {
       d.sem.Wait();
     }

@@ -111,9 +111,13 @@ class WakeIndex {
     }
   }
 
-  // Writer side: invokes fn(tid) once for every candidate — each global waiter
-  // plus each waiter registered under a shard covering `orecs`. fn returns
-  // false to stop early. Zero allocation; cost is
+  // Writer side: invokes fn(tid) once for every candidate — each waiter
+  // registered under a shard covering `orecs`, then each global-fallback
+  // waiter. fn returns false to stop early. Shard-indexed candidates are
+  // visited first: their waitsets name addresses the write set's orecs
+  // actually cover, so under wake_single (which stops at the first wakeup)
+  // the writer prefers a waiter it probably satisfied over an
+  // arbitrary-predicate waiter it merely might have. Zero allocation; cost is
   // O(mask_words × (1 + distinct shards touched)).
   template <typename Fn>
   void ForEachCandidate(const Orec* const* orecs, std::size_t n, Fn&& fn) {
@@ -122,12 +126,30 @@ class WakeIndex {
       shard_set |= std::uint64_t{1} << ShardOf(orecs[i]);
     }
     for (int w = 0; w < mask_words_; ++w) {
-      std::uint64_t bits = global_[w].load(std::memory_order_seq_cst);
+      std::uint64_t bits = 0;
       std::uint64_t ss = shard_set;
       while (ss != 0) {
         int s = __builtin_ctzll(ss);
         ss &= ss - 1;
         bits |= ShardWord(s, w).load(std::memory_order_seq_cst);
+      }
+      while (bits != 0) {
+        int bit = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        if (!fn(w * 64 + bit)) {
+          return;
+        }
+      }
+    }
+    for (int w = 0; w < mask_words_; ++w) {
+      std::uint64_t bits = global_[w].load(std::memory_order_seq_cst);
+      // A tid registers either indexed or global, never both; masking out the
+      // shard union only de-dups a racing re-registration between the passes.
+      std::uint64_t ss = shard_set;
+      while (ss != 0) {
+        int s = __builtin_ctzll(ss);
+        ss &= ss - 1;
+        bits &= ~ShardWord(s, w).load(std::memory_order_seq_cst);
       }
       while (bits != 0) {
         int bit = __builtin_ctzll(bits);

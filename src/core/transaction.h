@@ -7,11 +7,15 @@
 // of the paper's checkpoint restore.
 //
 // Data access comes in two layers:
-//  * TVar<T> (core/tvar.h) — the preferred typed surface: any trivially-copyable
-//    T, stored in word-aligned cells the library owns, no size restriction.
-//  * raw Load/Store on plain lvalues — the original word-granularity surface,
-//    kept as a thin deprecated shim for existing call sites. New code should
-//    declare shared state as TVar<T>.
+//  * TVar<T> (core/tvar.h) — the typed surface: any trivially-copyable T,
+//    stored in word-aligned cells the library owns, no size restriction. This
+//    is the only surface the library, the sync adapters, the mini-PARSEC apps,
+//    the benchmarks, and the examples use.
+//  * raw Load/Store on plain lvalues — the original word-granularity shim.
+//    Compiled out unless TCS_ENABLE_RAW_TX_SHIM is defined, which only the
+//    word-granularity TM tests do (they probe orec mapping and sub-word
+//    splicing directly). Application code cannot regress onto it: the library
+//    itself builds without the define.
 //
 // Composition:
 //  * tx.OrElse(b1, b2) — run b1; if it Retry()s, roll its speculative writes
@@ -27,6 +31,7 @@
 #include <cstring>
 #include <initializer_list>
 #include <optional>
+#include <source_location>
 #include <type_traits>
 #include <utility>
 
@@ -60,11 +65,12 @@ class Tx {
     }
   }
 
-  // --- transactional data access: raw lvalues (deprecated shim) ---
+#if defined(TCS_ENABLE_RAW_TX_SHIM)
+  // --- transactional data access: raw lvalues (test-only shim) ---
   // T must be trivially copyable, at most word-sized, and must not straddle an
   // aligned 8-byte boundary. Sub-word accesses are spliced into the containing
-  // word, which is how word-granular STMs handle them. Prefer TVar<T>, which
-  // lifts all three restrictions.
+  // word, which is how word-granular STMs handle them. TVar<T> lifts all three
+  // restrictions and is the only surface available without the define.
   template <typename T>
     requires(!kIsTVar<T>)
   T Load(const T& src) const {
@@ -106,6 +112,7 @@ class Tx {
       sys_.Write(reinterpret_cast<TmWord*>(base), w);
     }
   }
+#endif  // TCS_ENABLE_RAW_TX_SHIM
 
   // --- transactional allocation ---
   void* AllocBytes(std::size_t n) const { return sys_.TxAlloc(n); }
@@ -121,6 +128,7 @@ class Tx {
     sys_.Retry();
   }
 
+#if defined(TCS_ENABLE_RAW_TX_SHIM)
   // Await on the words containing the given variables (Algorithm 6). Like
   // Retry, an Await inside an OrElse branch with an alternative pending
   // transfers to the alternative instead of descheduling — every wait style
@@ -134,6 +142,7 @@ class Tx {
     const TmWord* addrs[] = {WordAddrOf(vars)...};
     sys_.Await(addrs, sizeof...(Ts));
   }
+#endif  // TCS_ENABLE_RAW_TX_SHIM
 
   // Await on every backing word of the given TVars.
   template <typename... Ts>
@@ -171,13 +180,19 @@ class Tx {
   // A satisfied wait never returns (the wakeup restarts the body), and
   // RetryFor(kNoTimeout) is exactly Retry(). Inside an OrElse branch with an
   // alternative pending, a bounded retry also transfers to the alternative.
-  WaitResult RetryFor(std::chrono::nanoseconds timeout) const {
+  // Each call site gets its own deadline (keyed by source location here, by
+  // address set for AwaitFor): the deadline spans the transaction's restarts,
+  // but a later, different wait in the same transaction starts a fresh clock.
+  WaitResult RetryFor(
+      std::chrono::nanoseconds timeout,
+      std::source_location loc = std::source_location::current()) const {
     if (sys_.OrElseAltPending()) {
       throw TxRetrySignal{};
     }
-    return sys_.RetryFor(timeout);
+    return sys_.RetryFor(timeout, WaitKeyOf(loc));
   }
 
+#if defined(TCS_ENABLE_RAW_TX_SHIM)
   template <typename... Ts>
     requires(!kIsTVar<Ts> && ...)
   WaitResult AwaitFor(std::chrono::nanoseconds timeout, const Ts&... vars) const {
@@ -187,6 +202,7 @@ class Tx {
     const TmWord* addrs[] = {WordAddrOf(vars)...};
     return sys_.AwaitFor(addrs, sizeof...(Ts), timeout);
   }
+#endif  // TCS_ENABLE_RAW_TX_SHIM
 
   template <typename... Ts>
   WaitResult AwaitFor(std::chrono::nanoseconds timeout,
@@ -202,12 +218,13 @@ class Tx {
     return sys_.AwaitFor(addrs, kN, timeout);
   }
 
-  WaitResult WaitPredFor(WaitPredFn fn, const WaitArgs& args,
-                         std::chrono::nanoseconds timeout) const {
+  WaitResult WaitPredFor(
+      WaitPredFn fn, const WaitArgs& args, std::chrono::nanoseconds timeout,
+      std::source_location loc = std::source_location::current()) const {
     if (sys_.OrElseAltPending()) {
       throw TxRetrySignal{};
     }
-    return sys_.WaitPredFor(fn, args, timeout);
+    return sys_.WaitPredFor(fn, args, timeout, WaitKeyOf(loc));
   }
 
   // --- composable choice (orElse) ---
@@ -258,6 +275,13 @@ class Tx {
   TmSystem& sys() const { return sys_; }
 
  private:
+  static std::uint64_t WaitKeyOf(const std::source_location& loc) {
+    return reinterpret_cast<std::uintptr_t>(loc.file_name()) ^
+           (static_cast<std::uint64_t>(loc.line()) << 20) ^
+           (static_cast<std::uint64_t>(loc.column()) << 1) ^ 1;
+  }
+
+#if defined(TCS_ENABLE_RAW_TX_SHIM)
   template <typename T>
   static constexpr void CheckType() {
     static_assert(std::is_trivially_copyable_v<T>, "transactional data must be POD");
@@ -272,6 +296,7 @@ class Tx {
     auto a = reinterpret_cast<std::uintptr_t>(&var);
     return reinterpret_cast<const TmWord*>(a & ~(sizeof(TmWord) - 1));
   }
+#endif  // TCS_ENABLE_RAW_TX_SHIM
 
   template <typename T>
   static void AppendWords(const TVar<T>& v, const TmWord** out, std::size_t& i) {

@@ -90,8 +90,8 @@ class TVar {
       std::array<TmWord, kWords> words_;
 };
 
-// Trait used by Tx to keep the deprecated raw Load/Store overloads from
-// swallowing TVar arguments.
+// Trait used by Tx to keep the test-only raw Load/Store shim overloads
+// (TCS_ENABLE_RAW_TX_SHIM) from swallowing TVar arguments.
 template <typename T>
 struct IsTVar : std::false_type {};
 template <typename T>

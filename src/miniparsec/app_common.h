@@ -84,8 +84,11 @@ std::uint64_t BusyWork(std::uint64_t seed, int rounds);
 // A shared typed cell updated under the run's mechanism: the transactionalized
 // critical section the PARSEC ports replace locks with. Under kPthreads the
 // cell is mutex-protected; under TM mechanisms it is a typed transactional
-// cell (TVar<T> — the deprecated raw Load/Store shim is no longer used
-// anywhere in mini-PARSEC) whose words commit as a unit.
+// cell (TVar<T>) whose words commit as a unit. Every app declares its shared
+// state as an app-specific struct held in one of these — multi-word, typed,
+// and updated atomically — and the raw word-level Load/Store shim that
+// early ports used is gone from this layer entirely (the library builds
+// without TCS_ENABLE_RAW_TX_SHIM, so an app cannot regress onto it).
 template <typename T>
 class SharedCell {
  public:
@@ -125,20 +128,6 @@ class SharedCell {
   Mechanism mech_;
   TVar<T> cell_;
   std::mutex mu_;
-};
-
-// Order-insensitive counter, the common single-word case of SharedCell.
-class SharedAccumulator {
- public:
-  SharedAccumulator(Runtime* rt, Mechanism mech) : cell_(rt, mech) {}
-
-  void Add(std::uint64_t v) {
-    cell_.Update([v](std::uint64_t& total) { total += v; });
-  }
-  std::uint64_t Get() { return cell_.Snapshot(); }
-
- private:
-  SharedCell<std::uint64_t> cell_;
 };
 
 // Wall-clock helper.

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/assert.h"
 #include "src/miniparsec/app_common.h"
 #include "src/sync/ticket_gate.h"
 #include "src/sync/work_queue.h"
@@ -19,6 +20,15 @@ namespace {
 constexpr int kFramesPerScale = 6;
 constexpr std::uint64_t kTasksPerFrame = 32;
 constexpr int kWorkRounds = 400;
+
+// The tracker's shared particle-weight table, held in one typed transactional
+// cell: both fields commit as a unit (TVar<T> spreads the struct across two
+// backing words), so a reader can never observe a weight total whose particle
+// count is stale. Mutex-protected under kPthreads.
+struct TrackerState {
+  std::uint64_t weight_total;
+  std::uint64_t particles_done;
+};
 
 }  // namespace
 
@@ -34,8 +44,8 @@ AppResult RunBodytrack(const AppConfig& cfg) {
 
   WorkQueue tasks(rt.get(), cfg.mech, 16);        // [sync: task_push / task_pop]
   TicketGate model_ready(rt.get(), cfg.mech);     // [sync: model_ready_gate]
-  TicketGate frame_done(rt.get(), cfg.mech);      // [sync: frame_done_gate]
-  SharedAccumulator weights(rt.get(), cfg.mech);  // the transactionalized CS
+  TicketGate frame_done(rt.get(), cfg.mech);        // [sync: frame_done_gate]
+  SharedCell<TrackerState> tracker(rt.get(), cfg.mech);  // the transactionalized CS
 
   double t0 = NowSeconds();
   std::vector<std::thread> workers;
@@ -45,7 +55,10 @@ AppResult RunBodytrack(const AppConfig& cfg) {
       // [sync: pool_shutdown] — Pop returns nullopt when the queue closes.
       while (auto task = tasks.Pop()) {
         std::uint64_t weight = BusyWork(cfg.seed + *task, kWorkRounds);
-        weights.Add(weight);
+        tracker.Update([&](TrackerState& t) {
+          t.weight_total += weight;
+          t.particles_done += 1;
+        });
         frame_done.Bump();
       }
     });
@@ -62,14 +75,20 @@ AppResult RunBodytrack(const AppConfig& cfg) {
     }
     // Block until every particle of this frame is weighted.
     frame_done.WaitFor(static_cast<std::uint64_t>(f + 1) * kTasksPerFrame);
-    checksum ^= BusyWork(weights.Get() + static_cast<std::uint64_t>(f), 8);
+    checksum ^= BusyWork(tracker.Snapshot().weight_total +
+                             static_cast<std::uint64_t>(f),
+                         8);
   }
   tasks.Close();
   for (auto& w : workers) {
     w.join();
   }
   double t1 = NowSeconds();
-  checksum += weights.Get();
+  TrackerState final_state = tracker.UnsafeRead();  // workers joined: quiescent
+  TCS_CHECK_MSG(final_state.particles_done ==
+                    static_cast<std::uint64_t>(frames) * kTasksPerFrame,
+                "bodytrack end-state invariant: every particle weighted once");
+  checksum += final_state.weight_total;
   return {checksum, t1 - t0};
 }
 

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/assert.h"
 #include "src/miniparsec/app_common.h"
 #include "src/sync/pipeline_channel.h"
 #include "src/sync/ticket_gate.h"
@@ -22,6 +23,15 @@ namespace {
 constexpr std::uint64_t kChunksPerScale = 192;
 constexpr int kCompressRounds = 500;
 constexpr int kWriteRounds = 60;
+
+// The compress stage's shared chunk index — the analog of dedup's hash table
+// of seen chunks, the critical section the TM port transactionalizes. One
+// typed cell: the chunk count and the payload digest commit together, so a
+// torn view (count without digest) is impossible on any backend.
+struct ChunkIndex {
+  std::uint64_t chunks_compressed;
+  std::uint64_t payload_digest;
+};
 
 }  // namespace
 
@@ -39,6 +49,7 @@ AppResult RunDedup(const AppConfig& cfg) {
   PipelineChannel to_compress(rt.get(), cfg.mech, 16, 1);  // [sync: chunk_to_compress]
   PipelineChannel to_write(rt.get(), cfg.mech, 16, compressors);  // [sync: compress_to_write]
   TicketGate order(rt.get(), cfg.mech);  // [sync: ordered_output_gate]
+  SharedCell<ChunkIndex> index(rt.get(), cfg.mech);
   std::vector<std::uint64_t> compressed(chunks, 0);
 
   double t0 = NowSeconds();
@@ -47,6 +58,10 @@ AppResult RunDedup(const AppConfig& cfg) {
     workers.emplace_back([&] {
       while (auto id = to_compress.Pop()) {
         compressed[*id] = BusyWork(cfg.seed + *id, kCompressRounds);
+        index.Update([&](ChunkIndex& ix) {
+          ix.chunks_compressed += 1;
+          ix.payload_digest += compressed[*id];
+        });
         // Deduplicated chunks enter the output stream strictly in input order:
         // wait for our turn, then hand the chunk downstream and open the next.
         order.WaitFor(*id);
@@ -72,6 +87,15 @@ AppResult RunDedup(const AppConfig& cfg) {
   }
   writer.join();
   double t1 = NowSeconds();
+  ChunkIndex final_ix = index.UnsafeRead();  // workers joined: quiescent
+  TCS_CHECK_MSG(final_ix.chunks_compressed == chunks,
+                "dedup end-state invariant: every chunk compressed once");
+  std::uint64_t digest = 0;
+  for (std::uint64_t c : compressed) {
+    digest += c;
+  }
+  TCS_CHECK_MSG(final_ix.payload_digest == digest,
+                "dedup end-state invariant: index digest matches the chunks");
   return {checksum, t1 - t0};
 }
 

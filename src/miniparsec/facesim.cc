@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/assert.h"
 #include "src/miniparsec/app_common.h"
 #include "src/sync/phase_barrier.h"
 #include "src/sync/ticket_gate.h"
@@ -27,6 +28,17 @@ constexpr int kFramesPerScale = 3;
 constexpr int kIterations = 4;
 constexpr std::uint64_t kItems = 256;  // mesh nodes, fixed so checksums are stable
 constexpr int kPhaseRounds = 60;
+
+// The solver's shared reduction state: the residual from the barriered solve,
+// the fixup-pass digest, and the fixup-task count, in one typed transactional
+// cell (three backing words committed as a unit). Workers updating different
+// fields contend on the same cell — exactly the multi-field critical section
+// the face solver's reduction serializes.
+struct SolverTotals {
+  std::uint64_t residual;
+  std::uint64_t fixup_digest;
+  std::uint64_t fixups_done;
+};
 
 }  // namespace
 
@@ -48,8 +60,7 @@ AppResult RunFacesim(const AppConfig& cfg) {
   TicketGate residual_done(rt.get(), cfg.mech);   // [sync: residual_gate]
   TicketGate frame_open(rt.get(), cfg.mech);      // [sync: frame_gate]
   TicketGate fixup_done(rt.get(), cfg.mech);      // [sync: done_gate]
-  SharedAccumulator residual(rt.get(), cfg.mech);
-  SharedAccumulator fixup_sum(rt.get(), cfg.mech);
+  SharedCell<SolverTotals> solver(rt.get(), cfg.mech);
 
   double t0 = NowSeconds();
   std::vector<std::thread> workers;
@@ -73,7 +84,7 @@ AppResult RunFacesim(const AppConfig& cfg) {
           }
           barrier_b.ArriveAndWait();
         }
-        residual.Add(partial);
+        solver.Update([&](SolverTotals& t) { t.residual += partial; });
         residual_done.Bump();
         // Fixup pass: exactly one dynamically scheduled task per worker. Each
         // task covers a fixed slice of items so the frame's total fixup work is
@@ -86,7 +97,10 @@ AppResult RunFacesim(const AppConfig& cfg) {
           for (std::uint64_t i = flo; i < fhi; ++i) {
             sum += BusyWork(frame_seed + 2 * kItems + i, kPhaseRounds / 4);
           }
-          fixup_sum.Add(sum);
+          solver.Update([&](SolverTotals& t) {
+            t.fixup_digest += sum;
+            t.fixups_done += 1;
+          });
           fixup_done.Bump();
         }
       }
@@ -97,18 +111,26 @@ AppResult RunFacesim(const AppConfig& cfg) {
   for (int f = 0; f < frames; ++f) {
     frame_open.Publish(static_cast<std::uint64_t>(f) + 1);
     residual_done.WaitFor(static_cast<std::uint64_t>(f + 1) * wn);
-    checksum ^= BusyWork(residual.Get() + static_cast<std::uint64_t>(f), 4);
+    checksum ^= BusyWork(solver.Snapshot().residual +
+                             static_cast<std::uint64_t>(f),
+                         4);
     for (std::uint64_t p = 0; p < wn; ++p) {
       fixups.Push(p);
     }
     fixup_done.WaitFor(static_cast<std::uint64_t>(f + 1) * wn);
-    checksum ^= BusyWork(fixup_sum.Get() + static_cast<std::uint64_t>(f), 4);
+    checksum ^= BusyWork(solver.Snapshot().fixup_digest +
+                             static_cast<std::uint64_t>(f),
+                         4);
   }
   fixups.Close();
   for (auto& w : workers) {
     w.join();
   }
   double t1 = NowSeconds();
+  SolverTotals final_totals = solver.UnsafeRead();  // workers joined: quiescent
+  TCS_CHECK_MSG(final_totals.fixups_done ==
+                    static_cast<std::uint64_t>(frames) * wn,
+                "facesim end-state invariant: one fixup task per worker per frame");
   return {checksum, t1 - t0};
 }
 

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/assert.h"
 #include "src/miniparsec/app_common.h"
 #include "src/sync/pipeline_channel.h"
 
@@ -16,6 +17,14 @@ namespace {
 constexpr std::uint64_t kQueriesPerScale = 160;
 constexpr int kExtractRounds = 350;
 constexpr int kRankRounds = 350;
+
+// The shared ranking table the last pipeline stage updates — ferret's top-k
+// result list, the critical section its TM port transactionalizes. One typed
+// cell: rank digest and ranked-query count commit as a unit.
+struct RankTable {
+  std::uint64_t rank_sum;
+  std::uint64_t queries_ranked;
+};
 
 }  // namespace
 
@@ -34,7 +43,7 @@ AppResult RunFerret(const AppConfig& cfg) {
 
   PipelineChannel to_extract(rt.get(), cfg.mech, 16, 1);  // [sync: segment_to_extract]
   PipelineChannel to_rank(rt.get(), cfg.mech, 16, extractors);  // [sync: extract_to_rank]
-  SharedAccumulator ranks(rt.get(), cfg.mech);
+  SharedCell<RankTable> ranks(rt.get(), cfg.mech);
 
   double t0 = NowSeconds();
   std::vector<std::thread> threads;
@@ -52,7 +61,11 @@ AppResult RunFerret(const AppConfig& cfg) {
   for (int w = 0; w < rankers; ++w) {
     threads.emplace_back([&] {
       while (auto feature = to_rank.Pop()) {
-        ranks.Add(BusyWork(*feature, kRankRounds));
+        std::uint64_t rank = BusyWork(*feature, kRankRounds);
+        ranks.Update([&](RankTable& t) {
+          t.rank_sum += rank;
+          t.queries_ranked += 1;
+        });
       }
     });
   }
@@ -64,7 +77,10 @@ AppResult RunFerret(const AppConfig& cfg) {
     t.join();
   }
   double t1 = NowSeconds();
-  return {ranks.Get(), t1 - t0};
+  RankTable final_table = ranks.UnsafeRead();  // workers joined: quiescent
+  TCS_CHECK_MSG(final_table.queries_ranked == queries,
+                "ferret end-state invariant: every query ranked once");
+  return {final_table.rank_sum, t1 - t0};
 }
 
 }  // namespace tcs

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/assert.h"
 #include "src/miniparsec/app_common.h"
 #include "src/sync/ticket_gate.h"
 #include "src/sync/work_queue.h"
@@ -18,6 +19,15 @@ namespace {
 constexpr int kFramesPerScale = 5;
 constexpr std::uint64_t kTilesPerFrame = 48;
 constexpr int kRenderRounds = 350;
+
+// The accumulated frame buffer: pixel digest plus tiles-rendered count, one
+// typed cell whose words commit as a unit, so the camera-update read can never
+// see a digest from one tile set and a count from another. Mutex-protected
+// under kPthreads.
+struct FrameBuffer {
+  std::uint64_t pixel_digest;
+  std::uint64_t tiles_rendered;
+};
 
 }  // namespace
 
@@ -33,14 +43,18 @@ AppResult RunRaytrace(const AppConfig& cfg) {
 
   WorkQueue tiles(rt.get(), cfg.mech, 8);       // [sync: tile_push / tile_pop]
   TicketGate frame_done(rt.get(), cfg.mech);    // [sync: frame_done_gate]
-  SharedAccumulator image(rt.get(), cfg.mech);
+  SharedCell<FrameBuffer> image(rt.get(), cfg.mech);
 
   double t0 = NowSeconds();
   std::vector<std::thread> workers;
   for (int w = 0; w < cfg.threads; ++w) {
     workers.emplace_back([&] {
       while (auto tile = tiles.Pop()) {
-        image.Add(BusyWork(cfg.seed + *tile, kRenderRounds));
+        std::uint64_t pixels = BusyWork(cfg.seed + *tile, kRenderRounds);
+        image.Update([&](FrameBuffer& fb) {
+          fb.pixel_digest += pixels;
+          fb.tiles_rendered += 1;
+        });
         frame_done.Bump();
       }
     });
@@ -52,13 +66,19 @@ AppResult RunRaytrace(const AppConfig& cfg) {
     }
     frame_done.WaitFor(static_cast<std::uint64_t>(f + 1) * kTilesPerFrame);
     // Camera update consumes the finished frame.
-    checksum ^= BusyWork(image.Get() + static_cast<std::uint64_t>(f), 8);
+    checksum ^= BusyWork(image.Snapshot().pixel_digest +
+                             static_cast<std::uint64_t>(f),
+                         8);
   }
   tiles.Close();
   for (auto& w : workers) {
     w.join();
   }
   double t1 = NowSeconds();
+  FrameBuffer final_fb = image.UnsafeRead();  // workers joined: quiescent
+  TCS_CHECK_MSG(final_fb.tiles_rendered ==
+                    static_cast<std::uint64_t>(frames) * kTilesPerFrame,
+                "raytrace end-state invariant: every tile rendered once");
   return {checksum, t1 - t0};
 }
 

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/assert.h"
 #include "src/miniparsec/app_common.h"
 #include "src/sync/ticket_gate.h"
 
@@ -18,6 +19,14 @@ constexpr int kFramesPerScale = 12;
 constexpr std::uint64_t kRows = 24;
 constexpr int kEncodeRounds = 120;
 constexpr std::uint64_t kRefLead = 2;  // rows of lead required in the reference frame
+
+// The shared output bitstream: encoded-bit digest plus row count, one typed
+// transactional cell whose two words commit as a unit. Mutex-protected under
+// kPthreads.
+struct Bitstream {
+  std::uint64_t bits;
+  std::uint64_t rows_encoded;
+};
 
 }  // namespace
 
@@ -38,7 +47,7 @@ AppResult RunX264(const AppConfig& cfg) {
   for (int f = 0; f < frames; ++f) {
     gates.push_back(std::make_unique<TicketGate>(rt.get(), cfg.mech));
   }
-  SharedAccumulator bitstream(rt.get(), cfg.mech);
+  SharedCell<Bitstream> bitstream(rt.get(), cfg.mech);
 
   double t0 = NowSeconds();
   std::vector<std::thread> encoders;
@@ -55,7 +64,10 @@ AppResult RunX264(const AppConfig& cfg) {
           std::uint64_t row_bits =
               BusyWork(cfg.seed + static_cast<std::uint64_t>(f) * kRows + r,
                        kEncodeRounds);
-          bitstream.Add(row_bits);
+          bitstream.Update([&](Bitstream& b) {
+            b.bits += row_bits;
+            b.rows_encoded += 1;
+          });
           gates[static_cast<std::size_t>(f)]->Bump();
         }
       }
@@ -65,7 +77,11 @@ AppResult RunX264(const AppConfig& cfg) {
     e.join();
   }
   double t1 = NowSeconds();
-  return {bitstream.Get(), t1 - t0};
+  Bitstream final_bs = bitstream.UnsafeRead();  // encoders joined: quiescent
+  TCS_CHECK_MSG(final_bs.rows_encoded ==
+                    static_cast<std::uint64_t>(frames) * kRows,
+                "x264 end-state invariant: every macroblock row encoded once");
+  return {final_bs.bits, t1 - t0};
 }
 
 }  // namespace tcs

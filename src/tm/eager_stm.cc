@@ -14,48 +14,28 @@ void EagerStm::BeginTx(TxDesc& d) {
 // transaction's start (or locked by this transaction).
 TmWord EagerStm::ReadWord(TxDesc& d, const TmWord* addr) {
   Orec& o = orecs_.For(addr);
-  std::uint64_t o1 = o.word.load(std::memory_order_acquire);
-  TmWord val = LoadWordAcquire(addr);
-  if (Orec::IsLocked(o1)) {
-    if (Orec::Owner(o1) == d.tid) {
+  for (;;) {
+    std::uint64_t o1 = o.word.load(std::memory_order_acquire);
+    TmWord val = LoadWordAcquire(addr);
+    if (Orec::IsLocked(o1)) {
+      if (Orec::Owner(o1) == d.tid) {
+        return val;
+      }
+      AbortCurrent(d, Counter::kAborts);
+    }
+    std::uint64_t o2 = o.word.load(std::memory_order_acquire);
+    if (o1 == o2 && Orec::Version(o1) <= d.start) {
+      d.reads.push_back(&o);
       return val;
     }
-    AbortCurrent(d, Counter::kAborts);
-  }
-  std::uint64_t o2 = o.word.load(std::memory_order_acquire);
-  if (o1 == o2 && Orec::Version(o1) <= d.start) {
-    d.reads.push_back(&o);
-    if (cfg_.timestamp_extension) {
-      d.read_words.push_back(o1);
+    if (o1 != o2 || !cfg_.timestamp_extension ||
+        !TryExtendTimestamp(d, ExtendSite::kValidation)) {
+      AbortCurrent(d, Counter::kAborts);
     }
-    return val;
+    // Extended: retake the whole sample. Re-checking the pre-extension o1
+    // against the new start would accept a value a writer overwrote between
+    // the o2 check and the extension's clock sample — a non-serializable mix.
   }
-  if (o1 == o2 && !Orec::IsLocked(o1) && cfg_.timestamp_extension &&
-      TryExtendTimestamp(d) && Orec::Version(o1) <= d.start) {
-    d.reads.push_back(&o);
-    d.read_words.push_back(o1);
-    return val;
-  }
-  AbortCurrent(d, Counter::kAborts);
-}
-
-bool EagerStm::TryExtendTimestamp(TxDesc& d) {
-  std::uint64_t now = clock_.Load();
-  for (std::size_t i = 0; i < d.reads.size(); ++i) {
-    std::uint64_t w = d.reads[i]->word.load(std::memory_order_acquire);
-    if (w == d.read_words[i]) {
-      continue;
-    }
-    // An orec we read and later locked ourselves still covers consistent data.
-    if (Orec::IsLocked(w) && Orec::Owner(w) == d.tid) {
-      continue;
-    }
-    return false;
-  }
-  d.start = now;
-  quiesce_.SetActive(d.tid, now);
-  d.stats.Bump(Counter::kTimestampExtensions);
-  return true;
 }
 
 // Algorithm 10, TxWrite: acquire the covering lock (unless already held), log the
@@ -89,7 +69,6 @@ bool EagerStm::CommitTx(TxDesc& d) {
   if (d.locks.empty()) {
     // Read-only: every read was consistent when performed; nothing to publish.
     d.reads.clear();
-    d.read_words.clear();
     quiesce_.SetInactive(d.tid);
     return false;
   }
@@ -134,7 +113,6 @@ void EagerStm::Rollback(TxDesc& d) {
   d.undo.Clear();
   d.locks.clear();
   d.reads.clear();
-  d.read_words.clear();
   d.redo.Clear();
   quiesce_.SetInactive(d.tid);
 }
@@ -154,15 +132,13 @@ void EagerStm::Rollback(TxDesc& d) {
 // The bumped versions can exceed this transaction's own start time, which
 // would make its later reads — and commit-time validation of earlier reads —
 // of those very locations abort it (and re-running the branch re-releases,
-// livelocking). So the release is paired with a timestamp extension: advance
-// d.start to the post-release clock after revalidating every read orec. A
-// read orec still unlocked at or below the old start is unchanged since it was
-// read (committed writers always publish versions newer than any concurrent
-// start); one holding exactly a word this rollback just published was
-// untouched by anyone else since we read it (we held the lock in between, and
-// the value beneath has been restored). Anything else is foreign interference,
-// and the transaction conservatively aborts — no worse than the conflict it
-// was already heading for.
+// livelocking). So the release is paired with the shared timestamp extension:
+// advance d.start to the post-release clock after revalidating every read
+// orec, tolerating the words this rollback itself just published (we held the
+// lock in between, and the value beneath has been restored, so nobody else can
+// have touched those locations). Anything else is foreign interference, and
+// the transaction conservatively aborts — no worse than the conflict it was
+// already heading for.
 void EagerStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
   TCS_DCHECK(d.redo.Empty());
   d.undo.UndoTo(sp.undo_size);
@@ -170,11 +146,7 @@ void EagerStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
   if (sp.locks_size == d.locks.size()) {
     return;
   }
-  struct Released {
-    const Orec* orec;
-    std::uint64_t word;
-  };
-  std::vector<Released> released;
+  std::vector<ReleasedOrecWord> released;
   released.reserve(d.locks.size() - sp.locks_size);
   for (std::size_t i = sp.locks_size; i < d.locks.size(); ++i) {
     const LockedOrec& l = d.locks[i];
@@ -185,38 +157,10 @@ void EagerStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
   d.locks.resize(sp.locks_size);
   d.stats.Bump(Counter::kOrElseOrecReleases, released.size());
   clock_.Increment();
-  std::uint64_t new_start = clock_.Load();
-  for (std::size_t i = 0; i < d.reads.size(); ++i) {
-    Orec* o = d.reads[i];
-    std::uint64_t w = o->word.load(std::memory_order_acquire);
-    if (Orec::IsLocked(w)) {
-      if (Orec::Owner(w) == d.tid) {
-        continue;
-      }
-      AbortCurrent(d, Counter::kAborts);
-    }
-    if (Orec::Version(w) <= d.start) {
-      continue;
-    }
-    bool own_release = false;
-    for (const Released& r : released) {
-      if (r.orec == o && r.word == w) {
-        own_release = true;
-        break;
-      }
-    }
-    if (!own_release) {
-      AbortCurrent(d, Counter::kAborts);
-    }
-    // Exact-match revalidation (timestamp extension) records the word observed
-    // at read time; refresh it so a later extension doesn't misread our own
-    // release bump as foreign interference.
-    if (cfg_.timestamp_extension) {
-      d.read_words[i] = w;
-    }
+  if (!TryExtendTimestamp(d, ExtendSite::kOrecRelease, released.data(),
+                          released.size())) {
+    AbortCurrent(d, Counter::kAborts);
   }
-  d.start = new_start;
-  quiesce_.SetActive(d.tid, new_start);
 }
 
 TmWord EagerStm::PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) {

@@ -27,12 +27,6 @@ class EagerStm final : public TmSystem {
   void PartialRollback(TxDesc& d, const TxSavepoint& sp) override;
   TmWord PreTxValue(TxDesc& d, const TmWord* addr, TmWord observed) override;
   void PrepareAwait(TxDesc& d, const TmWord* const* addrs, std::size_t n) override;
-
- private:
-  // Timestamp extension (Riegel et al. [22]): revalidate the read set exactly and
-  // move `start` to the current clock, salvaging a read that would otherwise
-  // abort on a too-new version. Returns true on success.
-  bool TryExtendTimestamp(TxDesc& d);
 };
 
 }  // namespace tcs

@@ -16,18 +16,28 @@ TmWord LazyStm::ReadWord(TxDesc& d, const TmWord* addr) {
     return v;
   }
   Orec& o = orecs_.For(addr);
-  std::uint64_t o1 = o.word.load(std::memory_order_acquire);
-  if (Orec::IsLocked(o1)) {
-    // Locks are held only during a concurrent commit's write-back window.
-    AbortCurrent(d, Counter::kAborts);
+  for (;;) {
+    std::uint64_t o1 = o.word.load(std::memory_order_acquire);
+    if (Orec::IsLocked(o1)) {
+      // Locks are held only during a concurrent commit's write-back window.
+      AbortCurrent(d, Counter::kAborts);
+    }
+    v = LoadWordAcquire(addr);
+    std::uint64_t o2 = o.word.load(std::memory_order_acquire);
+    if (o1 == o2 && Orec::Version(o1) <= d.start) {
+      d.reads.push_back(&o);
+      return v;
+    }
+    // Too-new but stable: the shared extension path can salvage the read by
+    // revalidating the read set and advancing `start`, exactly as in eager STM
+    // (buffered writes need no special handling — the redo log is private).
+    if (o1 != o2 || !cfg_.timestamp_extension ||
+        !TryExtendTimestamp(d, ExtendSite::kValidation)) {
+      AbortCurrent(d, Counter::kAborts);
+    }
+    // Extended: retake the whole sample rather than re-checking the stale o1,
+    // which could accept a value overwritten during the extension itself.
   }
-  v = LoadWordAcquire(addr);
-  std::uint64_t o2 = o.word.load(std::memory_order_acquire);
-  if (o1 == o2 && Orec::Version(o1) <= d.start) {
-    d.reads.push_back(&o);
-    return v;
-  }
-  AbortCurrent(d, Counter::kAborts);
 }
 
 void LazyStm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {

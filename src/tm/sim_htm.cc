@@ -288,6 +288,14 @@ void SimHtm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
   d.locks.resize(sp.locks_size);
   if (released > 0) {
     d.stats.Bump(Counter::kOrElseOrecReleases, released);
+    if (cfg_.timestamp_extension) {
+      // Unlike eager's prev+1 bump, the exact-version release leaves the
+      // transaction consistent as-is, so the shared extension is opportunistic
+      // here: on success the surviving branch tolerates more foreign commits
+      // before aborting; on failure `start` is untouched and commit-time
+      // validation still decides.
+      TryExtendTimestamp(d, ExtendSite::kOrecRelease);
+    }
   }
 }
 

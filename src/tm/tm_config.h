@@ -29,9 +29,13 @@ struct TmConfig {
   // Run commit-time quiescence so privatization is safe (Appendix A).
   bool privatization_safety = true;
 
-  // Eager STM: on a too-new read, try to extend the transaction's timestamp by
-  // revalidating the read set instead of aborting (Appendix A names this as the
-  // standard fix for its "overly conservative" abort; Riegel et al. [22]).
+  // Eager/lazy STM: on a too-new read, try to extend the transaction's
+  // timestamp by revalidating the read set instead of aborting (Appendix A
+  // names this as the standard fix for its "overly conservative" abort; Riegel
+  // et al. [22]). All extension callers — read validation, OrElse orec release,
+  // sim-HTM buffered release — share one TmSystem::TryExtendTimestamp path;
+  // eager's OrElse release extends unconditionally (its release bumps versions
+  // past `start`, so the extension is correctness-relevant there).
   bool timestamp_extension = false;
 
   // ---- Simulated HTM knobs ----

@@ -157,9 +157,11 @@ void TmSystem::Begin() {
   d.skip_backoff = false;
   if (!d.internal) {
     // A restart unwinds past any OrElse frames without running their handlers;
-    // the fresh attempt starts with no alternatives armed. The timed-wait
-    // deadline deliberately survives restarts (see TxDesc).
+    // the fresh attempt starts with no alternatives armed. Armed timed-wait
+    // deadlines deliberately survive restarts (see TxDesc); only the attempt's
+    // occurrence bookkeeping resets.
     d.orelse_alts = 0;
+    d.wait_keys_this_attempt.clear();
   }
   BeginTx(d);
 }
@@ -210,7 +212,6 @@ void TmSystem::Commit() {
 
 void TmSystem::ClearAccessSets(TxDesc& d) {
   d.reads.clear();
-  d.read_words.clear();
   d.locks.clear();
   d.undo.Clear();
   d.redo.Clear();
@@ -221,7 +222,8 @@ void TmSystem::ResetDescAfterTx(TxDesc& d) {
   d.waitset.Clear();
   d.retry_logging = false;
   d.orelse_alts = 0;
-  d.has_deadline = false;
+  d.deadlines.clear();
+  d.wait_keys_this_attempt.clear();
   d.htm_software_next = false;
   d.htm_attempts = 0;
   d.htm_abort_code = 0;
@@ -339,6 +341,46 @@ void TmSystem::SnapshotCommitOrecsFromUndoIfNeeded(TxDesc& d) {
   }
 }
 
+bool TmSystem::TryExtendTimestamp(TxDesc& d, ExtendSite site,
+                                  const ReleasedOrecWord* released,
+                                  std::size_t released_n) {
+  d.stats.Bump(site == ExtendSite::kValidation ? Counter::kExtendOnValidation
+                                               : Counter::kExtendOnOrecRelease);
+  // Sample the clock *before* revalidating: a commit that lands between the
+  // sample and the checks makes some read orec too new and the extension
+  // fails, never the reverse.
+  std::uint64_t now = clock_.Load();
+  for (Orec* o : d.reads) {
+    std::uint64_t w = o->word.load(std::memory_order_acquire);
+    if (Orec::IsLocked(w)) {
+      // An orec we read and later locked ourselves still covers consistent data.
+      if (Orec::Owner(w) == d.tid) {
+        continue;
+      }
+      return false;
+    }
+    // Unlocked at or below start: unchanged since this transaction read it,
+    // because committed versions always exceed any concurrently sampled start.
+    if (Orec::Version(w) <= d.start) {
+      continue;
+    }
+    bool own_release = false;
+    for (std::size_t j = 0; j < released_n; ++j) {
+      if (released[j].orec == o && released[j].word == w) {
+        own_release = true;
+        break;
+      }
+    }
+    if (!own_release) {
+      return false;
+    }
+  }
+  d.start = now;
+  quiesce_.SetActive(d.tid, now);
+  d.stats.Bump(Counter::kTimestampExtensions);
+  return true;
+}
+
 void TmSystem::Retry() {
   TxDesc& d = Desc();
   TCS_CHECK_MSG(d.nesting > 0, "Retry outside transaction");
@@ -358,41 +400,83 @@ void TmSystem::Retry() {
   Deschedule(&FindChangesPred, args);
 }
 
-bool TmSystem::DeadlineExpired(TxDesc& d, std::chrono::nanoseconds timeout) {
+namespace {
+
+// splitmix64-style mixer: folds a wait key with its occurrence ordinal so two
+// logical waits never share a deadline slot by accident.
+std::uint64_t MixWaitKey(std::uint64_t key, std::uint64_t occurrence) {
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ULL * (occurrence + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool TmSystem::DeadlineExpired(TxDesc& d, std::chrono::nanoseconds timeout,
+                               std::uint64_t wait_key) {
+  std::uint64_t occurrence = 0;
+  for (std::uint64_t k : d.wait_keys_this_attempt) {
+    if (k == wait_key) {
+      ++occurrence;
+    }
+  }
+  d.wait_keys_this_attempt.push_back(wait_key);
+  const std::uint64_t key = MixWaitKey(wait_key, occurrence);
   auto now = std::chrono::steady_clock::now();
-  if (!d.has_deadline) {
-    // First timed-wait call of this transaction: arm the shared deadline. It
-    // survives restarts (logging restart, conflict aborts, false wakeups) so
-    // the bound covers total elapsed time.
-    d.has_deadline = true;
-    auto max_tp = std::chrono::steady_clock::time_point::max();
-    d.deadline = (timeout > max_tp - now) ? max_tp : now + timeout;
+  for (std::size_t i = 0; i < d.deadlines.size(); ++i) {
+    if (d.deadlines[i].key != key) {
+      continue;
+    }
+    // This call armed its deadline on an earlier restart of the transaction
+    // (logging restart, conflict abort, false wakeup): the bound covers the
+    // call's total elapsed wait, not one sleep. The slot is kept on expiry —
+    // if the attempt delivering kTimedOut aborts on a conflict, the replay
+    // finds the expired slot and re-delivers instead of re-arming a fresh
+    // budget (a loop that waits again after a timeout is a new occurrence,
+    // so it still gets its own slot). Commit clears everything.
+    if (now >= d.deadlines[i].at) {
+      d.stats.Bump(Counter::kWaitTimeouts);
+      return true;
+    }
+    d.active_deadline = d.deadlines[i].at;
     return false;
   }
-  if (now >= d.deadline) {
-    d.has_deadline = false;
-    d.stats.Bump(Counter::kWaitTimeouts);
-    return true;
-  }
+  // First time this call is reached: arm its own deadline.
+  auto max_tp = std::chrono::steady_clock::time_point::max();
+  auto at = (timeout > max_tp - now) ? max_tp : now + timeout;
+  d.deadlines.push_back({key, at});
+  d.active_deadline = at;
   return false;
 }
 
-WaitResult TmSystem::RetryFor(std::chrono::nanoseconds timeout) {
+WaitResult TmSystem::RetryFor(std::chrono::nanoseconds timeout,
+                              std::uint64_t wait_key) {
   TxDesc& d = Desc();
   TCS_CHECK_MSG(d.nesting > 0, "RetryFor outside transaction");
   if (timeout >= kNoTimeout) {
     Retry();
   }
-  if (DeadlineExpired(d, timeout)) {
-    return WaitResult::kTimedOut;
-  }
   if (NeedsSoftwareForCondSync(d)) {
     SwitchToSoftwareMode(d, /*enable_retry_logging=*/true);
   }
   if (!d.retry_logging) {
+    // First encounter: restart to build the waitset; the deadline arms on the
+    // logging pass, once the addresses identifying this wait are known.
     d.retry_logging = true;
     d.skip_backoff = true;
     AbortCurrent(d, Counter::kRetryRestarts);
+  }
+  // Fold the waitset's addresses into the call-site key: a false-wakeup replay
+  // of the same wait re-reads the same locations (deterministic body, so the
+  // armed deadline is found again), while a *different* wait funneled through
+  // the same call site — two queue pops through one adapter line — reads a
+  // different set and gets its own budget.
+  for (const WaitSet::Entry& e : d.waitset.entries()) {
+    wait_key = MixWaitKey(wait_key, reinterpret_cast<std::uintptr_t>(e.addr));
+  }
+  if (DeadlineExpired(d, timeout, wait_key)) {
+    return WaitResult::kTimedOut;
   }
   WaitArgs args;
   args.v[0] = reinterpret_cast<TmWord>(&d.waitset);
@@ -407,7 +491,14 @@ WaitResult TmSystem::AwaitFor(const TmWord* const* addrs, std::size_t n,
   if (timeout >= kNoTimeout) {
     Await(addrs, n);
   }
-  if (DeadlineExpired(d, timeout)) {
+  // The awaited address set identifies the call: the same AwaitFor re-reached
+  // across restarts finds its armed deadline, while a different wait (other
+  // addresses) gets its own.
+  std::uint64_t wait_key = 0x5DEECE66DULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    wait_key = MixWaitKey(wait_key, reinterpret_cast<std::uintptr_t>(addrs[i]));
+  }
+  if (DeadlineExpired(d, timeout, wait_key)) {
     return WaitResult::kTimedOut;
   }
   if (NeedsSoftwareForCondSync(d)) {
@@ -421,13 +512,20 @@ WaitResult TmSystem::AwaitFor(const TmWord* const* addrs, std::size_t n,
 }
 
 WaitResult TmSystem::WaitPredFor(WaitPredFn fn, const WaitArgs& args,
-                                 std::chrono::nanoseconds timeout) {
+                                 std::chrono::nanoseconds timeout,
+                                 std::uint64_t wait_key) {
   TxDesc& d = Desc();
   TCS_CHECK_MSG(d.nesting > 0, "WaitPredFor outside transaction");
   if (timeout >= kNoTimeout) {
     WaitPred(fn, args);
   }
-  if (DeadlineExpired(d, timeout)) {
+  // The predicate and its marshaled arguments identify the wait (two
+  // sequential waits through one adapter call site differ in args).
+  wait_key = MixWaitKey(wait_key, reinterpret_cast<std::uintptr_t>(fn));
+  for (std::uint32_t i = 0; i < args.n; ++i) {
+    wait_key = MixWaitKey(wait_key, args.v[i]);
+  }
+  if (DeadlineExpired(d, timeout, wait_key)) {
     return WaitResult::kTimedOut;
   }
   if (NeedsSoftwareForCondSync(d)) {

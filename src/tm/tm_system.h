@@ -99,11 +99,15 @@ class TmSystem {
   // take an alternative action atomically. These never return kSatisfied: a
   // wakeup restarts the body instead. The waiter's registry slot is always
   // deregistered before kTimedOut is delivered (no leaked waitset entries).
-  WaitResult RetryFor(std::chrono::nanoseconds timeout);
+  // `wait_key` identifies the *call* (Tx passes the call site; AwaitFor derives
+  // a key from the address list), so each timed wait arms its own deadline
+  // instead of sharing one transaction-wide budget — see TxDesc::deadlines.
+  WaitResult RetryFor(std::chrono::nanoseconds timeout, std::uint64_t wait_key = 0);
   WaitResult AwaitFor(const TmWord* const* addrs, std::size_t n,
                       std::chrono::nanoseconds timeout);
   WaitResult WaitPredFor(WaitPredFn fn, const WaitArgs& args,
-                         std::chrono::nanoseconds timeout);
+                         std::chrono::nanoseconds timeout,
+                         std::uint64_t wait_key = 0);
 
   // --- OrElse support (driven by Tx::OrElse in core/transaction.h) ---
   // Captures the attempt's speculative-write extent so an OrElse branch can be
@@ -218,6 +222,30 @@ class TmSystem {
   // Shared abort path: rollback + allocation cleanup + restart exception.
   [[noreturn]] void AbortCurrent(TxDesc& d, Counter reason);
 
+  // --- unified timestamp extension (Riegel et al. [22]) ---
+  // Where an extension attempt originates, for the per-site stats counters.
+  enum class ExtendSite { kValidation, kOrecRelease };
+  // An orec this transaction itself just released, with the word it published;
+  // revalidation treats a read orec holding exactly that word as unchanged
+  // (the value beneath was restored before the release, and we held the lock
+  // in between, so nobody else can have touched it).
+  struct ReleasedOrecWord {
+    const Orec* orec;
+    std::uint64_t word;
+  };
+  // The one extension path shared by every caller: eager/lazy read validation
+  // failure, eager OrElse orec release (which must tolerate its own release
+  // bumps), and the simulated HTM's buffered-mode branch-line release.
+  // Revalidates the read set against the current clock — an unlocked read orec
+  // at or below `start` is unchanged since it was read, because committed
+  // versions always exceed any concurrently sampled start — and on success
+  // advances d.start (and the quiesce entry) to the sampled clock. Returns
+  // false (leaving d.start untouched) if any read orec shows foreign
+  // interference.
+  bool TryExtendTimestamp(TxDesc& d, ExtendSite site,
+                          const ReleasedOrecWord* released = nullptr,
+                          std::size_t released_n = 0);
+
   // Deschedule's rollback: like an abort, but allocations are kept alive until
   // after wakeup because the published waitset may point into them (§2.2.4).
   void RollbackForDeschedule(TxDesc& d);
@@ -241,10 +269,13 @@ class TmSystem {
   // the slot (draining any racing wakeup post) and restarts the transaction;
   // the re-executed body's *For call then observes the expired deadline.
   [[noreturn]] void DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed);
-  // Establishes/checks the shared deadline for a timed wait. Returns true if
-  // the deadline has expired (deadline cleared, kWaitTimeouts bumped): the
-  // caller must return WaitResult::kTimedOut.
-  bool DeadlineExpired(TxDesc& d, std::chrono::nanoseconds timeout);
+  // Arms/checks the per-call deadline slot for the timed wait identified by
+  // `wait_key` (plus its occurrence ordinal this attempt). Returns true if that
+  // call's deadline has expired (slot erased, kWaitTimeouts bumped): the caller
+  // must return WaitResult::kTimedOut. Otherwise d.active_deadline holds the
+  // call's deadline for the sleep below.
+  bool DeadlineExpired(TxDesc& d, std::chrono::nanoseconds timeout,
+                       std::uint64_t wait_key);
   void ClearAccessSets(TxDesc& d);
   void ResetDescAfterTx(TxDesc& d);
   TxDesc& RegisterThread();

@@ -92,9 +92,6 @@ struct TxDesc {
 
   // --- STM state (Appendix A) ---
   std::vector<Orec*> reads;
-  // Orec words observed at read time; maintained (parallel to `reads`) only when
-  // eager timestamp extension is enabled, which needs exact-match revalidation.
-  std::vector<std::uint64_t> read_words;
   std::vector<LockedOrec> locks;
   UndoLog undo;
   RedoLog redo;
@@ -111,12 +108,29 @@ struct TxDesc {
   // Retry() while this is non-zero throws TxRetrySignal to the innermost OrElse
   // frame instead of descheduling.
   std::uint32_t orelse_alts = 0;
-  // Timed-wait deadline. Set by the first RetryFor/AwaitFor/WaitPredFor call of
-  // a transaction and persists across its restarts (logging restart, false
-  // wakeups), so the timeout bounds total elapsed wait, not one sleep. Cleared
-  // when the expiry is delivered as WaitResult::kTimedOut or at commit.
-  bool has_deadline = false;
-  std::chrono::steady_clock::time_point deadline{};
+  // Timed-wait deadlines, one per *call*: each RetryFor/AwaitFor/WaitPredFor
+  // call arms its own deadline the first time it is reached and keeps it across
+  // the transaction's restarts (logging restart, conflict aborts, false
+  // wakeups), so a call's timeout bounds that wait's total elapsed time — while
+  // a later, different wait in the same transaction starts its own clock.
+  // (Previously one deadline was shared by every timed wait of the transaction,
+  // so a second sequential wait inherited whatever budget the first had left.)
+  // Calls are identified by a caller-supplied key — the call site, or the
+  // awaited address set — combined with the occurrence ordinal within the
+  // attempt, so one call site re-reached across restarts finds its armed
+  // deadline, and a loop reusing a call site still gets one deadline per
+  // logical wait. Expired slots are kept until commit so a conflict-abort
+  // replay of the delivering attempt re-observes the expiry rather than
+  // re-arming a fresh budget.
+  struct ArmedDeadline {
+    std::uint64_t key;
+    std::chrono::steady_clock::time_point at;
+  };
+  std::vector<ArmedDeadline> deadlines;
+  std::vector<std::uint64_t> wait_keys_this_attempt;
+  // Deadline of the timed wait currently heading to sleep (set by the
+  // DeadlineExpired check that precedes DescheduleImpl on the same call path).
+  std::chrono::steady_clock::time_point active_deadline{};
   std::vector<DeferredCvSignal> deferred_signals;
   // Writer-side snapshot of acquired orecs, taken just before lock release when
   // Retry-Orig waiters exist (Algorithm 1's TxCommit intersection needs it).

@@ -824,6 +824,98 @@ TEST_P(TimedWaitTest, DeadlineSpansRestartsNotSleeps) {
   EXPECT_GE(rt_.AggregateStats().Get(Counter::kWaitTimeouts), 1u);
 }
 
+TEST_P(TimedWaitTest, SequentialTimedWaitsGetIndependentDeadlines) {
+  // Two timed waits in sequence: wait for step1 with a short budget, then —
+  // after step1 is satisfied — wait for step2 with a generous one. Deadlines
+  // are scoped to the individual call, so the second wait starts its own
+  // clock. Under the old shared restart-spanning transaction deadline the
+  // second wait inherited the first call's (short, mostly spent) budget and
+  // timed out long before step2 was published.
+  TVar<std::uint64_t> step1(0);
+  TVar<std::uint64_t> step2(0);
+  std::atomic<int> phase{0};
+  bool step2_seen = false;
+  std::thread waiter([&] {
+    step2_seen = Atomically(rt_.sys(), [&](Tx& tx) -> bool {
+      if (tx.Load(step1) == 0) {
+        phase.store(1);
+        if (tx.AwaitFor(std::chrono::milliseconds(500), step1) ==
+            WaitResult::kTimedOut) {
+          return false;
+        }
+      }
+      if (tx.Load(step2) == 0) {
+        phase.store(2);
+        if (tx.AwaitFor(std::chrono::seconds(30), step2) ==
+            WaitResult::kTimedOut) {
+          return false;
+        }
+      }
+      return true;
+    });
+  });
+  while (phase.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(step1, std::uint64_t{1}); });
+  while (phase.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Publish step2 well after the first call's 500ms budget is gone; the
+  // second call's 30s budget has barely started.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(step2, std::uint64_t{1}); });
+  waiter.join();
+  EXPECT_TRUE(step2_seen)
+      << "second timed wait inherited the first call's deadline";
+  EXPECT_EQ(rt_.AggregateStats().Get(Counter::kWaitTimeouts), 0u);
+}
+
+TEST_P(TimedWaitTest, SameCallSiteSequentialWaitsGetIndependentDeadlines) {
+  // The adapter pattern: both waits funnel through ONE RetryFor call site (a
+  // shared helper), so the source location alone cannot tell them apart. The
+  // wait's identity also folds in the waitset's addresses — the second wait
+  // reads a different set and must still get its own budget.
+  TVar<std::uint64_t> step1(0);
+  TVar<std::uint64_t> step2(0);
+  std::atomic<int> phase{0};
+  bool ok = false;
+  std::thread waiter([&] {
+    ok = Atomically(rt_.sys(), [&](Tx& tx) -> bool {
+      auto wait_nonzero = [&](TVar<std::uint64_t>& cell,
+                              std::chrono::nanoseconds timeout,
+                              int ph) -> bool {
+        if (tx.Load(cell) != 0) {
+          return true;
+        }
+        phase.store(ph);
+        // One shared call site for every wait in this transaction.
+        return tx.RetryFor(timeout) != WaitResult::kTimedOut;
+      };
+      if (!wait_nonzero(step1, std::chrono::milliseconds(500), 1)) {
+        return false;
+      }
+      if (!wait_nonzero(step2, std::chrono::seconds(30), 2)) {
+        return false;
+      }
+      return true;
+    });
+  });
+  while (phase.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(step1, std::uint64_t{1}); });
+  while (phase.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(step2, std::uint64_t{1}); });
+  waiter.join();
+  EXPECT_TRUE(ok) << "second wait through the shared call site inherited the "
+                     "first wait's deadline";
+  EXPECT_EQ(rt_.AggregateStats().Get(Counter::kWaitTimeouts), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, TimedWaitTest,
                          ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
                                            Backend::kSimHtm),

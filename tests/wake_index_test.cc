@@ -357,6 +357,89 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, WakeIndexBackendTest,
                            return "Unknown";
                          });
 
+// --- wake_single shard-locality preference ---
+
+TEST(WakeIndexUnitTest, CandidatesVisitIndexedBeforeGlobal) {
+  // The candidate order is the wake_single policy: shard-indexed waiters (whose
+  // waitsets name addresses the write set covers) come before global-fallback
+  // waiters, regardless of tid order.
+  WakeIndex idx(64, 64);
+  Orec o;
+  idx.AddGlobal(2);  // lower tid, but only on the fallback list
+  const Orec* reg[] = {&o};
+  idx.AddIndexed(9, reg, 1);
+  const Orec* writes[] = {&o};
+  std::vector<int> seen;
+  idx.ForEachCandidate(writes, 1, [&](int tid) {
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{9, 2}))
+      << "indexed candidate must be offered before the global one";
+  idx.Remove(2);
+  idx.Remove(9);
+  EXPECT_TRUE(idx.Empty());
+}
+
+bool AlwaysReadCellPred(TmSystem& sys, const WaitArgs& args) {
+  const auto* cell = reinterpret_cast<const TVar<std::uint64_t>*>(args.v[0]);
+  return sys.Read(cell->word()) != 0;
+}
+
+TEST(WakeSingleLocalityTest, PrefersShardLocalWaiterOverGlobalFallback) {
+  // Two waiters, both satisfied by the same write: a WaitPred waiter on the
+  // global fallback list (registered first, so it holds the lower tid and
+  // would win a tid-ordered scan) and a Retry waiter indexed under the
+  // written cell's shard. With wake_single, the committing writer must prefer
+  // the shard-local candidate: the indexed waiter wakes, the global one stays
+  // asleep until a later commit.
+  TmConfig cfg = ConfigFor(Backend::kEagerStm);
+  cfg.wake_single = true;
+  Runtime rt(cfg);
+  TVar<std::uint64_t> cell(0);
+  std::atomic<bool> pred_woke{false};
+  std::atomic<bool> indexed_woke{false};
+
+  std::thread pred_waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(cell) == 0) {
+        WaitArgs args;
+        args.v[0] = reinterpret_cast<TmWord>(&cell);
+        args.n = 1;
+        tx.WaitPred(&AlwaysReadCellPred, args);
+      }
+    });
+    pred_woke.store(true);
+  });
+  AwaitCounter(rt, Counter::kGlobalDeschedules, 1);
+  std::thread indexed_waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(cell) == 0) {
+        tx.Retry();
+      }
+    });
+    indexed_woke.store(true);
+  });
+  AwaitCounter(rt, Counter::kSleeps, 2);
+
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{1}); });
+  while (!indexed_woke.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  indexed_waiter.join();
+  // Give a mis-ordered wakeup time to surface before asserting.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(indexed_woke.load());
+  EXPECT_FALSE(pred_woke.load())
+      << "wake_single woke the global-fallback waiter over the shard-local one";
+  EXPECT_EQ(rt.AggregateStats().Get(Counter::kWakeups), 1u);
+
+  // A second commit releases the remaining (global) waiter.
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{2}); });
+  pred_waiter.join();
+  EXPECT_TRUE(rt.sys().wake_index().Empty());
+}
+
 // --- waitset pruning ---
 
 class WaitsetPruneTest : public ::testing::TestWithParam<Backend> {};
