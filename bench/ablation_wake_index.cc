@@ -6,7 +6,12 @@
 // the hot buffer (~1 waiter). Wake-path throughput (producer commits/sec) and
 // wake checks per commit quantify the O(all) → O(relevant) win.
 //
+// With --shards the targeted trial is additionally swept over shard counts:
+// wake_checks_per_commit above 1.0 is shard aliasing, which more shards
+// shrink (the >64-shard bitmap index exists for exactly this).
+//
 // Flags: --commits=N --waiters=a,b,... (default 4,16,64) --backend=0|1|2
+//        --shards=a,b,... (optional shard-count sweep, e.g. 64,256,1024)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,14 +20,15 @@
 
 #include "bench/bench_util.h"
 #include "bench/wake_scenarios.h"
+#include "src/condsync/wake_index.h"
 
 namespace {
 
-std::vector<int> ParseWaiterList(int argc, char** argv,
-                                 std::vector<int> def) {
+std::vector<int> ParseIntList(int argc, char** argv, const std::string& key,
+                              std::vector<int> def) {
+  const std::string prefix = "--" + key + "=";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    const std::string prefix = "--waiters=";
     if (arg.rfind(prefix, 0) != 0) {
       continue;
     }
@@ -32,7 +38,7 @@ std::vector<int> ParseWaiterList(int argc, char** argv,
       char* end = nullptr;
       long v = std::strtol(p, &end, 10);
       if (end == p || v <= 0) {
-        std::fprintf(stderr, "bad --waiters list: %s\n", arg.c_str());
+        std::fprintf(stderr, "bad --%s list: %s\n", key.c_str(), arg.c_str());
         std::exit(2);
       }
       out.push_back(static_cast<int>(v));
@@ -50,7 +56,17 @@ int main(int argc, char** argv) {
   BenchFlags flags(argc, argv);
   std::uint64_t commits = flags.GetU64("commits", 4000);
   Backend backend = static_cast<Backend>(flags.GetU64("backend", 0));
-  std::vector<int> waiter_counts = ParseWaiterList(argc, argv, {4, 16, 64});
+  std::vector<int> waiter_counts =
+      ParseIntList(argc, argv, "waiters", {4, 16, 64});
+  std::vector<int> shard_counts = ParseIntList(argc, argv, "shards", {});
+  for (int s : shard_counts) {
+    if ((s & (s - 1)) != 0 || s > WakeIndex::kMaxShards) {
+      std::fprintf(stderr,
+                   "bad --shards value %d: must be a power of two in [1, %d]\n",
+                   s, WakeIndex::kMaxShards);
+      return 2;
+    }
+  }
 
   PrintHeader("Ablation: sharded wake index vs global scan",
               "N disjoint waiters, 1 hot producer; targeted wakeup work scales "
@@ -76,6 +92,31 @@ int main(int argc, char** argv) {
                          : 0.0;
     std::printf("# waiters=%d speedup(wake_index/global_scan)=%.2fx\n", n,
                 speedup);
+  }
+
+  if (!shard_counts.empty()) {
+    std::printf("\n# shard-count sweep (targeted, silent producer: "
+                "checks_per_commit == waiters aliased into the hot shard; "
+                "1.0 is ideal)\n");
+    std::printf("%-8s %-8s %12s %18s %18s %10s\n", "waiters", "shards",
+                "wake_checks", "checks_per_commit", "commits_per_sec",
+                "seconds");
+    for (int n : waiter_counts) {
+      for (int shards : shard_counts) {
+        WakeTrialOptions opts;
+        opts.backend = backend;
+        opts.targeted = true;
+        opts.waiters = n;
+        opts.producer_commits = commits;
+        opts.num_shards = shards;
+        opts.silent_producer = true;
+        WakeTrialResult r = RunWakeIndexTrial(opts);
+        std::printf("%-8d %-8d %12llu %18.2f %18.0f %10.4f\n", r.waiters,
+                    r.num_shards,
+                    static_cast<unsigned long long>(r.wake_checks),
+                    r.wake_checks_per_commit, r.commits_per_sec, r.seconds);
+      }
+    }
   }
   return 0;
 }

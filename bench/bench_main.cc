@@ -7,7 +7,7 @@
 //   --quick              CI-sized run: eager backend only, small op counts
 //   --out=PATH           output file (default BENCH_wakeup.json)
 //   --scenario=NAME      all | wake_index | bounded | parsec (default all)
-//   --ops=N --trials=N --scale=N --max_threads=N --commits=N
+//   --ops=N --trials=N --scale=N --max_threads=N --commits=N --many_commits=N
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -33,6 +33,23 @@ std::string FlagString(int argc, char** argv, const std::string& key,
   return def;
 }
 
+void EmitWakeTrialRow(JsonWriter& w, const WakeTrialResult& r) {
+  w.BeginObject();
+  w.Key("backend").String(BackendName(r.backend));
+  w.Key("mode").String(r.targeted ? "wake_index" : "global_scan");
+  w.Key("waiters").Int(r.waiters);
+  w.Key("num_shards").Int(r.num_shards);
+  w.Key("waitset_shape").String(WaitsetShapeName(r.shape));
+  w.Key("producer").String(r.silent_producer ? "silent" : "hot");
+  w.Key("producer_commits").U64(r.producer_commits);
+  w.Key("seconds").Double(r.seconds);
+  w.Key("commits_per_sec").Double(r.commits_per_sec);
+  w.Key("wake_checks").U64(r.wake_checks);
+  w.Key("wake_checks_per_commit").Double(r.wake_checks_per_commit);
+  w.Key("wakeups").U64(r.wakeups);
+  w.EndObject();
+}
+
 void EmitWakeIndex(JsonWriter& w, const std::vector<Backend>& backends,
                    const std::vector<int>& waiter_counts,
                    std::uint64_t commits) {
@@ -48,19 +65,8 @@ void EmitWakeIndex(JsonWriter& w, const std::vector<Backend>& backends,
       WakeTrialResult scan =
           RunWakeIndexTrial(b, /*targeted=*/false, n, commits);
       WakeTrialResult idx = RunWakeIndexTrial(b, /*targeted=*/true, n, commits);
-      for (const WakeTrialResult* r : {&scan, &idx}) {
-        w.BeginObject();
-        w.Key("backend").String(BackendName(r->backend));
-        w.Key("mode").String(r->targeted ? "wake_index" : "global_scan");
-        w.Key("waiters").Int(r->waiters);
-        w.Key("producer_commits").U64(r->producer_commits);
-        w.Key("seconds").Double(r->seconds);
-        w.Key("commits_per_sec").Double(r->commits_per_sec);
-        w.Key("wake_checks").U64(r->wake_checks);
-        w.Key("wake_checks_per_commit").Double(r->wake_checks_per_commit);
-        w.Key("wakeups").U64(r->wakeups);
-        w.EndObject();
-      }
+      EmitWakeTrialRow(w, scan);
+      EmitWakeTrialRow(w, idx);
       double speedup = scan.commits_per_sec > 0
                            ? idx.commits_per_sec / scan.commits_per_sec
                            : 0.0;
@@ -79,6 +85,68 @@ void EmitWakeIndex(JsonWriter& w, const std::vector<Backend>& backends,
     w.Key("waiters").Int(s.waiters);
     w.Key("speedup_wake_index_vs_global_scan").Double(s.speedup);
     w.EndObject();
+  }
+  w.EndArray();
+}
+
+// Shard-count ablation: 64 disjoint waiters, silent producer (every commit
+// pays the wake path, nobody is ever satisfied, so all 64 stay parked), shard
+// count swept 64 / 256 / 1024. wake_checks_per_commit is then a deterministic
+// precision metric — 1.0 means the producer only ever checks the one waiter
+// registered under the hot cell's shard; the gap above 1.0 is shard aliasing,
+// which more shards shrink.
+void EmitWakeShardSweep(JsonWriter& w, const std::vector<Backend>& backends,
+                        std::uint64_t commits) {
+  w.Key("wake_index_shard_sweep").BeginArray();
+  for (Backend b : backends) {
+    for (int shards : {64, 256, 1024}) {
+      WakeTrialOptions opts;
+      opts.backend = b;
+      opts.targeted = true;
+      opts.waiters = 64;
+      opts.producer_commits = commits;
+      opts.num_shards = shards;
+      opts.silent_producer = true;
+      WakeTrialResult r = RunWakeIndexTrial(opts);
+      EmitWakeTrialRow(w, r);
+      std::printf("wake_shard_sweep backend=%-10s shards=%-5d "
+                  "checks/commit=%.3f targeted=%.0f/s\n",
+                  BackendName(b), shards, r.wake_checks_per_commit,
+                  r.commits_per_sec);
+    }
+  }
+  w.EndArray();
+}
+
+// Many-waiter scenario (256–1024 parked threads): disjoint and overlapping
+// waitsets, targeted vs global scan. This is the production-scale shape the
+// >64-shard index exists for; the global-scan baseline at these counts pays
+// waiters × commits wake checks.
+void EmitWakeManyWaiters(JsonWriter& w, const std::vector<Backend>& backends,
+                         const std::vector<int>& waiter_counts,
+                         std::uint64_t commits) {
+  w.Key("wake_index_many_waiters").BeginArray();
+  for (Backend b : backends) {
+    for (int n : waiter_counts) {
+      for (WaitsetShape shape :
+           {WaitsetShape::kDisjoint, WaitsetShape::kOverlapping}) {
+        for (bool targeted : {false, true}) {
+          WakeTrialOptions opts;
+          opts.backend = b;
+          opts.targeted = targeted;
+          opts.waiters = n;
+          opts.producer_commits = commits;
+          opts.shape = shape;
+          WakeTrialResult r = RunWakeIndexTrial(opts);
+          EmitWakeTrialRow(w, r);
+          std::printf("wake_many   backend=%-10s waiters=%-5d shape=%-11s "
+                      "mode=%-11s checks/commit=%.3f commits/s=%.0f\n",
+                      BackendName(b), n, WaitsetShapeName(shape),
+                      targeted ? "wake_index" : "global_scan",
+                      r.wake_checks_per_commit, r.commits_per_sec);
+        }
+      }
+    }
   }
   w.EndArray();
 }
@@ -143,6 +211,12 @@ int Run(int argc, char** argv) {
   std::vector<int> waiter_counts = quick ? std::vector<int>{16, 64}
                                          : std::vector<int>{4, 16, 64};
   std::uint64_t commits = flags.GetU64("commits", quick ? 1500 : 4000);
+  // Many-waiter trials pay waiters × commits wake checks on the global-scan
+  // baseline, so they run fewer producer commits.
+  std::vector<int> many_waiter_counts =
+      quick ? std::vector<int>{256} : std::vector<int>{256, 1024};
+  std::uint64_t many_commits =
+      flags.GetU64("many_commits", quick ? 300 : 600);
 
   BoundedGridOptions bounded;
   bounded.ops = flags.GetU64("ops", quick ? 1 << 11 : 1 << 14);
@@ -165,6 +239,11 @@ int Run(int argc, char** argv) {
   w.Key("scenarios").BeginObject();
   if (scenario == "all" || scenario == "wake_index") {
     EmitWakeIndex(w, backends, waiter_counts, commits);
+    EmitWakeShardSweep(w, backends, commits);
+    // The many-waiter matrix spawns up to 1024 threads per trial; sweep it on
+    // the eager backend only to keep the full run's wall time sane.
+    EmitWakeManyWaiters(w, {Backend::kEagerStm}, many_waiter_counts,
+                        many_commits);
   }
   if (scenario == "all" || scenario == "bounded") {
     EmitBounded(w, backends, bounded);

@@ -15,8 +15,9 @@ namespace tcs {
 namespace {
 
 // One cell per cache line so the cells stay in distinct orecs on every
-// backend, including the simulated HTM's line-granular table — the scenario is
-// about *disjoint* waiters.
+// backend, including the simulated HTM's line-granular table — the scenarios
+// are about *which* waiters a write concerns, so orec aliasing between cells
+// would muddy the measurement.
 struct PaddedCell {
   alignas(64) TVar<std::uint64_t> v;
 };
@@ -25,14 +26,22 @@ constexpr std::uint64_t kStop = ~std::uint64_t{0};
 
 }  // namespace
 
-WakeTrialResult RunWakeIndexTrial(Backend backend, bool targeted, int waiters,
-                                  std::uint64_t producer_commits) {
+const char* WaitsetShapeName(WaitsetShape s) {
+  return s == WaitsetShape::kDisjoint ? "disjoint" : "overlapping";
+}
+
+WakeTrialResult RunWakeIndexTrial(const WakeTrialOptions& opts) {
   TmConfig cfg;
-  cfg.backend = backend;
-  cfg.max_threads = waiters + 8;
-  cfg.targeted_wakeup = targeted;
+  cfg.backend = opts.backend;
+  cfg.max_threads = opts.waiters + 8;
+  cfg.targeted_wakeup = opts.targeted;
+  if (opts.num_shards > 0) {
+    cfg.wake_index_shards = opts.num_shards;
+  }
   Runtime rt(cfg);
 
+  const int waiters = opts.waiters;
+  const bool overlap = opts.shape == WaitsetShape::kOverlapping;
   auto cells = std::make_unique<PaddedCell[]>(static_cast<std::size_t>(waiters));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(waiters));
@@ -42,6 +51,13 @@ WakeTrialResult RunWakeIndexTrial(Backend backend, bool targeted, int waiters,
       for (;;) {
         std::uint64_t v = Atomically(rt.sys(), [&](Tx& tx) -> std::uint64_t {
           std::uint64_t cur = tx.Load(cells[w].v);
+          if (overlap) {
+            // The neighbor read widens the waitset to {w, w+1}: a write to
+            // the neighbor's cell now wakes this waiter too (a false wakeup
+            // unless its own cell moved), which is exactly the overlapping
+            // shape the index must stay precise under.
+            (void)tx.Load(cells[(w + 1) % waiters].v);
+          }
           if (cur == last_seen) {
             tx.Retry();
           }
@@ -63,15 +79,19 @@ WakeTrialResult RunWakeIndexTrial(Backend backend, bool targeted, int waiters,
   rt.ResetStats();
 
   double t0 = NowSec();
-  for (std::uint64_t i = 1; i <= producer_commits; ++i) {
-    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cells[0].v, i); });
+  for (std::uint64_t i = 1; i <= opts.producer_commits; ++i) {
+    // A silent producer re-stores 0 (the parked value): still a writer commit
+    // that pays the wake path, but no waiter is ever satisfied.
+    std::uint64_t val = opts.silent_producer ? 0 : i;
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cells[0].v, val); });
   }
   double t1 = NowSec();
   TxStats st = rt.AggregateStats();
 
-  // Release: one commit per cell (a single large transaction would overflow
-  // nothing here, but per-cell commits keep the shutdown path identical to the
-  // measured one).
+  // Release: one commit per cell, in index order so an overlap neighbor that
+  // gets falsely woken by cell w's release has already exited (it was waiter
+  // w-1). Per-cell commits also keep the shutdown path identical to the
+  // measured one.
   for (int w = 0; w < waiters; ++w) {
     Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cells[w].v, kStop); });
   }
@@ -80,18 +100,32 @@ WakeTrialResult RunWakeIndexTrial(Backend backend, bool targeted, int waiters,
   }
 
   WakeTrialResult r;
-  r.backend = backend;
-  r.targeted = targeted;
+  r.backend = opts.backend;
+  r.targeted = opts.targeted;
   r.waiters = waiters;
-  r.producer_commits = producer_commits;
+  r.num_shards = rt.config().wake_index_shards;
+  r.shape = opts.shape;
+  r.silent_producer = opts.silent_producer;
+  r.producer_commits = opts.producer_commits;
   r.seconds = t1 - t0;
   r.commits_per_sec =
-      r.seconds > 0 ? static_cast<double>(producer_commits) / r.seconds : 0.0;
+      r.seconds > 0 ? static_cast<double>(opts.producer_commits) / r.seconds
+                    : 0.0;
   r.wake_checks = st.Get(Counter::kWakeChecks);
   r.wakeups = st.Get(Counter::kWakeups);
-  r.wake_checks_per_commit =
-      static_cast<double>(r.wake_checks) / static_cast<double>(producer_commits);
+  r.wake_checks_per_commit = static_cast<double>(r.wake_checks) /
+                             static_cast<double>(opts.producer_commits);
   return r;
+}
+
+WakeTrialResult RunWakeIndexTrial(Backend backend, bool targeted, int waiters,
+                                  std::uint64_t producer_commits) {
+  WakeTrialOptions opts;
+  opts.backend = backend;
+  opts.targeted = targeted;
+  opts.waiters = waiters;
+  opts.producer_commits = producer_commits;
+  return RunWakeIndexTrial(opts);
 }
 
 }  // namespace tcs

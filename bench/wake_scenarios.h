@@ -1,8 +1,19 @@
-// The many-waiters wakeup scenario behind the wake-index ablation: N waiters
-// parked on N disjoint buffers, one hot producer repeatedly touching a single
-// buffer. With the sharded wake index a producer commit wake-checks only the
-// shard its write lands in (~1 relevant waiter); with the global scan it
-// re-runs every registered waiter's predicate — O(all) vs O(relevant).
+// The many-waiters wakeup scenarios behind the wake-index ablations: N waiters
+// parked on N cache-line-padded buffers, one hot producer repeatedly touching a
+// single buffer. With the sharded wake index a producer commit wake-checks only
+// the shards its write lands in (~the relevant waiters); with the global scan
+// it re-runs every registered waiter's predicate — O(all) vs O(relevant).
+//
+// Two waitset shapes:
+//  * kDisjoint    — waiter w waits on cell w only; one relevant waiter per
+//                   producer commit, so wake_checks_per_commit measures pure
+//                   shard-aliasing noise (1.0 is ideal).
+//  * kOverlapping — waiter w waits on cells {w, w+1 mod N}; a write to cell 0
+//                   concerns waiters 0 and N-1, so ~2 checks per commit is
+//                   ideal and the index must still prune the other N-2.
+//
+// The shard count is sweepable (64 / 256 / 1024 ablation): more shards mean
+// fewer unrelated waiters aliasing into the hot shard.
 #ifndef TCS_BENCH_WAKE_SCENARIOS_H_
 #define TCS_BENCH_WAKE_SCENARIOS_H_
 
@@ -12,10 +23,36 @@
 
 namespace tcs {
 
+enum class WaitsetShape : int {
+  kDisjoint = 0,
+  kOverlapping = 1,
+};
+
+const char* WaitsetShapeName(WaitsetShape s);
+
+struct WakeTrialOptions {
+  Backend backend = Backend::kEagerStm;
+  bool targeted = true;
+  int waiters = 0;
+  std::uint64_t producer_commits = 0;
+  // 0 = TmConfig's default shard count.
+  int num_shards = 0;
+  WaitsetShape shape = WaitsetShape::kDisjoint;
+  // Silent producer: every commit writer-commits the hot cell's *unchanged*
+  // value, so no waiter is ever satisfied and all N stay parked. This makes
+  // wake_checks_per_commit a deterministic precision metric — exactly the
+  // waiters aliasing into the hot cell's shard (1.0 is ideal) — instead of a
+  // number dominated by how fast the woken waiter re-registers.
+  bool silent_producer = false;
+};
+
 struct WakeTrialResult {
   Backend backend;
   bool targeted = false;
   int waiters = 0;
+  int num_shards = 0;              // the count actually configured
+  WaitsetShape shape = WaitsetShape::kDisjoint;
+  bool silent_producer = false;
   std::uint64_t producer_commits = 0;
   double seconds = 0.0;            // hot-producer phase wall time
   double commits_per_sec = 0.0;    // wake-path throughput
@@ -24,9 +61,14 @@ struct WakeTrialResult {
   double wake_checks_per_commit = 0.0;
 };
 
-// Runs one trial: parks `waiters` threads on disjoint cache-line-padded cells,
-// then times `producer_commits` writer commits against cell 0 (waiter 0 cycles
-// wake/sleep; all others stay parked), and finally releases everyone.
+// Runs one trial: parks `waiters` threads on cache-line-padded cells (shape
+// selects disjoint or neighbor-overlapping waitsets), then times
+// `producer_commits` writer commits against cell 0 (waiter 0 cycles
+// wake/sleep; all others stay parked except overlap neighbors), and finally
+// releases everyone.
+WakeTrialResult RunWakeIndexTrial(const WakeTrialOptions& opts);
+
+// Convenience overload for the classic disjoint scenario at default shards.
 WakeTrialResult RunWakeIndexTrial(Backend backend, bool targeted, int waiters,
                                   std::uint64_t producer_commits);
 

@@ -62,6 +62,8 @@ std::string_view CounterName(Counter c) {
       return "extend_on_validation";
     case Counter::kExtendOnOrecRelease:
       return "extend_on_orec_release";
+    case Counter::kExtendOnCommitValidation:
+      return "extend_on_commit_validation";
     case Counter::kNumCounters:
       break;
   }

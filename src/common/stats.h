@@ -42,6 +42,9 @@ enum class Counter : int {
   kOrElseOrecReleases,  // orecs released by an abandoned OrElse branch
   kExtendOnValidation,  // shared TryExtendTimestamp calls from read validation
   kExtendOnOrecRelease,  // shared TryExtendTimestamp calls from orec release
+  kExtendOnCommitValidation,  // TryExtendTimestamp calls from commit-time
+                              // validation (lazy write-orec acquisition and
+                              // read-set revalidation)
   kNumCounters,
 };
 

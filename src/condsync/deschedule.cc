@@ -48,7 +48,13 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     }
   }
   d.stats.Bump(Counter::kDeschedules);
-  d.stats.Bump(Counter::kWaitsetEntries, d.waitset.Size());
+  if (ws != nullptr && !ws->Empty()) {
+    // Count only the waitset this deschedule actually publishes: pure-predicate
+    // waits (Await/WaitPred through a non-findChanges fn) publish no address
+    // list, and d.waitset may hold stale entries from a prior restart — bench
+    // precision metrics divide by this counter, so it must not overcount.
+    d.stats.Bump(Counter::kWaitsetEntries, ws->Size());
+  }
   if (d.woke_from_sleep) {
     // We were woken, re-executed, and are about to sleep again: the wakeup did
     // not establish our precondition (a broadcast-style false wakeup, §2.4.1).
@@ -65,7 +71,7 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
   // Index entries and the presence bit must be visible before the registration
   // transaction can commit; committing writers order their peeks against both
   // through the clock.
-  if (cfg_.targeted_wakeup && ws != nullptr) {
+  if (cfg_.targeted_wakeup && ws != nullptr && !ws->Empty()) {
     std::vector<const Orec*> read_orecs;
     read_orecs.reserve(ws->Size());
     for (const WaitSet::Entry& e : ws->entries()) {
@@ -74,6 +80,10 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     wake_index_->AddIndexed(d.tid, read_orecs.data(), read_orecs.size());
     d.stats.Bump(Counter::kIndexedDeschedules);
   } else {
+    // WaitPred waiters have no address list; an *empty* findChanges waitset
+    // (a Retry whose logging pass read nothing transactionally) has one that
+    // no writer shard union could ever cover. Both register on the global
+    // fallback list every writer visits.
     wake_index_->AddGlobal(d.tid);
     d.stats.Bump(Counter::kGlobalDeschedules);
   }
@@ -148,13 +158,26 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
     }
     WaiterSlot& slot = waiters_->slot(tid);
     bool wake = false;
+    bool vacuous = false;
     RunInternalTx([&] {
       wake = false;
+      vacuous = false;
       if (Read(&slot.active) == 0 || Read(&slot.asleep) == 0) {
         return;
       }
       d.stats.Bump(Counter::kWakeChecks);
-      if (slot.fn(*this, slot.args)) {
+      bool satisfied = slot.fn(*this, slot.args);
+      if (!satisfied && slot.fn == &FindChangesPred &&
+          reinterpret_cast<const WaitSet*>(slot.args.v[0])->Empty()) {
+        // An address-free findChanges waiter can never observe a change, so
+        // without this clause no commit would ever satisfy it; treat any
+        // writer commit as a conservative broadcast-style wakeup instead
+        // (the re-execution re-checks its real precondition and either
+        // proceeds or re-publishes — at worst one false wakeup per commit).
+        satisfied = true;
+        vacuous = true;
+      }
+      if (satisfied) {
         Write(&slot.asleep, 0);
         wake = true;
       }
@@ -164,7 +187,11 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
       // wake-check transaction commits (Algorithm 4, line 9).
       slot.sem->Post();
       d.stats.Bump(Counter::kWakeups);
-      if (cfg_.wake_single) {
+      if (cfg_.wake_single && !vacuous) {
+        // A vacuous (empty-waitset) wake is no evidence anyone was satisfied;
+        // it must not absorb the single-wakeup budget, or a genuinely
+        // satisfied waiter later in the scan would starve behind a waiter
+        // that just re-parks without ever committing.
         stop = true;
       }
     }

@@ -20,10 +20,11 @@ WakeIndex::WakeIndex(int max_threads, int num_shards)
     : capacity_(max_threads),
       mask_words_((max_threads + 63) / 64),
       num_shards_(num_shards),
-      shards_log2_(Log2(num_shards)) {
+      shards_log2_(Log2(num_shards)),
+      shard_words_((num_shards + 63) / 64) {
   TCS_CHECK(max_threads > 0);
-  TCS_CHECK_MSG(IsPowerOfTwo(num_shards) && num_shards <= 64,
-                "wake-index shard count must be a power of two in [1, 64]");
+  TCS_CHECK_MSG(IsPowerOfTwo(num_shards) && num_shards <= kMaxShards,
+                "wake-index shard count must be a power of two in [1, 4096]");
   constexpr std::size_t kWordsPerLine =
       kCacheLineBytes / sizeof(std::atomic<std::uint64_t>);
   stride_ = ((static_cast<std::size_t>(mask_words_) + kWordsPerLine - 1) /
@@ -40,14 +41,12 @@ WakeIndex::WakeIndex(int max_threads, int num_shards)
   for (int w = 0; w < mask_words_; ++w) {
     global_[w].store(0, std::memory_order_relaxed);
   }
+  // make_unique<T[]> value-initializes these plain arrays to zero.
   per_tid_shards_ = std::make_unique<std::uint64_t[]>(
-      static_cast<std::size_t>(max_threads));
+      static_cast<std::size_t>(max_threads) *
+      static_cast<std::size_t>(shard_words_));
   per_tid_global_ =
       std::make_unique<std::uint8_t[]>(static_cast<std::size_t>(max_threads));
-  for (int t = 0; t < max_threads; ++t) {
-    per_tid_shards_[t] = 0;
-    per_tid_global_[t] = 0;
-  }
 }
 
 int WakeIndex::ShardPopulation(int s) const {

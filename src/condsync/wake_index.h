@@ -12,15 +12,27 @@
 // covering a waitset address; a committing writer unions the shards of its
 // commit-time write-set orecs and wake-checks only those candidates.
 //
+// Shard-set representation. A waiter's shard membership is a per-tid *bitmap*
+// of `shard_words()` 64-bit words (owner-thread-only bookkeeping), so the
+// shard count can range over any power of two in [1, kMaxShards] — large orec
+// tables with hundreds of waiters want many more than 64 shards, or unrelated
+// waiters alias into the same shard and every hot-path commit pays spurious
+// wake checks. The writer side mirrors this with a fixed-capacity stack
+// scratch bitmap, keeping both sides zero-allocation.
+//
 // Conservativeness argument (no lost wakeups). A findChanges waiter can only
 // become satisfied when some written address changes a waitset entry's value;
 // that address maps to an orec the writer locked at commit, so the writer's
 // shard union covers the waiter's shard — address overlap ⊆ orec overlap
 // (hashing) ⊆ shard overlap (coarser hashing). Waiters whose predicate is an
 // arbitrary WaitPred function have no address list to index; they register on
-// the global fallback list, which every writer always visits. Both sides are
-// strictly conservative: a spurious candidate costs one rejected wake-check
-// transaction, never a wrong wake (the check itself is still transactional).
+// the global fallback list, which every writer always visits. A findChanges
+// waiter with an *empty* waitset also lands on the global list: an empty
+// address list yields an empty shard set, which no writer union could ever
+// cover — the global list is the only conservative registration for it. Both
+// sides are strictly conservative: a spurious candidate costs one rejected
+// wake-check transaction, never a wrong wake (the check itself is still
+// transactional).
 //
 // Publication ordering mirrors the WaiterRegistry presence bitmap: a waiter
 // inserts its index entries (seq_cst) *before* its registration transaction
@@ -43,14 +55,20 @@ struct Orec;
 
 class WakeIndex {
  public:
-  // `num_shards` must be a power of two in [1, 64] (a waiter's shard membership
-  // is tracked as one 64-bit set).
+  // Hard ceiling on the shard count. The writer-side scratch shard set is a
+  // stack array sized for it (kMaxShards / 64 words = 512 bytes), which is
+  // what keeps ForEachCandidate allocation-free at any configured count.
+  static constexpr int kMaxShards = 4096;
+
+  // `num_shards` must be a power of two in [1, kMaxShards].
   WakeIndex(int max_threads, int num_shards);
 
   WakeIndex(const WakeIndex&) = delete;
   WakeIndex& operator=(const WakeIndex&) = delete;
 
   int shard_count() const { return num_shards_; }
+  // Words per shard-set bitmap (= ceil(num_shards / 64)).
+  int shard_words() const { return shard_words_; }
 
   // Shard covering an orec. Stable for the index's lifetime, so the waiter and
   // writer sides always agree.
@@ -69,18 +87,31 @@ class WakeIndex {
   // (Remove); tid reuse across threads is ordered by descriptor recycling.
 
   // Registers tid under the shard of each given orec (duplicates collapse).
+  // An empty orec list falls back to AddGlobal: an empty shard set would never
+  // be covered by any writer's shard union, stranding the waiter until timeout
+  // (or forever) — the caller should account it as a global deschedule.
   void AddIndexed(int tid, const Orec* const* orecs, std::size_t n) {
-    std::uint64_t set = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      set |= std::uint64_t{1} << ShardOf(orecs[i]);
+    if (n == 0) {
+      AddGlobal(tid);
+      return;
     }
-    per_tid_shards_[tid] = set;
+    std::uint64_t* set = PerTidShards(tid);
+    for (int sw = 0; sw < shard_words_; ++sw) {
+      set[sw] = 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      int s = ShardOf(orecs[i]);
+      set[s >> 6] |= std::uint64_t{1} << (s & 63);
+    }
     const std::uint64_t bit = std::uint64_t{1} << (tid % 64);
     const int w = tid / 64;
-    while (set != 0) {
-      int s = __builtin_ctzll(set);
-      set &= set - 1;
-      ShardWord(s, w).fetch_or(bit, std::memory_order_seq_cst);
+    for (int sw = 0; sw < shard_words_; ++sw) {
+      std::uint64_t word = set[sw];
+      while (word != 0) {
+        int s = sw * 64 + __builtin_ctzll(word);
+        word &= word - 1;
+        ShardWord(s, w).fetch_or(bit, std::memory_order_seq_cst);
+      }
     }
   }
 
@@ -92,18 +123,22 @@ class WakeIndex {
                                std::memory_order_seq_cst);
   }
 
-  // Clears every entry tid holds, indexed or global. Idempotent, so the single
+  // Clears every entry tid holds, indexed or global — exactly what the
+  // bookkeeping says the owner added, nothing else. Idempotent, so the single
   // deregistration point covers wakeup, timeout, and the no-sleep double-check
   // path alike — a timed wait that expires leaves nothing behind.
   void Remove(int tid) {
-    std::uint64_t set = per_tid_shards_[tid];
-    per_tid_shards_[tid] = 0;
+    std::uint64_t* set = PerTidShards(tid);
     const std::uint64_t clear = ~(std::uint64_t{1} << (tid % 64));
     const int w = tid / 64;
-    while (set != 0) {
-      int s = __builtin_ctzll(set);
-      set &= set - 1;
-      ShardWord(s, w).fetch_and(clear, std::memory_order_seq_cst);
+    for (int sw = 0; sw < shard_words_; ++sw) {
+      std::uint64_t word = set[sw];
+      set[sw] = 0;
+      while (word != 0) {
+        int s = sw * 64 + __builtin_ctzll(word);
+        word &= word - 1;
+        ShardWord(s, w).fetch_and(clear, std::memory_order_seq_cst);
+      }
     }
     if (per_tid_global_[tid] != 0) {
       per_tid_global_[tid] = 0;
@@ -118,20 +153,26 @@ class WakeIndex {
   // actually cover, so under wake_single (which stops at the first wakeup)
   // the writer prefers a waiter it probably satisfied over an
   // arbitrary-predicate waiter it merely might have. Zero allocation; cost is
-  // O(mask_words × (1 + distinct shards touched)).
+  // O(shard_words + mask_words × (1 + distinct shards touched)).
   template <typename Fn>
   void ForEachCandidate(const Orec* const* orecs, std::size_t n, Fn&& fn) {
-    std::uint64_t shard_set = 0;
+    std::uint64_t shard_set[kMaxShardWords];
+    for (int sw = 0; sw < shard_words_; ++sw) {
+      shard_set[sw] = 0;
+    }
     for (std::size_t i = 0; i < n; ++i) {
-      shard_set |= std::uint64_t{1} << ShardOf(orecs[i]);
+      int s = ShardOf(orecs[i]);
+      shard_set[s >> 6] |= std::uint64_t{1} << (s & 63);
     }
     for (int w = 0; w < mask_words_; ++w) {
       std::uint64_t bits = 0;
-      std::uint64_t ss = shard_set;
-      while (ss != 0) {
-        int s = __builtin_ctzll(ss);
-        ss &= ss - 1;
-        bits |= ShardWord(s, w).load(std::memory_order_seq_cst);
+      for (int sw = 0; sw < shard_words_; ++sw) {
+        std::uint64_t ss = shard_set[sw];
+        while (ss != 0) {
+          int s = sw * 64 + __builtin_ctzll(ss);
+          ss &= ss - 1;
+          bits |= ShardWord(s, w).load(std::memory_order_seq_cst);
+        }
       }
       while (bits != 0) {
         int bit = __builtin_ctzll(bits);
@@ -145,11 +186,13 @@ class WakeIndex {
       std::uint64_t bits = global_[w].load(std::memory_order_seq_cst);
       // A tid registers either indexed or global, never both; masking out the
       // shard union only de-dups a racing re-registration between the passes.
-      std::uint64_t ss = shard_set;
-      while (ss != 0) {
-        int s = __builtin_ctzll(ss);
-        ss &= ss - 1;
-        bits &= ~ShardWord(s, w).load(std::memory_order_seq_cst);
+      for (int sw = 0; sw < shard_words_; ++sw) {
+        std::uint64_t ss = shard_set[sw];
+        while (ss != 0) {
+          int s = sw * 64 + __builtin_ctzll(ss);
+          ss &= ss - 1;
+          bits &= ~ShardWord(s, w).load(std::memory_order_seq_cst);
+        }
       }
       while (bits != 0) {
         int bit = __builtin_ctzll(bits);
@@ -165,13 +208,34 @@ class WakeIndex {
 
   // True if tid holds any entry, indexed or global.
   bool HasEntries(int tid) const {
-    return per_tid_shards_[tid] != 0 || per_tid_global_[tid] != 0;
+    if (per_tid_global_[tid] != 0) {
+      return true;
+    }
+    const std::uint64_t* set = PerTidShards(tid);
+    for (int sw = 0; sw < shard_words_; ++sw) {
+      if (set[sw] != 0) {
+        return true;
+      }
+    }
+    return false;
   }
 
   bool IsGlobal(int tid) const { return per_tid_global_[tid] != 0; }
 
-  // The shard set tid registered under (bit s ⇔ shard s).
-  std::uint64_t ShardSetOf(int tid) const { return per_tid_shards_[tid]; }
+  // Number of distinct shards tid registered under.
+  int ShardSetPopulation(int tid) const {
+    const std::uint64_t* set = PerTidShards(tid);
+    int n = 0;
+    for (int sw = 0; sw < shard_words_; ++sw) {
+      n += __builtin_popcountll(set[sw]);
+    }
+    return n;
+  }
+
+  // True iff tid registered under shard s.
+  bool InShardSet(int tid, int s) const {
+    return (PerTidShards(tid)[s >> 6] & (std::uint64_t{1} << (s & 63))) != 0;
+  }
 
   // Conservative count of tids present in shard `s` / on the global list.
   int ShardPopulation(int s) const;
@@ -181,24 +245,34 @@ class WakeIndex {
   bool Empty() const;
 
  private:
+  static constexpr int kMaxShardWords = kMaxShards / 64;
+
   std::atomic<std::uint64_t>& ShardWord(int shard, int word) {
     return bits_[static_cast<std::size_t>(shard) * stride_ + word];
   }
   const std::atomic<std::uint64_t>& ShardWord(int shard, int word) const {
     return bits_[static_cast<std::size_t>(shard) * stride_ + word];
   }
+  std::uint64_t* PerTidShards(int tid) {
+    return &per_tid_shards_[static_cast<std::size_t>(tid) * shard_words_];
+  }
+  const std::uint64_t* PerTidShards(int tid) const {
+    return &per_tid_shards_[static_cast<std::size_t>(tid) * shard_words_];
+  }
 
   int capacity_;
   int mask_words_;
   int num_shards_;
   int shards_log2_;
+  int shard_words_;
   // Cache-line-aligned stride so concurrent registrations in different shards
   // do not false-share.
   std::size_t stride_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> bits_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> global_;
-  // Owner-thread-only bookkeeping of what each tid registered, so Remove can
-  // clear exactly those entries without scanning all shards.
+  // Owner-thread-only bookkeeping of what each tid registered (one
+  // shard_words_-word bitmap per tid), so Remove can clear exactly those
+  // entries without scanning all shards.
   std::unique_ptr<std::uint64_t[]> per_tid_shards_;
   std::unique_ptr<std::uint8_t[]> per_tid_global_;
 };

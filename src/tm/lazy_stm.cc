@@ -54,29 +54,58 @@ bool LazyStm::CommitTx(TxDesc& d) {
   // orec; a lock we already hold is skipped.
   d.redo.ForEachAddr([&](TmWord* addr) {
     Orec& o = orecs_.For(addr);
-    std::uint64_t w = o.word.load(std::memory_order_acquire);
-    if (Orec::IsLocked(w)) {
-      if (Orec::Owner(w) == d.tid) {
+    for (;;) {
+      std::uint64_t w = o.word.load(std::memory_order_acquire);
+      if (Orec::IsLocked(w)) {
+        if (Orec::Owner(w) == d.tid) {
+          return;
+        }
+        AbortCurrent(d, Counter::kAborts);
+      }
+      if (Orec::Version(w) > d.start) {
+        // The location was committed past our start, but the buffered write
+        // doesn't care about its old value — only the read set must stay
+        // valid. Attempt the shared extension instead of aborting outright
+        // (the ROADMAP's lazy commit-time follow-up), then re-sample the
+        // orec under the extended start.
+        if (!cfg_.timestamp_extension ||
+            !TryExtendTimestamp(d, ExtendSite::kCommitValidation)) {
+          AbortCurrent(d, Counter::kAborts);
+        }
+        continue;
+      }
+      if (o.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
+                                         std::memory_order_acq_rel)) {
+        d.locks.push_back({&o, Orec::Version(w)});
         return;
       }
-      AbortCurrent(d, Counter::kAborts);
+      // CAS lost a race; re-sample (a now-locked or too-new orec is handled
+      // above on the next pass).
     }
-    if (Orec::Version(w) > d.start ||
-        !o.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
-                                        std::memory_order_acq_rel)) {
-      AbortCurrent(d, Counter::kAborts);
-    }
-    d.locks.push_back({&o, Orec::Version(w)});
   });
   std::uint64_t end = clock_.Increment();
   if (end != d.start + 1) {
     for (Orec* o : d.reads) {
       std::uint64_t w = o->word.load(std::memory_order_acquire);
       if (Orec::IsLocked(w)) {
-        if (Orec::Owner(w) != d.tid) {
+        if (Orec::Owner(w) == d.tid) {
+          continue;
+        }
+        // Locked by a concurrent commit or abort — possibly transient. One
+        // shared extension attempt revalidates the *entire* read set against
+        // the current clock (so on success the remaining entries need no
+        // further checks) and salvages the case where that lock has already
+        // been released at an old version by the time it re-samples.
+        if (!cfg_.timestamp_extension ||
+            !TryExtendTimestamp(d, ExtendSite::kCommitValidation)) {
           AbortCurrent(d, Counter::kAborts);
         }
-      } else if (Orec::Version(w) > d.start) {
+        break;
+      }
+      if (Orec::Version(w) > d.start) {
+        // Unlocked and too new: genuinely overwritten since we read it. An
+        // extension would re-check this very orec and fail (versions are
+        // monotonic), so abort outright rather than pay a doomed rescan.
         AbortCurrent(d, Counter::kAborts);
       }
     }

@@ -345,7 +345,9 @@ bool TmSystem::TryExtendTimestamp(TxDesc& d, ExtendSite site,
                                   const ReleasedOrecWord* released,
                                   std::size_t released_n) {
   d.stats.Bump(site == ExtendSite::kValidation ? Counter::kExtendOnValidation
-                                               : Counter::kExtendOnOrecRelease);
+               : site == ExtendSite::kCommitValidation
+                   ? Counter::kExtendOnCommitValidation
+                   : Counter::kExtendOnOrecRelease);
   // Sample the clock *before* revalidating: a commit that lands between the
   // sample and the checks makes some read orec too new and the extension
   // fails, never the reverse.

@@ -223,8 +223,11 @@ class TmSystem {
   [[noreturn]] void AbortCurrent(TxDesc& d, Counter reason);
 
   // --- unified timestamp extension (Riegel et al. [22]) ---
-  // Where an extension attempt originates, for the per-site stats counters.
-  enum class ExtendSite { kValidation, kOrecRelease };
+  // Where an extension attempt originates, for the per-site stats counters:
+  // a too-new read (kValidation), an OrElse branch's orec release
+  // (kOrecRelease), or lazy STM's commit-time validation — write-orec
+  // acquisition and read-set revalidation alike (kCommitValidation).
+  enum class ExtendSite { kValidation, kOrecRelease, kCommitValidation };
   // An orec this transaction itself just released, with the word it published;
   // revalidation treats a read orec holding exactly that word as unchanged
   // (the value beneath was restored before the release, and we held the lock

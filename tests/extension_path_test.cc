@@ -2,13 +2,16 @@
 // (TmSystem::TryExtendTimestamp): one implementation now serves
 //  * plain validation-failure extension on a too-new read (eager AND lazy STM),
 //  * the eager OrElse partial-rollback orec release (which must extend — its
-//    release bumps publish versions past the transaction's start), and
-//  * the simulated HTM's buffered-mode branch-line release (opportunistic).
-// The per-site counters (kExtendOnValidation / kExtendOnOrecRelease) prove the
-// call sites actually funnel through the shared path rather than keeping
-// private revalidation loops.
+//    release bumps publish versions past the transaction's start),
+//  * the simulated HTM's buffered-mode branch-line release (opportunistic), and
+//  * lazy STM's commit-time validation (write-orec acquisition on a too-new
+//    orec, and read-set revalidation) — instead of aborting outright.
+// The per-site counters (kExtendOnValidation / kExtendOnOrecRelease /
+// kExtendOnCommitValidation) prove the call sites actually funnel through the
+// shared path rather than keeping private revalidation loops.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <thread>
 
 #include "src/common/semaphore.h"
@@ -114,6 +117,95 @@ INSTANTIATE_TEST_SUITE_P(StmBackends, ValidationExtensionTest,
                            return info.param == Backend::kEagerStm ? "EagerStm"
                                                                    : "LazyStm";
                          });
+
+// --- lazy commit-time validation extension (ROADMAP follow-up) ---
+
+// Shared scaffolding for the commit-validation trio: a lazy transaction loads
+// x, pauses mid-flight while `interleaved` commits, then buffer-writes
+// y = x + 10 and commits — so its write orec (and possibly its read of x) is
+// stale by commit time.
+void RunPausedLazyWriter(Runtime& rt, TVar<std::uint64_t>& x,
+                         TVar<std::uint64_t>& y,
+                         const std::function<void()>& interleaved) {
+  Semaphore writer_paused;
+  Semaphore other_done;
+  std::thread writer([&] {
+    bool paused = false;
+    Atomically(rt.sys(), [&](Tx& tx) {
+      std::uint64_t a = tx.Load(x);
+      if (!paused) {
+        paused = true;
+        writer_paused.Post();
+        other_done.Wait();  // let another writer commit mid-transaction
+      }
+      tx.Store(y, a + 10);  // buffered; orec acquired at commit
+    });
+  });
+  writer_paused.Wait();
+  interleaved();
+  other_done.Post();
+  writer.join();
+}
+
+// Lazy STM acquires its write orecs only at commit. If another thread
+// committed to a to-be-written location in the meantime, the orec is too new
+// for this transaction's start — but the buffered write doesn't depend on the
+// old value, so the shared extension (revalidate the read set, advance start)
+// must salvage the commit instead of aborting outright.
+TEST(CommitValidationExtensionTest, LazySalvagesWriteAcquisitionAfterConcurrentCommit) {
+  Runtime rt(ExtConfig(Backend::kLazyStm));
+  TVar<std::uint64_t> x(1);
+  TVar<std::uint64_t> y(2);
+  RunPausedLazyWriter(rt, x, y, [&] {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(y, std::uint64_t{20}); });
+  });
+
+  TxStats s = rt.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kExtendOnCommitValidation), 1u)
+      << "commit-time acquisition must reach the shared extension path";
+  EXPECT_GE(s.Get(Counter::kTimestampExtensions), 1u);
+  EXPECT_EQ(s.Get(Counter::kAborts), 0u)
+      << "the extension should have salvaged the commit without an abort";
+  EXPECT_EQ(y.UnsafeRead(), 11u);
+}
+
+// A concurrent commit that also touched a location this transaction *read*
+// must still defeat the commit-time extension: revalidation fails, the
+// attempt aborts, and the re-execution observes the new state.
+TEST(CommitValidationExtensionTest, LazyCommitExtensionFailsOnRealReadConflict) {
+  Runtime rt(ExtConfig(Backend::kLazyStm));
+  TVar<std::uint64_t> x(1);
+  TVar<std::uint64_t> y(2);
+  RunPausedLazyWriter(rt, x, y, [&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.Store(x, std::uint64_t{5});  // invalidates the writer's read
+      tx.Store(y, std::uint64_t{20});
+    });
+  });
+
+  TxStats s = rt.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kExtendOnCommitValidation), 1u)
+      << "the failed salvage attempt still goes through the shared path";
+  EXPECT_GE(s.Get(Counter::kAborts), 1u);
+  EXPECT_EQ(s.Get(Counter::kTimestampExtensions), 0u)
+      << "a defeated extension must not advance the timestamp";
+  EXPECT_EQ(y.UnsafeRead(), 15u) << "the re-execution must see x=5";
+}
+
+// With the knob off, the commit-time site must not attempt extension at all.
+TEST(CommitValidationExtensionTest, DisabledExtensionStillAbortsOutright) {
+  Runtime rt(ExtConfig(Backend::kLazyStm, /*extension=*/false));
+  TVar<std::uint64_t> x(1);
+  TVar<std::uint64_t> y(2);
+  RunPausedLazyWriter(rt, x, y, [&] {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(y, std::uint64_t{20}); });
+  });
+
+  TxStats s = rt.AggregateStats();
+  EXPECT_EQ(s.Get(Counter::kExtendOnCommitValidation), 0u);
+  EXPECT_GE(s.Get(Counter::kAborts), 1u);
+  EXPECT_EQ(y.UnsafeRead(), 11u) << "the retried attempt still lands a+10";
+}
 
 // --- extension after OrElse orec release ---
 

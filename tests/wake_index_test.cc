@@ -1,14 +1,18 @@
 // Tests for the sharded wakeup index (src/condsync/wake_index.h): unit-level
-// shard bookkeeping, targeted-wake correctness across all three backends, no
-// lost wakeups with many disjoint waiters, leak-freedom under concurrent
-// register/deregister/timeout churn, waitset pruning, and the OrElse
+// shard bookkeeping (parameterized over shard counts 1..1024 — the shard set
+// is a multi-word bitmap, not one word), targeted-wake correctness across all
+// three backends at 64 and 1024 shards, no lost wakeups with many disjoint
+// waiters, leak-freedom under concurrent register/deregister/timeout churn,
+// the empty-waitset global fallback, waitset pruning, and the OrElse
 // partial-rollback orec release. ManyWaitersChurn doubles as the TSan run of
 // the many-waiters ablation (CI runs this binary under -fsanitize=thread).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/condsync/waiter_registry.h"
@@ -21,12 +25,15 @@
 namespace tcs {
 namespace {
 
-TmConfig ConfigFor(Backend b, bool targeted = true) {
+TmConfig ConfigFor(Backend b, bool targeted = true, int shards = 0) {
   TmConfig cfg;
   cfg.backend = b;
   cfg.orec_table_log2 = 12;
   cfg.max_threads = 96;
   cfg.targeted_wakeup = targeted;
+  if (shards > 0) {
+    cfg.wake_index_shards = shards;
+  }
   return cfg;
 }
 
@@ -45,6 +52,18 @@ void AwaitCounter(Runtime& rt, Counter c, std::uint64_t target) {
 struct PaddedCell {
   alignas(64) TVar<std::uint64_t> v;
 };
+
+std::string BackendTestName(Backend b) {
+  switch (b) {
+    case Backend::kEagerStm:
+      return "EagerStm";
+    case Backend::kLazyStm:
+      return "LazyStm";
+    case Backend::kSimHtm:
+      return "SimHtm";
+  }
+  return "Unknown";
+}
 
 // --- unit tests over the bare index ---
 
@@ -79,7 +98,8 @@ TEST(WakeIndexUnitTest, IndexedWaiterIsCandidateOnlyForItsShards) {
   idx.AddIndexed(7, reg, 1);
   EXPECT_TRUE(idx.HasEntries(7));
   EXPECT_FALSE(idx.IsGlobal(7));
-  EXPECT_EQ(__builtin_popcountll(idx.ShardSetOf(7)), 1);
+  EXPECT_EQ(idx.ShardSetPopulation(7), 1);
+  EXPECT_TRUE(idx.InShardSet(7, idx.ShardOf(a)));
 
   std::vector<int> seen;
   const Orec* writes_a[] = {a};
@@ -123,26 +143,9 @@ TEST(WakeIndexUnitTest, DuplicateOrecsRegisterShardOnce) {
   Orec o;
   const Orec* reg[] = {&o, &o, &o};
   idx.AddIndexed(1, reg, 3);
-  EXPECT_EQ(__builtin_popcountll(idx.ShardSetOf(1)), 1);
+  EXPECT_EQ(idx.ShardSetPopulation(1), 1);
   EXPECT_EQ(idx.ShardPopulation(idx.ShardOf(&o)), 1);
   idx.Remove(1);
-  EXPECT_TRUE(idx.Empty());
-}
-
-TEST(WakeIndexUnitTest, RemoveIsIdempotentAndExact) {
-  WakeIndex idx(128, 16);
-  std::vector<Orec> orecs(32);
-  std::vector<const Orec*> reg;
-  for (const Orec& o : orecs) {
-    reg.push_back(&o);
-  }
-  idx.AddIndexed(64, reg.data(), reg.size());
-  idx.AddGlobal(65);
-  idx.Remove(64);
-  idx.Remove(64);  // second removal is a no-op
-  EXPECT_FALSE(idx.HasEntries(64));
-  EXPECT_TRUE(idx.HasEntries(65));
-  idx.Remove(65);
   EXPECT_TRUE(idx.Empty());
 }
 
@@ -161,9 +164,146 @@ TEST(WakeIndexUnitTest, SingleShardDegradesToGlobalScan) {
   EXPECT_EQ(seen, (std::vector<int>{2}));
 }
 
-// --- behavioral tests through the runtime ---
+// --- shard-count sweep over the bare index (the >64-shard bitmap rework) ---
 
-class WakeIndexBackendTest : public ::testing::TestWithParam<Backend> {};
+class WakeIndexShardCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WakeIndexShardCountTest, ShardBookkeepingCoversEveryRegisteredOrec) {
+  const int shards = GetParam();
+  WakeIndex idx(128, shards);
+  EXPECT_EQ(idx.shard_count(), shards);
+  EXPECT_EQ(idx.shard_words(), (shards + 63) / 64);
+  std::vector<Orec> orecs(64);
+  std::vector<const Orec*> reg;
+  for (const Orec& o : orecs) {
+    reg.push_back(&o);
+  }
+  idx.AddIndexed(70, reg.data(), reg.size());  // tid in the second mask word
+  EXPECT_TRUE(idx.HasEntries(70));
+  EXPECT_FALSE(idx.IsGlobal(70));
+  int pop = idx.ShardSetPopulation(70);
+  EXPECT_GE(pop, 1);
+  EXPECT_LE(pop, std::min<int>(static_cast<int>(reg.size()), shards));
+  for (const Orec* o : reg) {
+    EXPECT_TRUE(idx.InShardSet(70, idx.ShardOf(o)));
+    std::vector<int> seen;
+    const Orec* writes[] = {o};
+    idx.ForEachCandidate(writes, 1, [&](int tid) {
+      seen.push_back(tid);
+      return true;
+    });
+    EXPECT_EQ(seen, (std::vector<int>{70}))
+        << "a registered orec's shard lost its waiter";
+  }
+  idx.Remove(70);
+  EXPECT_FALSE(idx.HasEntries(70));
+  EXPECT_EQ(idx.ShardSetPopulation(70), 0);
+  EXPECT_TRUE(idx.Empty());
+}
+
+TEST_P(WakeIndexShardCountTest, TargetedLookupsStaySelectiveAndConservative) {
+  const int shards = GetParam();
+  constexpr int kWaiters = 96;
+  WakeIndex idx(128, shards);
+  std::vector<Orec> orecs(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    const Orec* reg[] = {&orecs[t]};
+    idx.AddIndexed(t, reg, 1);
+  }
+  long total_candidates = 0;
+  for (int t = 0; t < kWaiters; ++t) {
+    const Orec* writes[] = {&orecs[t]};
+    bool saw_owner = false;
+    idx.ForEachCandidate(writes, 1, [&](int tid) {
+      ++total_candidates;
+      saw_owner |= (tid == t);
+      return true;
+    });
+    EXPECT_TRUE(saw_owner) << "conservativeness violated: waiter " << t
+                           << " missing for its own orec";
+  }
+  if (shards == 1) {
+    // One shard degenerates to the global scan: every lookup sees everyone.
+    EXPECT_EQ(total_candidates, static_cast<long>(kWaiters) * kWaiters);
+  }
+  if (shards >= 1024) {
+    // At 1024+ shards, aliasing among 96 disjoint waiters is nearly gone:
+    // expected candidates per lookup is 1 + 95/shards ≈ 1.09.
+    EXPECT_LE(static_cast<double>(total_candidates) / kWaiters, 1.5);
+  }
+  for (int t = 0; t < kWaiters; ++t) {
+    idx.Remove(t);
+  }
+  EXPECT_TRUE(idx.Empty()) << "leak after bulk removal at " << shards
+                           << " shards";
+}
+
+TEST_P(WakeIndexShardCountTest, RemoveIsIdempotentAndExact) {
+  const int shards = GetParam();
+  WakeIndex idx(192, shards);
+  std::vector<Orec> orecs(128);
+  std::vector<const Orec*> reg;
+  for (const Orec& o : orecs) {
+    reg.push_back(&o);
+  }
+  for (int tid : {0, 63, 64, 100}) {  // spans both presence-mask words
+    idx.AddIndexed(tid, reg.data(), reg.size());
+  }
+  idx.AddGlobal(101);
+  idx.Remove(64);
+  idx.Remove(64);  // second removal is a no-op
+  EXPECT_FALSE(idx.HasEntries(64));
+  for (int tid : {0, 63, 100}) {
+    EXPECT_TRUE(idx.HasEntries(tid)) << "Remove(64) clobbered tid " << tid;
+  }
+  EXPECT_TRUE(idx.HasEntries(101));
+  for (int tid : {0, 63, 100, 101}) {
+    idx.Remove(tid);
+    idx.Remove(tid);
+  }
+  EXPECT_TRUE(idx.Empty());
+}
+
+TEST_P(WakeIndexShardCountTest, EmptyOrecListFallsBackToGlobal) {
+  // The headline registration bug: an empty address list used to store an
+  // empty shard set, unreachable by any writer's shard union. It must land on
+  // the global fallback list instead.
+  WakeIndex idx(64, GetParam());
+  idx.AddIndexed(5, nullptr, 0);
+  EXPECT_TRUE(idx.HasEntries(5));
+  EXPECT_TRUE(idx.IsGlobal(5));
+  EXPECT_EQ(idx.ShardSetPopulation(5), 0);
+  Orec o;
+  const Orec* writes[] = {&o};
+  std::vector<int> seen;
+  idx.ForEachCandidate(writes, 1, [&](int tid) {
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{5}))
+      << "empty-waitset waiter is not reachable by a writer";
+  idx.Remove(5);
+  EXPECT_TRUE(idx.Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, WakeIndexShardCountTest,
+                         ::testing::Values(1, 64, 256, 1024),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Shards" + std::to_string(info.param);
+                         });
+
+// --- behavioral tests through the runtime, at 64 and 1024 shards ---
+
+using BackendShards = std::tuple<Backend, int>;
+
+class WakeIndexBackendTest : public ::testing::TestWithParam<BackendShards> {
+ protected:
+  Backend backend() const { return std::get<0>(GetParam()); }
+  int shards() const { return std::get<1>(GetParam()); }
+  TmConfig Config(bool targeted = true) const {
+    return ConfigFor(backend(), targeted, shards());
+  }
+};
 
 // A committing writer's wake work must scale with the waiters its write set
 // could satisfy, not with the number of registered waiters: the same workload
@@ -174,7 +314,7 @@ TEST_P(WakeIndexBackendTest, TargetedWakeSkipsIrrelevantWaiters) {
   constexpr std::uint64_t kCommits = 200;
   std::uint64_t checks[2] = {0, 0};
   for (bool targeted : {false, true}) {
-    Runtime rt(ConfigFor(GetParam(), targeted));
+    Runtime rt(Config(targeted));
     auto cells = std::make_unique<PaddedCell[]>(kWaiters);
     std::vector<std::thread> waiters;
     for (int w = 0; w < kWaiters; ++w) {
@@ -206,7 +346,7 @@ TEST_P(WakeIndexBackendTest, TargetedWakeSkipsIrrelevantWaiters) {
   }
   EXPECT_EQ(checks[0], kWaiters * kCommits) << "global scan checks everyone";
   // ≥2x is the acceptance floor; with 16 disjoint waiters the expected factor
-  // is ~16 minus shard collisions.
+  // is ~16 minus shard collisions (which shrink as the shard count grows).
   EXPECT_LE(checks[1] * 2, checks[0])
       << "targeted wakeup did not reduce wake-check work";
 }
@@ -216,7 +356,7 @@ TEST_P(WakeIndexBackendTest, TargetedWakeSkipsIrrelevantWaiters) {
 // turns that into a failure).
 TEST_P(WakeIndexBackendTest, EveryDisjointWaiterWakesOnItsOwnWrite) {
   constexpr int kWaiters = 24;
-  Runtime rt(ConfigFor(GetParam()));
+  Runtime rt(Config());
   auto cells = std::make_unique<PaddedCell[]>(kWaiters);
   std::vector<std::thread> waiters;
   std::atomic<int> woken{0};
@@ -250,7 +390,7 @@ bool CellAtLeastPred(TmSystem& sys, const WaitArgs& args) {
 }
 
 TEST_P(WakeIndexBackendTest, WaitPredFallsBackToGlobalList) {
-  Runtime rt(ConfigFor(GetParam()));
+  Runtime rt(Config());
   TVar<std::uint64_t> cell(0);
   std::thread waiter([&] {
     Atomically(rt.sys(), [&](Tx& tx) {
@@ -273,7 +413,7 @@ TEST_P(WakeIndexBackendTest, WaitPredFallsBackToGlobalList) {
 
 // Retry/Await waiters must land in the index, not on the fallback list.
 TEST_P(WakeIndexBackendTest, RetryWaitersAreIndexed) {
-  Runtime rt(ConfigFor(GetParam()));
+  Runtime rt(Config());
   TVar<std::uint64_t> cell(0);
   std::thread waiter([&] {
     Atomically(rt.sys(), [&](Tx& tx) {
@@ -297,7 +437,7 @@ TEST_P(WakeIndexBackendTest, RetryWaitersAreIndexed) {
 TEST_P(WakeIndexBackendTest, ManyWaitersChurnLeavesNoEntries) {
   constexpr int kThreads = 12;
   constexpr int kRoundsPerThread = 40;
-  Runtime rt(ConfigFor(GetParam()));
+  Runtime rt(Config());
   auto cells = std::make_unique<PaddedCell[]>(kThreads);
   std::atomic<bool> stop{false};
   std::thread writer([&] {
@@ -342,19 +482,117 @@ TEST_P(WakeIndexBackendTest, ManyWaitersChurnLeavesNoEntries) {
       << "an index entry leaked through the churn";
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBackends, WakeIndexBackendTest,
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsByShards, WakeIndexBackendTest,
+    ::testing::Combine(::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                         Backend::kSimHtm),
+                       ::testing::Values(64, 1024)),
+    [](const ::testing::TestParamInfo<BackendShards>& info) {
+      return BackendTestName(std::get<0>(info.param)) + "_Shards" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- empty-waitset registration (the wake-path registration bugfix) ---
+
+class EmptyWaitsetTest : public ::testing::TestWithParam<Backend> {};
+
+// A Retry whose logging pass read nothing transactionally publishes an empty
+// waitset. Pre-fix, DescheduleImpl indexed it with an empty shard set — no
+// writer shard union ever covered it, so it slept until timeout (or forever).
+// It must register on the global fallback list, count as a global deschedule,
+// and be woken by the next writer commit.
+TEST_P(EmptyWaitsetTest, EmptyWaitsetWaiterIsWokenByAnyWriterCommit) {
+  Runtime rt(ConfigFor(GetParam()));
+  TVar<std::uint64_t> unrelated(0);
+  std::atomic<bool> go{false};
+  std::atomic<bool> timed_out{false};
+  std::thread waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      // `go` is a plain atomic (an escape read), so the retry waitset stays
+      // empty; the generous deadline only bounds the pre-fix hang.
+      if (!go.load(std::memory_order_acquire)) {
+        if (tx.RetryFor(std::chrono::seconds(5)) == WaitResult::kTimedOut) {
+          timed_out.store(true);
+        }
+      }
+    });
+  });
+  AwaitCounter(rt, Counter::kSleeps, 1);
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kGlobalDeschedules), 1u)
+      << "empty waitset must register as a global deschedule";
+  EXPECT_EQ(rt.AggregateStats().Get(Counter::kIndexedDeschedules), 0u);
+  EXPECT_EQ(rt.sys().wake_index().GlobalPopulation(), 1);
+  go.store(true, std::memory_order_release);
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(unrelated, std::uint64_t{1}); });
+  waiter.join();
+  EXPECT_FALSE(timed_out.load())
+      << "empty-waitset waiter was not wakeable by a writer commit";
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kWakeups), 1u);
+  EXPECT_TRUE(rt.sys().wake_index().Empty());
+}
+
+// With no writer at all, the empty-waitset timed wait must still expire
+// cleanly and deregister everything.
+TEST_P(EmptyWaitsetTest, EmptyWaitsetTimedWaitTimesOutCleanly) {
+  Runtime rt(ConfigFor(GetParam()));
+  std::atomic<bool> timed_out{false};
+  std::thread waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (!timed_out.load(std::memory_order_relaxed)) {
+        if (tx.RetryFor(std::chrono::milliseconds(30)) ==
+            WaitResult::kTimedOut) {
+          timed_out.store(true);
+        }
+      }
+    });
+  });
+  waiter.join();
+  EXPECT_TRUE(timed_out.load());
+  EXPECT_GE(rt.AggregateStats().Get(Counter::kWaitTimeouts), 1u);
+  EXPECT_EQ(rt.sys().waiters().RegisteredCount(), 0);
+  EXPECT_TRUE(rt.sys().wake_index().Empty());
+}
+
+// The waitset-entries counter must reflect the *published* waitset: a
+// pure-predicate wait publishes no address list, so it contributes zero even
+// when the descriptor's retry waitset holds stale entries from an earlier
+// Retry in the same transaction (the logging flag survives restarts, so the
+// re-execution after the Retry wakeup re-logs its reads).
+TEST_P(EmptyWaitsetTest, WaitPredDoesNotInflateWaitsetEntriesCounter) {
+  Runtime rt(ConfigFor(GetParam()));
+  TVar<std::uint64_t> cell(0);
+  std::thread waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      std::uint64_t v = tx.Load(cell);
+      if (v == 0) {
+        tx.Retry();  // first wait: findChanges on {cell} — one real entry
+      }
+      if (v == 1) {
+        // Woken by cell=1, now wait through a predicate. The re-logged retry
+        // waitset ({cell}, stale for this wait) must not be counted.
+        WaitArgs args;
+        args.v[0] = reinterpret_cast<TmWord>(&cell);
+        args.v[1] = 2;
+        args.n = 2;
+        tx.WaitPred(&CellAtLeastPred, args);
+      }
+    });
+  });
+  AwaitCounter(rt, Counter::kSleeps, 1);
+  EXPECT_EQ(rt.AggregateStats().Get(Counter::kWaitsetEntries), 1u);
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{1}); });
+  AwaitCounter(rt, Counter::kSleeps, 2);
+  EXPECT_EQ(rt.AggregateStats().Get(Counter::kWaitsetEntries), 1u)
+      << "a stale retry waitset was counted for a pure-predicate wait";
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{2}); });
+  waiter.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, EmptyWaitsetTest,
                          ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
                                            Backend::kSimHtm),
                          [](const ::testing::TestParamInfo<Backend>& info) {
-                           switch (info.param) {
-                             case Backend::kEagerStm:
-                               return "EagerStm";
-                             case Backend::kLazyStm:
-                               return "LazyStm";
-                             case Backend::kSimHtm:
-                               return "SimHtm";
-                           }
-                           return "Unknown";
+                           return BackendTestName(info.param);
                          });
 
 // --- wake_single shard-locality preference ---
@@ -386,14 +624,17 @@ bool AlwaysReadCellPred(TmSystem& sys, const WaitArgs& args) {
   return sys.Read(cell->word()) != 0;
 }
 
-TEST(WakeSingleLocalityTest, PrefersShardLocalWaiterOverGlobalFallback) {
+class WakeSingleLocalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WakeSingleLocalityTest, PrefersShardLocalWaiterOverGlobalFallback) {
   // Two waiters, both satisfied by the same write: a WaitPred waiter on the
   // global fallback list (registered first, so it holds the lower tid and
   // would win a tid-ordered scan) and a Retry waiter indexed under the
   // written cell's shard. With wake_single, the committing writer must prefer
   // the shard-local candidate: the indexed waiter wakes, the global one stays
-  // asleep until a later commit.
-  TmConfig cfg = ConfigFor(Backend::kEagerStm);
+  // asleep until a later commit. Runs at 64 and 1024 shards — the ordering
+  // must hold across the multi-word shard-set representation.
+  TmConfig cfg = ConfigFor(Backend::kEagerStm, /*targeted=*/true, GetParam());
   cfg.wake_single = true;
   Runtime rt(cfg);
   TVar<std::uint64_t> cell(0);
@@ -440,6 +681,68 @@ TEST(WakeSingleLocalityTest, PrefersShardLocalWaiterOverGlobalFallback) {
   EXPECT_TRUE(rt.sys().wake_index().Empty());
 }
 
+INSTANTIATE_TEST_SUITE_P(ShardCounts, WakeSingleLocalityTest,
+                         ::testing::Values(64, 1024),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Shards" + std::to_string(info.param);
+                         });
+
+TEST(WakeSingleEmptyWaitsetTest, VacuousWakeDoesNotStealTheSingleWakeup) {
+  // An empty-waitset waiter is woken conservatively on any writer commit, but
+  // that vacuous wake is no evidence anyone was satisfied — under wake_single
+  // it must not absorb the single-wakeup budget, or a genuinely satisfied
+  // waiter later on the global list starves behind a waiter that just
+  // re-parks without ever committing.
+  TmConfig cfg = ConfigFor(Backend::kEagerStm);
+  cfg.wake_single = true;
+  Runtime rt(cfg);
+  TVar<std::uint64_t> cell(0);
+  std::atomic<bool> go{false};
+  std::atomic<bool> pred_done{false};
+  // The empty-waitset waiter registers first (lower tid → visited first on
+  // the global list).
+  std::thread empty_waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (!go.load(std::memory_order_acquire)) {
+        (void)tx.RetryFor(std::chrono::seconds(10));
+      }
+    });
+  });
+  AwaitCounter(rt, Counter::kSleeps, 1);
+  std::thread pred_waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(cell) < 1) {
+        WaitArgs args;
+        args.v[0] = reinterpret_cast<TmWord>(&cell);
+        args.v[1] = 1;
+        args.n = 2;
+        tx.WaitPred(&CellAtLeastPred, args);
+      }
+    });
+    pred_done.store(true);
+  });
+  AwaitCounter(rt, Counter::kSleeps, 2);
+  // One writer commit both vacuously wakes the empty-waitset waiter and
+  // satisfies the predicate; the single-wakeup budget must go to the
+  // satisfied waiter.
+  go.store(true, std::memory_order_release);
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{1}); });
+  bool ok = false;
+  for (int i = 0; i < 2000 && !(ok = pred_done.load()); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ok)
+      << "the vacuous wake absorbed the single wakeup; the satisfied waiter "
+         "was never checked";
+  if (!ok) {
+    // Unstick the starved waiter so the test tears down.
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{2}); });
+  }
+  pred_waiter.join();
+  empty_waiter.join();
+  EXPECT_TRUE(rt.sys().wake_index().Empty());
+}
+
 // --- waitset pruning ---
 
 class WaitsetPruneTest : public ::testing::TestWithParam<Backend> {};
@@ -476,15 +779,7 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, WaitsetPruneTest,
                          ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
                                            Backend::kSimHtm),
                          [](const ::testing::TestParamInfo<Backend>& info) {
-                           switch (info.param) {
-                             case Backend::kEagerStm:
-                               return "EagerStm";
-                             case Backend::kLazyStm:
-                               return "LazyStm";
-                             case Backend::kSimHtm:
-                               return "SimHtm";
-                           }
-                           return "Unknown";
+                           return BackendTestName(info.param);
                          });
 
 // --- OrElse partial-rollback orec release ---
