@@ -42,11 +42,18 @@ void EmitWakeTrialRow(JsonWriter& w, const WakeTrialResult& r) {
   w.Key("waitset_shape").String(WaitsetShapeName(r.shape));
   w.Key("producer").String(r.silent_producer ? "silent" : "hot");
   w.Key("producer_commits").U64(r.producer_commits);
+  w.Key("wake_batch_size").Int(r.wake_batch_size);
   w.Key("seconds").Double(r.seconds);
   w.Key("commits_per_sec").Double(r.commits_per_sec);
   w.Key("wake_checks").U64(r.wake_checks);
   w.Key("wake_checks_per_commit").Double(r.wake_checks_per_commit);
+  w.Key("wake_batches").U64(r.wake_batches);
+  w.Key("wake_batches_per_commit").Double(r.wake_batches_per_commit);
+  // Precision rows: vacuous empty-waitset posts are conservative broadcasts,
+  // not satisfied wakes, so they are subtracted out of genuine_wakeups.
   w.Key("wakeups").U64(r.wakeups);
+  w.Key("vacuous_wakeups").U64(r.vacuous_wakeups);
+  w.Key("genuine_wakeups").U64(r.genuine_wakeups);
   w.EndObject();
 }
 
@@ -151,6 +158,49 @@ void EmitWakeManyWaiters(JsonWriter& w, const std::vector<Backend>& backends,
   w.EndArray();
 }
 
+// Wake-batching ablation: batch size swept 1/4/8/16 with many parked waiters
+// under the global-scan wake path — the shape where a committing writer pays
+// one wake check per registered waiter, so the per-candidate internal
+// transactions (batch_size=1, the paper's Algorithm 4) dominate the wake
+// path. Batching coalesces those checks: wake_batches_per_commit should track
+// ceil(candidates / batch_size), and commits_per_sec is the throughput win.
+void EmitWakeBatchSweep(JsonWriter& w, const std::vector<Backend>& backends,
+                        const std::vector<int>& waiter_counts,
+                        std::uint64_t commits) {
+  w.Key("wake_batching_sweep").BeginArray();
+  for (Backend b : backends) {
+    for (int n : waiter_counts) {
+      if (n > 256 && b != Backend::kEagerStm) {
+        // 1024 parked threads per trial; keep the tail of the sweep on one
+        // backend so full-run wall time stays sane.
+        continue;
+      }
+      double base_cps = 0.0;
+      for (int batch : {1, 4, 8, 16}) {
+        WakeTrialOptions opts;
+        opts.backend = b;
+        opts.targeted = false;  // global scan: every commit checks everyone
+        opts.waiters = n;
+        opts.producer_commits = commits;
+        opts.wake_batch_size = batch;
+        WakeTrialResult r = RunWakeIndexTrial(opts);
+        EmitWakeTrialRow(w, r);
+        if (batch == 1) {
+          base_cps = r.commits_per_sec;
+        }
+        double speedup =
+            base_cps > 0 ? r.commits_per_sec / base_cps : 0.0;
+        std::printf("wake_batch  backend=%-10s waiters=%-5d batch=%-3d "
+                    "batches/commit=%.2f checks/commit=%.2f commits/s=%.0f "
+                    "speedup_vs_batch1=%.2fx\n",
+                    BackendName(b), n, batch, r.wake_batches_per_commit,
+                    r.wake_checks_per_commit, r.commits_per_sec, speedup);
+      }
+    }
+  }
+  w.EndArray();
+}
+
 void EmitBounded(JsonWriter& w, const std::vector<Backend>& backends,
                  const BoundedGridOptions& base) {
   w.Key("bounded_buffer").BeginArray();
@@ -244,6 +294,10 @@ int Run(int argc, char** argv) {
     // the eager backend only to keep the full run's wall time sane.
     EmitWakeManyWaiters(w, {Backend::kEagerStm}, many_waiter_counts,
                         many_commits);
+    // The batching sweep reuses the many-waiter shape (global scan, so every
+    // commit pays one check per waiter); full runs cover all three backends
+    // at 256 waiters plus eager at 1024.
+    EmitWakeBatchSweep(w, backends, many_waiter_counts, many_commits);
   }
   if (scenario == "all" || scenario == "bounded") {
     EmitBounded(w, backends, bounded);

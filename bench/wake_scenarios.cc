@@ -38,6 +38,9 @@ WakeTrialResult RunWakeIndexTrial(const WakeTrialOptions& opts) {
   if (opts.num_shards > 0) {
     cfg.wake_index_shards = opts.num_shards;
   }
+  if (opts.wake_batch_size > 0) {
+    cfg.wake_batch_size = opts.wake_batch_size;
+  }
   Runtime rt(cfg);
 
   const int waiters = opts.waiters;
@@ -106,15 +109,23 @@ WakeTrialResult RunWakeIndexTrial(const WakeTrialOptions& opts) {
   r.num_shards = rt.config().wake_index_shards;
   r.shape = opts.shape;
   r.silent_producer = opts.silent_producer;
+  r.wake_batch_size = rt.config().wake_batch_size;
   r.producer_commits = opts.producer_commits;
   r.seconds = t1 - t0;
   r.commits_per_sec =
       r.seconds > 0 ? static_cast<double>(opts.producer_commits) / r.seconds
                     : 0.0;
   r.wake_checks = st.Get(Counter::kWakeChecks);
+  r.wake_batches = st.Get(Counter::kWakeBatches);
   r.wakeups = st.Get(Counter::kWakeups);
+  // Precision rows must not credit conservative empty-waitset posts as
+  // genuine wakes (they inflate wake-precision metrics).
+  r.vacuous_wakeups = st.Get(Counter::kVacuousWakeups);
+  r.genuine_wakeups = r.wakeups - r.vacuous_wakeups;
   r.wake_checks_per_commit = static_cast<double>(r.wake_checks) /
                              static_cast<double>(opts.producer_commits);
+  r.wake_batches_per_commit = static_cast<double>(r.wake_batches) /
+                              static_cast<double>(opts.producer_commits);
   return r;
 }
 

@@ -44,6 +44,9 @@ struct WakeTrialOptions {
   // waiters aliasing into the hot cell's shard (1.0 is ideal) — instead of a
   // number dominated by how fast the woken waiter re-registers.
   bool silent_producer = false;
+  // 0 = TmConfig's default wake batch size; 1 reverts to the paper's
+  // one-transaction-per-candidate wake path (the batching ablation baseline).
+  int wake_batch_size = 0;
 };
 
 struct WakeTrialResult {
@@ -53,12 +56,19 @@ struct WakeTrialResult {
   int num_shards = 0;              // the count actually configured
   WaitsetShape shape = WaitsetShape::kDisjoint;
   bool silent_producer = false;
+  int wake_batch_size = 0;         // the batch size actually configured
   std::uint64_t producer_commits = 0;
   double seconds = 0.0;            // hot-producer phase wall time
   double commits_per_sec = 0.0;    // wake-path throughput
   std::uint64_t wake_checks = 0;   // predicate evaluations writers paid
-  std::uint64_t wakeups = 0;
+  std::uint64_t wake_batches = 0;  // internal wake transactions writers paid
+  std::uint64_t wakeups = 0;       // all semaphore posts, vacuous included
+  // Conservative empty-waitset posts: no evidence anyone was satisfied, so
+  // precision rows report genuine_wakeups = wakeups - vacuous_wakeups.
+  std::uint64_t vacuous_wakeups = 0;
+  std::uint64_t genuine_wakeups = 0;
   double wake_checks_per_commit = 0.0;
+  double wake_batches_per_commit = 0.0;
 };
 
 // Runs one trial: parks `waiters` threads on cache-line-padded cells (shape

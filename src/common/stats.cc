@@ -64,6 +64,14 @@ std::string_view CounterName(Counter c) {
       return "extend_on_orec_release";
     case Counter::kExtendOnCommitValidation:
       return "extend_on_commit_validation";
+    case Counter::kExtendOnEncounterAcquisition:
+      return "extend_on_encounter_acquisition";
+    case Counter::kWakeBatches:
+      return "wake_batches";
+    case Counter::kWakeChecksBatched:
+      return "wake_checks_batched";
+    case Counter::kVacuousWakeups:
+      return "vacuous_wakeups";
     case Counter::kNumCounters:
       break;
   }

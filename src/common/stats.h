@@ -45,6 +45,14 @@ enum class Counter : int {
   kExtendOnCommitValidation,  // TryExtendTimestamp calls from commit-time
                               // validation (lazy write-orec acquisition and
                               // read-set revalidation)
+  kExtendOnEncounterAcquisition,  // TryExtendTimestamp calls from eager STM's
+                                  // encounter-time write-orec acquisition on a
+                                  // too-new orec
+  kWakeBatches,        // internal wake transactions committed by wakeWaiters
+  kWakeChecksBatched,  // wake checks that ran inside a committed wake batch
+  kVacuousWakeups,     // conservative empty-waitset posts (no evidence the
+                       // waiter was satisfied) — subtract from kWakeups for
+                       // wake-precision metrics
   kNumCounters,
 };
 

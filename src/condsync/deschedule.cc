@@ -10,7 +10,10 @@
 // committing writer wake-checks only the waiters its write set could have
 // satisfied; arbitrary-predicate waiters land on the index's global fallback
 // list, which every writer still visits. See wake_index.h for the
-// no-lost-wakeup argument.
+// no-lost-wakeup argument, and the comment on WakeWaiters below for why it
+// survives batching the wake checks into shared wake transactions.
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "src/condsync/waiter_registry.h"
@@ -149,66 +152,143 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
   throw TxRestart{};
 }
 
+// wakeWaiters, batched. Algorithm 4 re-checks each candidate in its own
+// internal transaction, so every candidate costs a full tx setup/commit (one
+// global-clock RMW each) on the committing writer's critical path. Here the
+// writer instead (1) collects candidate tids — the shard-indexed waiters its
+// write-set shard union covers, then the global-fallback waiters, in that
+// order — and (2) evaluates predicates and claims slots for up to
+// TmConfig::wake_batch_size candidates inside ONE wake transaction, posting
+// every claimed semaphore strictly after that transaction commits.
+//
+// Why batching preserves the no-lost-wakeup argument (extending the
+// conservativeness argument in wake_index.h): a claim is the transactional
+// transition asleep 1→0, and the post still happens strictly after the
+// claiming transaction commits, so per claimed waiter the protocol is exactly
+// Algorithm 4's — the only change is that several claims share one
+// serialization point. The batch transaction serializes against every
+// waiter's registration transaction: if a waiter registers after the batch
+// serialized, its registration double-check runs against the writer's
+// committed state and sees the new values; if before, the batch's candidate
+// collection (which happens after the writer's commit fence) sees the index
+// entry and the batch re-reads `active`/`asleep` transactionally. A batch
+// that aborts mid-claim is rolled back by the TM (the tentative asleep=0
+// writes are undone/dropped) and re-executed: the claim list is rebuilt from
+// scratch on every execution and posts happen only for the claims of the one
+// committed execution, so an abort can neither lose a claim (the re-execution
+// re-reads active/asleep and re-claims whoever still qualifies) nor duplicate
+// one (no post precedes the commit). A waiter claimed by a *different* writer
+// between our executions shows asleep==0 and is skipped — exactly the
+// idempotence the per-candidate protocol already relied on.
+//
+// wake_single stops claiming at the first non-vacuous satisfied waiter both
+// within a batch (no further candidates of the batch are examined) and across
+// batches (no further batch runs). Vacuous empty-waitset claims earlier in
+// the same batch are still posted — they were committed — but do not absorb
+// the single-wakeup budget.
 void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
   TxDesc& d = Desc();
-  bool stop = false;
-  auto visit = [&](int tid) -> bool {
-    if (tid == d.tid || stop) {
-      return !stop;
-    }
-    WaiterSlot& slot = waiters_->slot(tid);
-    bool wake = false;
-    bool vacuous = false;
-    RunInternalTx([&] {
-      wake = false;
-      vacuous = false;
-      if (Read(&slot.active) == 0 || Read(&slot.asleep) == 0) {
-        return;
-      }
-      d.stats.Bump(Counter::kWakeChecks);
-      bool satisfied = slot.fn(*this, slot.args);
-      if (!satisfied && slot.fn == &FindChangesPred &&
-          reinterpret_cast<const WaitSet*>(slot.args.v[0])->Empty()) {
-        // An address-free findChanges waiter can never observe a change, so
-        // without this clause no commit would ever satisfy it; treat any
-        // writer commit as a conservative broadcast-style wakeup instead
-        // (the re-execution re-checks its real precondition and either
-        // proceeds or re-publishes — at worst one false wakeup per commit).
-        satisfied = true;
-        vacuous = true;
-      }
-      if (satisfied) {
-        Write(&slot.asleep, 0);
-        wake = true;
-      }
-    });
-    if (wake) {
-      // The semaphore post is an escape action, so it happens strictly after the
-      // wake-check transaction commits (Algorithm 4, line 9).
-      slot.sem->Post();
-      d.stats.Bump(Counter::kWakeups);
-      if (cfg_.wake_single && !vacuous) {
-        // A vacuous (empty-waitset) wake is no evidence anyone was satisfied;
-        // it must not absorb the single-wakeup budget, or a genuinely
-        // satisfied waiter later in the scan would starve behind a waiter
-        // that just re-parks without ever committing.
-        stop = true;
-      }
-    }
-    return !stop;
-  };
+  const std::size_t batch_size =
+      cfg_.wake_batch_size > 0 ? static_cast<std::size_t>(cfg_.wake_batch_size)
+                               : std::size_t{1};
+
+  // Phase 1: collect candidates. Order is significant (shard-indexed first;
+  // see ForEachCandidateIn) and self never qualifies.
+  std::vector<int>& cands = d.wake_candidates;
+  cands.clear();
   if (cfg_.targeted_wakeup && !write_orecs.empty()) {
     // Targeted pass: only the shards this write set covers, plus the global
     // fallback list. Work scales with relevant waiters, not registered ones.
-    wake_index_->ForEachCandidate(write_orecs.data(), write_orecs.size(),
-                                  visit);
+    // The shard-set bitmap is built once into per-thread scratch (reused
+    // commit to commit) via the index's two-phase collect/visit API.
+    d.wake_shard_scratch.resize(
+        static_cast<std::size_t>(wake_index_->shard_words()));
+    wake_index_->BuildShardSet(write_orecs.data(), write_orecs.size(),
+                               d.wake_shard_scratch.data());
+    wake_index_->ForEachCandidateIn(d.wake_shard_scratch.data(), [&](int tid) {
+      if (tid != d.tid) {
+        cands.push_back(tid);
+      }
+      return true;
+    });
   } else {
     // Global scan: targeting disabled, or the write-set snapshot was not taken
     // (no waiter was visible mid-commit; any waiter visible now either
     // registered after this commit serialized — and so re-checked its
     // predicate against our writes — or is covered by this conservative scan).
-    waiters_->ForEachRegistered(
-        [&](int tid, WaiterSlot&) { return visit(tid); });
+    waiters_->ForEachRegistered([&](int tid, WaiterSlot&) {
+      if (tid != d.tid) {
+        cands.push_back(tid);
+      }
+      return true;
+    });
+  }
+
+  // Phase 2: batched wake transactions over the collected candidates.
+  bool stop = false;
+  for (std::size_t base = 0; base < cands.size() && !stop; base += batch_size) {
+    const std::size_t end = std::min(cands.size(), base + batch_size);
+    std::vector<TxDesc::WakeClaim>& claims = d.wake_claims;
+    std::size_t checks_this_batch = 0;
+    RunInternalTx([&] {
+      // Re-execution of an aborted batch starts clean: tentative claims were
+      // rolled back with the transaction, so the list must be rebuilt (else a
+      // retried batch would double-post) and active/asleep re-read (else it
+      // would claim a waiter another writer took in the meantime).
+      claims.clear();
+      checks_this_batch = 0;
+      for (std::size_t i = base; i < end; ++i) {
+        WaiterSlot& slot = waiters_->slot(cands[i]);
+        if (Read(&slot.active) == 0 || Read(&slot.asleep) == 0) {
+          continue;
+        }
+        ++checks_this_batch;
+        bool satisfied = slot.fn(*this, slot.args);
+        bool vacuous = false;
+        if (!satisfied && slot.fn == &FindChangesPred &&
+            reinterpret_cast<const WaitSet*>(slot.args.v[0])->Empty()) {
+          // An address-free findChanges waiter can never observe a change, so
+          // without this clause no commit would ever satisfy it; treat any
+          // writer commit as a conservative broadcast-style wakeup instead
+          // (the re-execution re-checks its real precondition and either
+          // proceeds or re-publishes — at worst one false wakeup per commit).
+          satisfied = true;
+          vacuous = true;
+        }
+        if (satisfied) {
+          Write(&slot.asleep, 0);
+          claims.push_back({cands[i], vacuous});
+          if (cfg_.wake_single && !vacuous) {
+            // First non-vacuous satisfied waiter: stop claiming within this
+            // batch; the cross-batch stop happens below, after the commit.
+            break;
+          }
+        }
+      }
+    });
+    // Counters reflect the committed execution only (an aborted batch's
+    // checks died with it), so kWakeChecks stays an exact per-commit metric.
+    d.stats.Bump(Counter::kWakeBatches);
+    if (checks_this_batch > 0) {
+      d.stats.Bump(Counter::kWakeChecks, checks_this_batch);
+      d.stats.Bump(Counter::kWakeChecksBatched, checks_this_batch);
+    }
+    for (const TxDesc::WakeClaim& c : claims) {
+      // The semaphore post is an escape action, so it happens strictly after
+      // the wake transaction commits (Algorithm 4, line 9).
+      waiters_->slot(c.tid).sem->Post();
+      d.stats.Bump(Counter::kWakeups);
+      if (c.vacuous) {
+        // A vacuous (empty-waitset) wake is no evidence anyone was satisfied;
+        // it must not absorb the single-wakeup budget, or a genuinely
+        // satisfied waiter later in the scan would starve behind a waiter
+        // that just re-parks without ever committing. Counted separately so
+        // precision metrics can subtract it from kWakeups.
+        d.stats.Bump(Counter::kVacuousWakeups);
+      } else if (cfg_.wake_single) {
+        stop = true;
+      }
+    }
   }
 }
 

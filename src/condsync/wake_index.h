@@ -34,6 +34,14 @@
 // wake-check transaction, never a wrong wake (the check itself is still
 // transactional).
 //
+// The argument is indifferent to how many candidates share one wake
+// transaction: candidate *selection* (this index) only decides who gets
+// checked, and batching several checks into one transaction
+// (TmSystem::WakeWaiters) moves their serialization point, not their
+// semantics — each claim is still the transactional asleep 1→0 transition
+// with its post issued strictly after commit. deschedule.cc carries the full
+// batched claim/post protocol and its abort/retry reasoning.
+//
 // Publication ordering mirrors the WaiterRegistry presence bitmap: a waiter
 // inserts its index entries (seq_cst) *before* its registration transaction
 // begins, and a writer reads shards only after its commit's seq_cst fence, so
@@ -45,6 +53,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "src/common/assert.h"
 #include "src/common/cache_line.h"
@@ -146,17 +155,15 @@ class WakeIndex {
     }
   }
 
-  // Writer side: invokes fn(tid) once for every candidate — each waiter
-  // registered under a shard covering `orecs`, then each global-fallback
-  // waiter. fn returns false to stop early. Shard-indexed candidates are
-  // visited first: their waitsets name addresses the write set's orecs
-  // actually cover, so under wake_single (which stops at the first wakeup)
-  // the writer prefers a waiter it probably satisfied over an
-  // arbitrary-predicate waiter it merely might have. Zero allocation; cost is
-  // O(shard_words + mask_words × (1 + distinct shards touched)).
-  template <typename Fn>
-  void ForEachCandidate(const Orec* const* orecs, std::size_t n, Fn&& fn) {
-    std::uint64_t shard_set[kMaxShardWords];
+  // Writer side, two-phase: BuildShardSet folds a write set's orecs into a
+  // caller-owned shard-set bitmap of shard_words() words, and
+  // ForEachCandidateIn visits the candidates that bitmap covers. Splitting
+  // the phases lets a committing writer build the set once into per-thread
+  // scratch (reused commit to commit — no per-pass rebuild or re-zeroing of a
+  // maximal stack array) and then drive any number of candidate passes over
+  // it, which is what the batched wake path does.
+  void BuildShardSet(const Orec* const* orecs, std::size_t n,
+                     std::uint64_t* shard_set) const {
     for (int sw = 0; sw < shard_words_; ++sw) {
       shard_set[sw] = 0;
     }
@@ -164,6 +171,18 @@ class WakeIndex {
       int s = ShardOf(orecs[i]);
       shard_set[s >> 6] |= std::uint64_t{1} << (s & 63);
     }
+  }
+
+  // Invokes fn(tid) once for every candidate of a prebuilt shard set — each
+  // waiter registered under a covered shard, then each global-fallback
+  // waiter. fn returns false to stop early. Shard-indexed candidates are
+  // visited first: their waitsets name addresses the write set's orecs
+  // actually cover, so under wake_single (which stops at the first wakeup)
+  // the writer prefers a waiter it probably satisfied over an
+  // arbitrary-predicate waiter it merely might have. Zero allocation; cost is
+  // O(mask_words × (1 + distinct shards touched)).
+  template <typename Fn>
+  void ForEachCandidateIn(const std::uint64_t* shard_set, Fn&& fn) {
     for (int w = 0; w < mask_words_; ++w) {
       std::uint64_t bits = 0;
       for (int sw = 0; sw < shard_words_; ++sw) {
@@ -202,6 +221,14 @@ class WakeIndex {
         }
       }
     }
+  }
+
+  // One-shot convenience: build the shard set into stack scratch and visit it.
+  template <typename Fn>
+  void ForEachCandidate(const Orec* const* orecs, std::size_t n, Fn&& fn) {
+    std::uint64_t shard_set[kMaxShardWords];
+    BuildShardSet(orecs, n, shard_set);
+    ForEachCandidateIn(shard_set, std::forward<Fn>(fn));
   }
 
   // --- introspection (tests, leak checks) ---

@@ -42,26 +42,40 @@ TmWord EagerStm::ReadWord(TxDesc& d, const TmWord* addr) {
 // old value, and update in place.
 void EagerStm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
   Orec& o = orecs_.For(addr);
-  std::uint64_t w = o.word.load(std::memory_order_acquire);
-  if (Orec::IsLocked(w)) {
-    if (Orec::Owner(w) != d.tid) {
-      AbortCurrent(d, Counter::kAborts);
+  for (;;) {
+    std::uint64_t w = o.word.load(std::memory_order_acquire);
+    if (Orec::IsLocked(w)) {
+      if (Orec::Owner(w) != d.tid) {
+        AbortCurrent(d, Counter::kAborts);
+      }
+      // A single lock can cover multiple locations, so the undo entry is
+      // required even when the lock is already held (Algorithm 10's note).
+      d.undo.Append(addr, LoadWordRelaxed(addr));
+      StoreWordRelease(addr, val);
+      return;
     }
-    // A single lock can cover multiple locations, so the undo entry is required
-    // even when the lock is already held (Algorithm 10's note).
-    d.undo.Append(addr, LoadWordRelaxed(addr));
-    StoreWordRelease(addr, val);
-    return;
+    if (Orec::Version(w) > d.start) {
+      // The location was committed past our start, but the write doesn't
+      // depend on its old value (the undo entry is a rollback artifact, not a
+      // read) — only the read set must stay valid. Attempt the shared
+      // extension before aborting, exactly as lazy's commit-time acquisition
+      // does, then re-sample the orec under the extended start.
+      if (!cfg_.timestamp_extension ||
+          !TryExtendTimestamp(d, ExtendSite::kEncounterAcquisition)) {
+        AbortCurrent(d, Counter::kAborts);
+      }
+      continue;
+    }
+    if (o.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
+                                       std::memory_order_acq_rel)) {
+      d.locks.push_back({&o, Orec::Version(w)});
+      d.undo.Append(addr, LoadWordRelaxed(addr));
+      StoreWordRelease(addr, val);
+      return;
+    }
+    // CAS lost a race; re-sample (a now-locked or too-new orec is handled
+    // above on the next pass).
   }
-  if (Orec::Version(w) <= d.start &&
-      o.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
-                                     std::memory_order_acq_rel)) {
-    d.locks.push_back({&o, Orec::Version(w)});
-    d.undo.Append(addr, LoadWordRelaxed(addr));
-    StoreWordRelease(addr, val);
-    return;
-  }
-  AbortCurrent(d, Counter::kAborts);
 }
 
 // Algorithm 9, TxCommit.

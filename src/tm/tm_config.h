@@ -56,6 +56,16 @@ struct TmConfig {
   // (our mechanisms "essentially broadcast", §2.4.1; this knob quantifies that).
   bool wake_single = false;
 
+  // Candidates per internal wake transaction in wakeWaiters. The paper's
+  // Algorithm 4 re-checks each candidate in its own transaction; every check
+  // then pays a full tx setup/commit (clock RMW included) on the committing
+  // writer's critical path. Batching amortizes that: up to `wake_batch_size`
+  // candidates are predicate-checked and claimed inside ONE wake transaction,
+  // with all claimed semaphores posted strictly after it commits (see
+  // deschedule.cc for why the no-lost-wakeup argument survives batching).
+  // 1 reverts to the paper's per-candidate transactions (ablation baseline).
+  int wake_batch_size = 8;
+
   // Sharded wakeup index (src/condsync/wake_index.h): committing writers
   // wake-check only the waiters registered under shards their write-set orecs
   // cover, plus arbitrary-predicate waiters on the global fallback list.

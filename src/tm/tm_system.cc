@@ -344,10 +344,20 @@ void TmSystem::SnapshotCommitOrecsFromUndoIfNeeded(TxDesc& d) {
 bool TmSystem::TryExtendTimestamp(TxDesc& d, ExtendSite site,
                                   const ReleasedOrecWord* released,
                                   std::size_t released_n) {
-  d.stats.Bump(site == ExtendSite::kValidation ? Counter::kExtendOnValidation
-               : site == ExtendSite::kCommitValidation
-                   ? Counter::kExtendOnCommitValidation
-                   : Counter::kExtendOnOrecRelease);
+  switch (site) {
+    case ExtendSite::kValidation:
+      d.stats.Bump(Counter::kExtendOnValidation);
+      break;
+    case ExtendSite::kOrecRelease:
+      d.stats.Bump(Counter::kExtendOnOrecRelease);
+      break;
+    case ExtendSite::kCommitValidation:
+      d.stats.Bump(Counter::kExtendOnCommitValidation);
+      break;
+    case ExtendSite::kEncounterAcquisition:
+      d.stats.Bump(Counter::kExtendOnEncounterAcquisition);
+      break;
+  }
   // Sample the clock *before* revalidating: a commit that lands between the
   // sample and the checks makes some read orec too new and the extension
   // fails, never the reverse.

@@ -166,7 +166,10 @@ class TmSystem {
   // `write_orecs` is the committing writer's write-set orec snapshot: with
   // targeted wakeup it selects the wake-index shards to visit; when it is
   // empty (or targeting is disabled) the pass degrades to the paper's global
-  // scan over every registered waiter.
+  // scan over every registered waiter. Candidates are wake-checked in batched
+  // internal transactions of up to TmConfig::wake_batch_size, with claimed
+  // semaphores posted strictly after each batch commits (see deschedule.cc
+  // for the batched claim/post protocol).
   void WakeWaiters(const std::vector<const Orec*>& write_orecs);
 
   WaiterRegistry& waiters() { return *waiters_; }
@@ -225,9 +228,18 @@ class TmSystem {
   // --- unified timestamp extension (Riegel et al. [22]) ---
   // Where an extension attempt originates, for the per-site stats counters:
   // a too-new read (kValidation), an OrElse branch's orec release
-  // (kOrecRelease), or lazy STM's commit-time validation — write-orec
-  // acquisition and read-set revalidation alike (kCommitValidation).
-  enum class ExtendSite { kValidation, kOrecRelease, kCommitValidation };
+  // (kOrecRelease), lazy STM's commit-time validation — write-orec
+  // acquisition and read-set revalidation alike (kCommitValidation) — or
+  // eager STM's encounter-time write-orec acquisition on a too-new orec
+  // (kEncounterAcquisition: the blind in-place write doesn't depend on the
+  // location's old value, so intact reads make the acquisition salvageable,
+  // mirroring lazy's commit-time case).
+  enum class ExtendSite {
+    kValidation,
+    kOrecRelease,
+    kCommitValidation,
+    kEncounterAcquisition,
+  };
   // An orec this transaction itself just released, with the word it published;
   // revalidation treats a read orec holding exactly that word as unchanged
   // (the value beneath was restored before the release, and we held the lock

@@ -136,6 +136,23 @@ struct TxDesc {
   // Retry-Orig waiters exist (Algorithm 1's TxCommit intersection needs it).
   std::vector<const Orec*> commit_orecs;
 
+  // --- wakeWaiters scratch (writer side, reused commit to commit) ---
+  // The write set's wake-index shard-set bitmap (shard_words() words), built
+  // once per wake pass into this cached buffer instead of a per-call stack
+  // array sized for the maximum shard count.
+  std::vector<std::uint64_t> wake_shard_scratch;
+  // Candidate tids collected from the index (or the registry scan) before the
+  // batched wake transactions run over them.
+  std::vector<int> wake_candidates;
+  // Slots the current wake batch tentatively claimed (asleep 1→0 inside the
+  // batch transaction); rebuilt from scratch on every re-execution of the
+  // batch, posted only after it commits.
+  struct WakeClaim {
+    int tid;
+    bool vacuous;  // conservative empty-waitset wake, not a satisfied one
+  };
+  std::vector<WakeClaim> wake_claims;
+
   // --- simulated HTM state ---
   bool htm_serial = false;         // currently executing in serial-irrevocable mode
   bool htm_software_next = false;  // next attempt must run in serial software mode

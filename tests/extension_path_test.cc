@@ -207,6 +207,94 @@ TEST(CommitValidationExtensionTest, DisabledExtensionStillAbortsOutright) {
   EXPECT_EQ(y.UnsafeRead(), 11u) << "the retried attempt still lands a+10";
 }
 
+// --- eager encounter-time write-orec acquisition extension ---
+
+// Same scaffolding as the lazy trio, but on eager STM the write happens at
+// encounter time: the transaction loads x, pauses while `interleaved`
+// commits, then stores y = x + 10 in place — so WriteWord meets y's orec
+// already committed past its start.
+void RunPausedEagerWriter(Runtime& rt, TVar<std::uint64_t>& x,
+                          TVar<std::uint64_t>& y,
+                          const std::function<void()>& interleaved) {
+  Semaphore writer_paused;
+  Semaphore other_done;
+  std::thread writer([&] {
+    bool paused = false;
+    Atomically(rt.sys(), [&](Tx& tx) {
+      std::uint64_t a = tx.Load(x);
+      if (!paused) {
+        paused = true;
+        writer_paused.Post();
+        other_done.Wait();  // let another writer commit mid-transaction
+      }
+      tx.Store(y, a + 10);  // in place; orec acquired right here
+    });
+  });
+  writer_paused.Wait();
+  interleaved();
+  other_done.Post();
+  writer.join();
+}
+
+// Eager STM used to abort outright when the encounter-time acquisition found
+// a too-new orec, even though the blind in-place write doesn't depend on the
+// location's old value — the reads-intact case is genuinely salvageable,
+// exactly like lazy's commit-time acquisition (which got the fix in PR 4).
+TEST(EncounterAcquisitionExtensionTest, EagerSalvagesAcquisitionAfterConcurrentCommit) {
+  Runtime rt(ExtConfig(Backend::kEagerStm));
+  TVar<std::uint64_t> x(1);
+  TVar<std::uint64_t> y(2);
+  RunPausedEagerWriter(rt, x, y, [&] {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(y, std::uint64_t{20}); });
+  });
+
+  TxStats s = rt.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kExtendOnEncounterAcquisition), 1u)
+      << "encounter-time acquisition must reach the shared extension path";
+  EXPECT_GE(s.Get(Counter::kTimestampExtensions), 1u);
+  EXPECT_EQ(s.Get(Counter::kAborts), 0u)
+      << "the extension should have salvaged the write without an abort";
+  EXPECT_EQ(y.UnsafeRead(), 11u);
+}
+
+// A concurrent commit that also touched a location this transaction *read*
+// must still defeat the encounter-time extension: revalidation fails, the
+// attempt aborts, and the re-execution observes the new state.
+TEST(EncounterAcquisitionExtensionTest, EagerExtensionFailsOnRealReadConflict) {
+  Runtime rt(ExtConfig(Backend::kEagerStm));
+  TVar<std::uint64_t> x(1);
+  TVar<std::uint64_t> y(2);
+  RunPausedEagerWriter(rt, x, y, [&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.Store(x, std::uint64_t{5});  // invalidates the writer's read
+      tx.Store(y, std::uint64_t{20});
+    });
+  });
+
+  TxStats s = rt.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kExtendOnEncounterAcquisition), 1u)
+      << "the failed salvage attempt still goes through the shared path";
+  EXPECT_GE(s.Get(Counter::kAborts), 1u);
+  EXPECT_EQ(s.Get(Counter::kTimestampExtensions), 0u)
+      << "a defeated extension must not advance the timestamp";
+  EXPECT_EQ(y.UnsafeRead(), 15u) << "the re-execution must see x=5";
+}
+
+// With the knob off, the encounter-time site must not attempt extension.
+TEST(EncounterAcquisitionExtensionTest, DisabledExtensionStillAbortsOutright) {
+  Runtime rt(ExtConfig(Backend::kEagerStm, /*extension=*/false));
+  TVar<std::uint64_t> x(1);
+  TVar<std::uint64_t> y(2);
+  RunPausedEagerWriter(rt, x, y, [&] {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(y, std::uint64_t{20}); });
+  });
+
+  TxStats s = rt.AggregateStats();
+  EXPECT_EQ(s.Get(Counter::kExtendOnEncounterAcquisition), 0u);
+  EXPECT_GE(s.Get(Counter::kAborts), 1u);
+  EXPECT_EQ(y.UnsafeRead(), 11u) << "the retried attempt still lands a+10";
+}
+
 // --- extension after OrElse orec release ---
 
 // Abandoning a branch that blind-wrote releases its orecs at prev+1, which is

@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "src/sync/bounded_buffer.h"
 #include "src/sync/phase_barrier.h"
 #include "src/sync/pipeline_channel.h"
 #include "src/sync/ticket_gate.h"
@@ -178,6 +180,99 @@ TEST_P(AdapterMatrixTest, TwoStagePipelineEndToEnd) {
 
 INSTANTIATE_TEST_SUITE_P(Matrix, AdapterMatrixTest,
                          ::testing::ValuesIn(AllMatrixCombos()), MatrixParamName);
+
+// --- per-call deadlines for the adapters' own composed timed waits ---
+//
+// Two timed adapter waits composed into ONE transaction (sequentially, or as
+// OrElse branches) must each get an independent deadline slot. The regression
+// these tests pin down: if both waits funneled into one shared budget, the
+// second wait would find the first call's already-expired deadline and return
+// kTimedOut instantly, so total elapsed time would be ~one budget instead of
+// the sum. Only the timed-wait-capable TM mechanisms participate (kRetry,
+// kAwait, kWaitPred — the others bound waits through RetryFor anyway, and
+// kPthreads cannot compose transactionally).
+
+class ComposedDeadlineTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  ComposedDeadlineTest() : rt_(MatrixConfig(GetParam().backend)) {}
+  Runtime rt_;
+};
+
+std::vector<MatrixParam> TimedWaitCombos() {
+  std::vector<MatrixParam> out;
+  for (Backend b : {Backend::kEagerStm, Backend::kLazyStm, Backend::kSimHtm}) {
+    for (Mechanism m :
+         {Mechanism::kRetry, Mechanism::kAwait, Mechanism::kWaitPred}) {
+      out.push_back({b, m});
+    }
+  }
+  return out;
+}
+
+TEST_P(ComposedDeadlineTest, SequentialQueuePopsGetIndependentBudgets) {
+  constexpr auto kBudget = std::chrono::milliseconds(120);
+  WorkQueue q1(&rt_, GetParam().mech, 4);
+  WorkQueue q2(&rt_, GetParam().mech, 4);
+  auto t0 = std::chrono::steady_clock::now();
+  Atomically(rt_.sys(), [&](Tx&) -> int {
+    // Both queues stay empty: each PopFor must wait out its own full budget.
+    auto a = q1.PopFor(kBudget);
+    auto b = q2.PopFor(kBudget);
+    EXPECT_FALSE(a.has_value());
+    EXPECT_FALSE(b.has_value());
+    return 0;
+  });
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(200))
+      << "the second composed PopFor inherited the first call's spent budget";
+}
+
+TEST_P(ComposedDeadlineTest, SequentialGateWaitsOnOneGateGetIndependentBudgets) {
+  constexpr auto kBudget = std::chrono::milliseconds(120);
+  TicketGate gate(&rt_, GetParam().mech);
+  auto t0 = std::chrono::steady_clock::now();
+  Atomically(rt_.sys(), [&](Tx&) -> int {
+    // Same adapter, same call site inside WaitForUpTo, different logical
+    // waits: the occurrence/key machinery must keep their budgets apart.
+    EXPECT_FALSE(gate.WaitForUpTo(1, kBudget));
+    EXPECT_FALSE(gate.WaitForUpTo(2, kBudget));
+    return 0;
+  });
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(200))
+      << "two timed waits through one WaitForUpTo call site shared one budget";
+}
+
+TEST_P(ComposedDeadlineTest, OrElseComposedBufferWaitsGetIndependentBudgets) {
+  constexpr auto kBudget = std::chrono::milliseconds(120);
+  BoundedBuffer bufA(&rt_, GetParam().mech, 4);
+  BoundedBuffer bufB(&rt_, GetParam().mech, 4);
+  BoundedBuffer bufC(&rt_, GetParam().mech, 4);
+  BoundedBuffer bufD(&rt_, GetParam().mech, 4);
+  auto t0 = std::chrono::steady_clock::now();
+  Atomically(rt_.sys(), [&](Tx& tx) -> int {
+    // All buffers empty. In each OrElse the first branch falls through to the
+    // alternative immediately (timed waits never block while an alternative
+    // is pending), so each OrElse waits its second branch's full budget — and
+    // the second OrElse must not inherit the first one's expired slot.
+    int r1 = tx.OrElse(
+        [&](Tx&) { return bufA.TryConsumeFor(kBudget) ? 1 : 0; },
+        [&](Tx&) { return bufB.TryConsumeFor(kBudget) ? 2 : 0; });
+    int r2 = tx.OrElse(
+        [&](Tx&) { return bufC.TryConsumeFor(kBudget) ? 3 : 0; },
+        [&](Tx&) { return bufD.TryConsumeFor(kBudget) ? 4 : 0; });
+    EXPECT_EQ(r1, 0);
+    EXPECT_EQ(r2, 0);
+    return 0;
+  });
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(200))
+      << "OrElse-composed timed buffer waits shared one deadline budget";
+}
+
+INSTANTIATE_TEST_SUITE_P(TimedMatrix, ComposedDeadlineTest,
+                         ::testing::ValuesIn(TimedWaitCombos()),
+                         MatrixParamName);
 
 }  // namespace
 }  // namespace tcs

@@ -527,7 +527,12 @@ TEST_P(EmptyWaitsetTest, EmptyWaitsetWaiterIsWokenByAnyWriterCommit) {
   waiter.join();
   EXPECT_FALSE(timed_out.load())
       << "empty-waitset waiter was not wakeable by a writer commit";
-  EXPECT_GE(rt.AggregateStats().Get(Counter::kWakeups), 1u);
+  TxStats s = rt.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kWakeups), 1u);
+  // The conservative wake is vacuous — no evidence the waiter was satisfied —
+  // and must be tallied separately so precision metrics can subtract it.
+  EXPECT_GE(s.Get(Counter::kVacuousWakeups), 1u);
+  EXPECT_GE(s.Get(Counter::kWakeups), s.Get(Counter::kVacuousWakeups));
   EXPECT_TRUE(rt.sys().wake_index().Empty());
 }
 
@@ -740,6 +745,284 @@ TEST(WakeSingleEmptyWaitsetTest, VacuousWakeDoesNotStealTheSingleWakeup) {
   }
   pred_waiter.join();
   empty_waiter.join();
+  EXPECT_TRUE(rt.sys().wake_index().Empty());
+}
+
+// --- batched wake transactions (TmConfig::wake_batch_size) ---
+
+// The batched wake path must be invisible to correctness: claims are the same
+// transactional asleep 1→0 transitions, posts still follow the (now shared)
+// commit. These suites force multi-candidate batches and batch boundaries and
+// assert no wakeup is lost and none is delivered twice.
+
+using BackendWakeSingle = std::tuple<Backend, bool>;
+
+class WakeBatchingTest : public ::testing::TestWithParam<BackendWakeSingle> {
+ protected:
+  Backend backend() const { return std::get<0>(GetParam()); }
+  bool wake_single() const { return std::get<1>(GetParam()); }
+  TmConfig Config(int batch, bool targeted = true) const {
+    TmConfig cfg = ConfigFor(backend(), targeted);
+    cfg.wake_batch_size = batch;
+    cfg.wake_single = wake_single();
+    return cfg;
+  }
+};
+
+// Churn: waiters register, time out, and re-park while writers commit — with
+// batch size 3 the candidate list is cut mid-batch constantly. A shared hub
+// cell keeps every commit's candidate set large (all waiters read it), so
+// batches really carry multiple claims. After the churn, a deterministic
+// untimed phase parks every waiter and releases each with its own write: a
+// lost wakeup hangs here (ctest's timeout fails the test), and the index and
+// registry must end empty.
+TEST_P(WakeBatchingTest, StressChurnMidBatchLosesNothing) {
+  constexpr int kThreads = 12;
+  constexpr int kRoundsPerThread = 30;
+  Runtime rt(Config(/*batch=*/3));
+  PaddedCell hub;
+  auto cells = std::make_unique<PaddedCell[]>(kThreads);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load()) {
+      if (i % 3 == 0) {
+        // Hub bump: every parked waiter is a candidate (multi-claim batches).
+        Atomically(rt.sys(),
+                   [&](Tx& tx) { tx.Store(hub.v, tx.Load(hub.v) + 1); });
+      } else {
+        int target = static_cast<int>(i) % kThreads;
+        Atomically(rt.sys(), [&](Tx& tx) {
+          tx.Store(cells[target].v, tx.Load(cells[target].v) + 1);
+        });
+      }
+      ++i;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < kThreads; ++t) {
+    waiters.emplace_back([&, t] {
+      std::uint64_t last_hub = 0;
+      std::uint64_t last_own = 0;
+      for (int r = 0; r < kRoundsPerThread; ++r) {
+        auto timeout = std::chrono::microseconds(50 + (r % 7) * 100);
+        auto pair = Atomically(
+            rt.sys(), [&](Tx& tx) -> std::pair<std::uint64_t, std::uint64_t> {
+              std::uint64_t h = tx.Load(hub.v);
+              std::uint64_t own = tx.Load(cells[t].v);
+              if (h == last_hub && own == last_own) {
+                if (tx.RetryFor(timeout) == WaitResult::kTimedOut) {
+                  return {h, own};
+                }
+              }
+              return {h, own};
+            });
+        last_hub = pair.first;
+        last_own = pair.second;
+      }
+    });
+  }
+  for (auto& t : waiters) {
+    t.join();
+  }
+  stop.store(true);
+  writer.join();
+
+  // Deterministic finale: everyone parks untimed on their own cell, then each
+  // cell is written once. A lost (or misdirected) wakeup hangs the join.
+  waiters.clear();
+  std::atomic<int> woken{0};
+  for (int t = 0; t < kThreads; ++t) {
+    waiters.emplace_back([&, t] {
+      std::uint64_t seen = cells[t].v.UnsafeRead();
+      Atomically(rt.sys(), [&](Tx& tx) {
+        if (tx.Load(cells[t].v) == seen) {
+          tx.Retry();
+        }
+      });
+      woken.fetch_add(1);
+    });
+  }
+  while (rt.sys().waiters().RegisteredCount() < kThreads) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.Store(cells[t].v, tx.Load(cells[t].v) + 1);
+    });
+  }
+  for (auto& t : waiters) {
+    t.join();
+  }
+  EXPECT_EQ(woken.load(), kThreads);
+  EXPECT_EQ(rt.sys().waiters().RegisteredCount(), 0);
+  EXPECT_TRUE(rt.sys().wake_index().Empty())
+      << "an index entry leaked through the batched churn";
+  TxStats s = rt.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kWakeBatches), 1u);
+  EXPECT_EQ(s.Get(Counter::kWakeChecksBatched), s.Get(Counter::kWakeChecks))
+      << "every wake check now runs inside a batched wake transaction";
+}
+
+// No double-posts. K waiters park on ONE cell; a single writer commit
+// satisfies all of them, so the claims span several batches (batch size 4,
+// K = 10). Each waiter then re-parks waiting for the next value. If any claim
+// had been posted twice (e.g. a batch abort replaying its posts), the stale
+// token would satisfy that waiter's second sleep instantly, it would re-check
+// its still-unsatisfied predicate, and kFalseWakeups would tick. With
+// wake_single the budget stops at one waiter per commit instead, so the
+// writer keeps committing until everyone advanced — double-posts would still
+// surface as false wakeups.
+TEST_P(WakeBatchingTest, MultiClaimBatchesNeverDoublePost) {
+  constexpr int kWaiters = 10;
+  Runtime rt(Config(/*batch=*/4));
+  PaddedCell cell;
+  std::atomic<int> round_done{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      for (std::uint64_t target = 1; target <= 2; ++target) {
+        Atomically(rt.sys(), [&](Tx& tx) {
+          if (tx.Load(cell.v) < target) {
+            tx.Retry();
+          }
+        });
+        round_done.fetch_add(1);
+      }
+    });
+  }
+  AwaitCounter(rt, Counter::kSleeps, kWaiters);
+  // Round 1: one value change satisfies all K. Under wake_single only one
+  // waiter wakes per commit, so repeat silent-value commits until all K moved
+  // on (each re-commit re-offers the remaining sleepers).
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
+  for (int spins = 0; round_done.load() < kWaiters && spins < 20000; ++spins) {
+    if (wake_single()) {
+      Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  ASSERT_EQ(round_done.load(), kWaiters) << "round-1 wakeup lost";
+  // Everyone re-parks for value 2; a stale double-post token would wake a
+  // waiter instantly into a false wakeup here.
+  AwaitCounter(rt, Counter::kSleeps, 2 * kWaiters);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(rt.AggregateStats().Get(Counter::kFalseWakeups), 0u)
+      << "a batched claim was posted more than once";
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{2}); });
+  for (int spins = 0; round_done.load() < 2 * kWaiters && spins < 20000;
+       ++spins) {
+    if (wake_single()) {
+      Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{2}); });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  ASSERT_EQ(round_done.load(), 2 * kWaiters) << "round-2 wakeup lost";
+  for (auto& t : waiters) {
+    t.join();
+  }
+  EXPECT_EQ(rt.AggregateStats().Get(Counter::kFalseWakeups), 0u);
+  EXPECT_EQ(rt.sys().waiters().RegisteredCount(), 0);
+  EXPECT_TRUE(rt.sys().wake_index().Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsByWakeSingle, WakeBatchingTest,
+    ::testing::Combine(::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
+                                         Backend::kSimHtm),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<BackendWakeSingle>& info) {
+      return BackendTestName(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_WakeSingle" : "_WakeAll");
+    });
+
+// Batching's accounting: with targeting off, a commit's candidate set is all
+// N parked waiters, so batch size B must cut the internal wake transactions
+// to ceil(N/B) per commit while the check count stays N per commit.
+TEST(WakeBatchCountersTest, BatchesAreCeilCandidatesOverBatchSize) {
+  constexpr int kWaiters = 16;
+  constexpr std::uint64_t kCommits = 50;
+  for (int batch : {1, 8}) {
+    TmConfig cfg = ConfigFor(Backend::kEagerStm, /*targeted=*/false);
+    cfg.wake_batch_size = batch;
+    Runtime rt(cfg);
+    auto cells = std::make_unique<PaddedCell[]>(kWaiters);
+    std::vector<std::thread> waiters;
+    for (int w = 0; w < kWaiters; ++w) {
+      waiters.emplace_back([&, w] {
+        Atomically(rt.sys(), [&](Tx& tx) {
+          if (tx.Load(cells[w].v) == 0) {
+            tx.Retry();
+          }
+        });
+      });
+    }
+    AwaitCounter(rt, Counter::kSleeps, kWaiters);
+    rt.ResetStats();
+    for (std::uint64_t i = 0; i < kCommits; ++i) {
+      // Silent stores: writer commits that satisfy nobody, so all 16 stay
+      // parked and every commit's candidate set is exactly the 16 waiters.
+      Atomically(rt.sys(),
+                 [&](Tx& tx) { tx.Store(cells[0].v, std::uint64_t{0}); });
+    }
+    TxStats s = rt.AggregateStats();
+    const std::uint64_t expected_batches =
+        kCommits * ((kWaiters + batch - 1) / batch);
+    EXPECT_EQ(s.Get(Counter::kWakeChecks), kCommits * kWaiters);
+    EXPECT_EQ(s.Get(Counter::kWakeChecksBatched), kCommits * kWaiters);
+    EXPECT_EQ(s.Get(Counter::kWakeBatches), expected_batches)
+        << "batch=" << batch;
+    for (int w = 0; w < kWaiters; ++w) {
+      Atomically(rt.sys(),
+                 [&](Tx& tx) { tx.Store(cells[w].v, std::uint64_t{1}); });
+    }
+    for (auto& t : waiters) {
+      t.join();
+    }
+  }
+}
+
+// wake_single must stop at the first non-vacuous satisfied waiter *across*
+// batch boundaries too: with 10 satisfied candidates and batch size 2, one
+// commit may post exactly one wakeup.
+TEST(WakeBatchCountersTest, WakeSingleStopsAcrossBatches) {
+  constexpr int kWaiters = 10;
+  TmConfig cfg = ConfigFor(Backend::kEagerStm);
+  cfg.wake_single = true;
+  cfg.wake_batch_size = 2;
+  Runtime rt(cfg);
+  PaddedCell cell;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      Atomically(rt.sys(), [&](Tx& tx) {
+        if (tx.Load(cell.v) == 0) {
+          tx.Retry();
+        }
+      });
+      woken.fetch_add(1);
+    });
+  }
+  AwaitCounter(rt, Counter::kSleeps, kWaiters);
+  rt.ResetStats();
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
+  while (woken.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(rt.AggregateStats().Get(Counter::kWakeups), 1u)
+      << "wake_single leaked extra wakeups across batch boundaries";
+  // The woken waiter committed; its own post-commit wake pass (and ours)
+  // releases the rest eventually — drive it with further commits.
+  while (woken.load() < kWaiters) {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (auto& t : waiters) {
+    t.join();
+  }
   EXPECT_TRUE(rt.sys().wake_index().Empty());
 }
 
