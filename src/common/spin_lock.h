@@ -21,9 +21,13 @@ class SpinLock {
   void Lock() {
     int spins = 0;
     for (;;) {
+      // mo: acquire — pairs with Unlock's release store, so the critical
+      // section sees everything the previous holder wrote.
       if (!locked_.exchange(true, std::memory_order_acquire)) {
         return;
       }
+      // mo: relaxed — polling only; the acquiring exchange above provides the
+      // ordering once the lock looks free.
       while (locked_.load(std::memory_order_relaxed)) {
         if (++spins < kSpinLimit) {
           CpuRelax();
@@ -35,8 +39,11 @@ class SpinLock {
     }
   }
 
+  // mo: acquire — same pairing as Lock's exchange.
   bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
 
+  // mo: release — publishes the critical section to the next Lock/TryLock
+  // acquire exchange.
   void Unlock() { locked_.store(false, std::memory_order_release); }
 
  private:

@@ -68,14 +68,20 @@ struct TxStats {
   std::array<std::uint64_t, kNumCounters> counts{};
 
   void Bump(Counter c, std::uint64_t n = 1) {
+    // mo: relaxed — statistics need atomicity (vs. concurrent Reset/readers),
+    // not ordering; no other data is published through a counter.
     std::atomic_ref<std::uint64_t>(counts[static_cast<int>(c)])
         .fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t Get(Counter c) const {
+    // mo: relaxed — monitors tolerate slightly stale tallies; test assertions
+    // read after joining the worker threads.
     return std::atomic_ref<const std::uint64_t>(counts[static_cast<int>(c)])
         .load(std::memory_order_relaxed);
   }
   void Reset() {
+    // mo: relaxed — harnesses reset between trials while workers are parked;
+    // Bump's RMW keeps a racing bump from being silently undone.
     for (int i = 0; i < kNumCounters; ++i) {
       std::atomic_ref<std::uint64_t>(counts[i]).store(0,
                                                       std::memory_order_relaxed);
@@ -83,6 +89,8 @@ struct TxStats {
   }
 
   void MergeFrom(const TxStats& other) {
+    // mo: relaxed — aggregation tolerates in-flight bumps; exact totals are
+    // only asserted after joining.
     for (int i = 0; i < kNumCounters; ++i) {
       counts[i] += std::atomic_ref<const std::uint64_t>(other.counts[i])
                        .load(std::memory_order_relaxed);

@@ -91,6 +91,7 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     d.stats.Bump(Counter::kGlobalDeschedules);
   }
   waiters_->MarkRegistered(d.tid);
+  TCS_PROTO(proto_->OnPresenceMark(d.tid));
 
   // The registration transaction: re-evaluate the precondition and, only if it
   // still fails, publish the slot. Expressing the condition as f(p) means no
@@ -143,6 +144,7 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     }
   }
   waiters_->UnmarkRegistered(d.tid);
+  TCS_PROTO(proto_->OnPresenceUnmark(d.tid));
   // Clears this tid's shard and fallback entries alike, so every exit —
   // wakeup, timeout, and the no-sleep double-check — leaves the index clean.
   wake_index_->Remove(d.tid);
@@ -266,6 +268,12 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
         }
       }
     });
+#if TCS_PROTOCOL_CHECKS
+    // The claim list now reflects the one committed execution of the batch.
+    for (const TxDesc::WakeClaim& c : claims) {
+      proto_->OnWakeClaimCommitted(c.tid);
+    }
+#endif
     // Counters reflect the committed execution only (an aborted batch's
     // checks died with it), so kWakeChecks stays an exact per-commit metric.
     d.stats.Bump(Counter::kWakeBatches);
@@ -276,6 +284,7 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
     for (const TxDesc::WakeClaim& c : claims) {
       // The semaphore post is an escape action, so it happens strictly after
       // the wake transaction commits (Algorithm 4, line 9).
+      TCS_PROTO(proto_->OnWakePost(c.tid));
       waiters_->slot(c.tid).sem->Post();
       d.stats.Bump(Counter::kWakeups);
       if (c.vacuous) {

@@ -18,7 +18,11 @@ void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
   // The count is raised before validation; a committing writer that reads zero is
   // thereby guaranteed to have released its orecs before our validation loads,
   // so validation will observe its commit (Dekker pairing with OnWriterCommit).
+  // mo: seq_cst — Dekker: the count raise must be totally ordered against the
+  // writer's HasWaiters-style count peek (via the commit fence in tm_system.cc).
   count_.fetch_add(1, std::memory_order_seq_cst);
+  // mo: seq_cst fence — belt over the RMW above: orders the raise before the
+  // validation loads below in the same total order the writer's fence uses.
   std::atomic_thread_fence(std::memory_order_seq_cst);
 
   bool slept = false;
@@ -26,6 +30,9 @@ void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
     SpinLockGuard g(lock_);
     bool valid = true;
     for (const Orec* o : read_orecs) {
+      // mo: seq_cst — Dekker validation leg: ordered after the count raise, so
+      // either this load sees the writer's release or the writer's count peek
+      // sees us and its OnWriterCommit posts our semaphore.
       std::uint64_t w = o->word.load(std::memory_order_seq_cst);
       if (!Orec::IsLocked(w) && Orec::Version(w) <= start) {
         continue;
@@ -58,6 +65,8 @@ void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
     e.sleeping = false;
     e.reads.clear();
   }
+  // mo: seq_cst — Dekker: lowering stays in the same total order as raising,
+  // so a writer's peek never sees a stale zero while we still wait.
   count_.fetch_sub(1, std::memory_order_seq_cst);
   d.stats.Bump(Counter::kDeschedules);
 }

@@ -37,6 +37,9 @@ class RetryOrigRegistry {
   RetryOrigRegistry& operator=(const RetryOrigRegistry&) = delete;
 
   // Conservative fast-path check used by committing writers.
+  // mo: seq_cst — Dekker: the peek runs after the writer's commit fence and is
+  // totally ordered against waiters' seq_cst count raise in WaitForOverlap, so
+  // "raise serialized first" implies "the writer sees a non-zero count".
   bool HasWaiters() const { return count_.load(std::memory_order_seq_cst) > 0; }
 
   // Algorithm 1, Retry lines 3-8: under the waiting lock, re-validate the read

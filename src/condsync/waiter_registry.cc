@@ -11,6 +11,8 @@ WaiterRegistry::WaiterRegistry(int max_threads) : capacity_(max_threads) {
   mask_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(mask_words_));
   for (int w = 0; w < mask_words_; ++w) {
+    // mo: relaxed — single-threaded construction; the registry is published to
+    // worker threads by the owning runtime's thread-start edge.
     mask_[w].store(0, std::memory_order_relaxed);
   }
 }

@@ -59,6 +59,9 @@ class WaiterRegistry {
   // Conservative "anyone possibly waiting?" peek for the writer fast path.
   bool HasWaiters() const {
     for (int w = 0; w < mask_words_; ++w) {
+      // mo: seq_cst — [wake-publish]: the peek runs after the writer's commit
+      // fence; total order with the waiter's seq_cst MarkRegistered closes the
+      // lost-wakeup window (see the header comment).
       if (mask_[w].load(std::memory_order_seq_cst) != 0) {
         return true;
       }
@@ -67,11 +70,17 @@ class WaiterRegistry {
   }
 
   void MarkRegistered(int tid) {
+    // mo: seq_cst — [wake-publish]: the bit set is totally ordered with writer
+    // commit fences and HasWaiters peeks; "registration serialized before the
+    // commit" must imply "the writer sees the bit".
     mask_[tid / 64].fetch_or(std::uint64_t{1} << (tid % 64),
                              std::memory_order_seq_cst);
   }
 
   void UnmarkRegistered(int tid) {
+    // mo: seq_cst — [wake-publish]: clearing stays in the same total order as
+    // setting, so a writer's scan never sees a stale cleared bit ahead of the
+    // deregistration it belongs to.
     mask_[tid / 64].fetch_and(~(std::uint64_t{1} << (tid % 64)),
                               std::memory_order_seq_cst);
   }
@@ -79,6 +88,8 @@ class WaiterRegistry {
   // Introspection for tests and debugging: is this slot's presence bit set?
   // A timed wait that expires must leave its bit clear (no leaked entries).
   bool IsRegistered(int tid) const {
+    // mo: seq_cst — [wake-publish]: same total order as Mark/Unmark, so test
+    // assertions see the latest transition.
     return (mask_[tid / 64].load(std::memory_order_seq_cst) &
             (std::uint64_t{1} << (tid % 64))) != 0;
   }
@@ -87,6 +98,7 @@ class WaiterRegistry {
   int RegisteredCount() const {
     int n = 0;
     for (int w = 0; w < mask_words_; ++w) {
+      // mo: seq_cst — [wake-publish]: same total order as Mark/Unmark.
       n += __builtin_popcountll(mask_[w].load(std::memory_order_seq_cst));
     }
     return n;
@@ -97,6 +109,8 @@ class WaiterRegistry {
   template <typename Fn>
   void ForEachRegistered(Fn&& fn) {
     for (int w = 0; w < mask_words_; ++w) {
+      // mo: seq_cst — [wake-publish]: the writer-side scan, ordered after its
+      // commit fence; pairs with waiters' seq_cst MarkRegistered.
       std::uint64_t bits = mask_[w].load(std::memory_order_seq_cst);
       while (bits != 0) {
         int bit = __builtin_ctzll(bits);

@@ -36,9 +36,12 @@ WakeIndex::WakeIndex(int max_threads, int num_shards)
       static_cast<std::size_t>(mask_words_));
   for (std::size_t i = 0; i < static_cast<std::size_t>(num_shards_) * stride_;
        ++i) {
+    // mo: relaxed — single-threaded construction; the index is published to
+    // worker threads by the owning runtime's thread-start edge.
     bits_[i].store(0, std::memory_order_relaxed);
   }
   for (int w = 0; w < mask_words_; ++w) {
+    // mo: relaxed — single-threaded construction, same as above.
     global_[w].store(0, std::memory_order_relaxed);
   }
   // make_unique<T[]> value-initializes these plain arrays to zero.
@@ -52,6 +55,8 @@ WakeIndex::WakeIndex(int max_threads, int num_shards)
 int WakeIndex::ShardPopulation(int s) const {
   int n = 0;
   for (int w = 0; w < mask_words_; ++w) {
+    // mo: seq_cst — [wake-publish]: introspection reads in the same total
+    // order as Add/Remove, so tests see the latest transition.
     n += __builtin_popcountll(ShardWord(s, w).load(std::memory_order_seq_cst));
   }
   return n;
@@ -60,6 +65,7 @@ int WakeIndex::ShardPopulation(int s) const {
 int WakeIndex::GlobalPopulation() const {
   int n = 0;
   for (int w = 0; w < mask_words_; ++w) {
+    // mo: seq_cst — [wake-publish]: same total order as Add/Remove.
     n += __builtin_popcountll(global_[w].load(std::memory_order_seq_cst));
   }
   return n;
@@ -67,12 +73,15 @@ int WakeIndex::GlobalPopulation() const {
 
 bool WakeIndex::Empty() const {
   for (int w = 0; w < mask_words_; ++w) {
+    // mo: seq_cst — [wake-publish]: the leak check must not miss an entry the
+    // last Remove already cleared in the total order.
     if (global_[w].load(std::memory_order_seq_cst) != 0) {
       return false;
     }
   }
   for (int s = 0; s < num_shards_; ++s) {
     for (int w = 0; w < mask_words_; ++w) {
+      // mo: seq_cst — [wake-publish]: same argument as the global scan above.
       if (ShardWord(s, w).load(std::memory_order_seq_cst) != 0) {
         return false;
       }

@@ -57,10 +57,59 @@
 
 #include "src/common/assert.h"
 #include "src/common/cache_line.h"
+#include "src/tm/protocol_checker.h"
 
 namespace tcs {
 
 struct Orec;
+
+// ---------------------------------------------------------------------------
+// Appendix: the happens-before edge glossary for `// mo:` annotations.
+//
+// Every std::memory_order argument in this codebase carries a `// mo:` comment
+// naming its pairing partner; the recurring cross-file edges are named here so
+// the comments can reference them by label (and the atomics-discipline lint,
+// tools/lint_tm_discipline.py, can enforce the comments' presence):
+//
+//  [orec-publish]  The orec (or sim-HTM cache-line) word's release store of an
+//                  unlocked version, paired with every acquire load/CAS that
+//                  samples the word. A committer orders its data write-back
+//                  before the store; a reader that acquires an unlocked
+//                  version therefore sees the published data. The sample /
+//                  read / re-check snapshot and all lock acquisitions key on
+//                  this one edge.
+//
+//  [clock-chain]   The global version clock's seq_cst fetch_add (Increment)
+//                  and acquire Load. Every committed writer's increment is
+//                  totally ordered; a transaction that begins at start S
+//                  happens-after every commit with end ≤ S. This chain also
+//                  orders the wake path: a waiter's registration transaction
+//                  and a writer's commit are both clock RMWs, so one of them
+//                  serializes first — the case split the no-lost-wakeup
+//                  argument below rests on.
+//
+//  [wake-publish]  The seq_cst bitmap operations in this file plus the
+//                  WaiterRegistry presence bitmap. A waiter inserts entries
+//                  (seq_cst) before its registration transaction's clock RMW;
+//                  a writer reads the bitmaps only after its commit's seq_cst
+//                  fence. seq_cst makes the bitmap writes totally ordered
+//                  with those fences, closing the window where a registration
+//                  that serialized before the commit is not yet visible to
+//                  the writer's scan.
+//
+//  [serial-token]  sim-HTM's Dekker pair: each committer's per-thread
+//                  `committing_` flag vs. the serial token/sequence words.
+//                  All four accesses are seq_cst so either the serial entrant
+//                  sees the flag (and drains) or the committer sees the token
+//                  (and aborts) — the classic store-buffering case both
+//                  being acquire/release would not exclude.
+//
+//  [sem]           Semaphore post/wait: everything before Post() happens-
+//                  before the matching Wait() return. The wake path posts
+//                  strictly after the claiming transaction commits, so a
+//                  woken waiter observes the committed state that satisfied
+//                  its predicate.
+// ---------------------------------------------------------------------------
 
 class WakeIndex {
  public:
@@ -78,6 +127,11 @@ class WakeIndex {
   int shard_count() const { return num_shards_; }
   // Words per shard-set bitmap (= ceil(num_shards / 64)).
   int shard_words() const { return shard_words_; }
+
+  // Optional dynamic protocol checker (TCS_PROTOCOL_CHECKS builds): the owning
+  // TmSystem attaches its checker so Add*/Remove report registration-balance
+  // transitions. Standalone instances (unit tests) leave it unset.
+  void AttachProtocolChecker(ProtocolChecker* checker) { checker_ = checker; }
 
   // Shard covering an orec. Stable for the index's lifetime, so the waiter and
   // writer sides always agree.
@@ -119,17 +173,24 @@ class WakeIndex {
       while (word != 0) {
         int s = sw * 64 + __builtin_ctzll(word);
         word &= word - 1;
+        // mo: seq_cst — [wake-publish]: the insert must be totally ordered
+        // with committing writers' seq_cst commit fences, so a registration
+        // that serializes before a commit is visible to that writer's scan.
         ShardWord(s, w).fetch_or(bit, std::memory_order_seq_cst);
       }
     }
+    TCS_PROTO(if (checker_ != nullptr) checker_->OnWakeRegister(tid, true));
   }
 
   // Registers tid on the global fallback list (predicate with no address list:
   // every committing writer must consider it).
   void AddGlobal(int tid) {
     per_tid_global_[tid] = 1;
+    // mo: seq_cst — [wake-publish]: same total-order argument as the shard
+    // insert in AddIndexed; the global list is scanned by every writer.
     global_[tid / 64].fetch_or(std::uint64_t{1} << (tid % 64),
                                std::memory_order_seq_cst);
+    TCS_PROTO(if (checker_ != nullptr) checker_->OnWakeRegister(tid, false));
   }
 
   // Clears every entry tid holds, indexed or global — exactly what the
@@ -137,6 +198,7 @@ class WakeIndex {
   // deregistration point covers wakeup, timeout, and the no-sleep double-check
   // path alike — a timed wait that expires leaves nothing behind.
   void Remove(int tid) {
+    TCS_PROTO(if (checker_ != nullptr) checker_->OnWakeDeregister(tid));
     std::uint64_t* set = PerTidShards(tid);
     const std::uint64_t clear = ~(std::uint64_t{1} << (tid % 64));
     const int w = tid / 64;
@@ -146,11 +208,15 @@ class WakeIndex {
       while (word != 0) {
         int s = sw * 64 + __builtin_ctzll(word);
         word &= word - 1;
+        // mo: seq_cst — [wake-publish]: clearing stays in the same total
+        // order as inserts and writer scans, so a scan never resurrects an
+        // entry the owner already removed.
         ShardWord(s, w).fetch_and(clear, std::memory_order_seq_cst);
       }
     }
     if (per_tid_global_[tid] != 0) {
       per_tid_global_[tid] = 0;
+      // mo: seq_cst — [wake-publish]: same argument as the shard clear above.
       global_[w].fetch_and(clear, std::memory_order_seq_cst);
     }
   }
@@ -190,6 +256,9 @@ class WakeIndex {
         while (ss != 0) {
           int s = sw * 64 + __builtin_ctzll(ss);
           ss &= ss - 1;
+          // mo: seq_cst — [wake-publish]: the writer-side scan, totally
+          // ordered after its commit fence; pairs with the waiter's seq_cst
+          // insert in AddIndexed.
           bits |= ShardWord(s, w).load(std::memory_order_seq_cst);
         }
       }
@@ -202,6 +271,8 @@ class WakeIndex {
       }
     }
     for (int w = 0; w < mask_words_; ++w) {
+      // mo: seq_cst — [wake-publish]: pairs with the waiter's seq_cst insert
+      // in AddGlobal, same total-order argument as the shard scan above.
       std::uint64_t bits = global_[w].load(std::memory_order_seq_cst);
       // A tid registers either indexed or global, never both; masking out the
       // shard union only de-dups a racing re-registration between the passes.
@@ -210,6 +281,8 @@ class WakeIndex {
         while (ss != 0) {
           int s = sw * 64 + __builtin_ctzll(ss);
           ss &= ss - 1;
+          // mo: seq_cst — [wake-publish]: de-dup leg of the global pass;
+          // same pairing as the shard scan above.
           bits &= ~ShardWord(s, w).load(std::memory_order_seq_cst);
         }
       }
@@ -302,6 +375,7 @@ class WakeIndex {
   // entries without scanning all shards.
   std::unique_ptr<std::uint64_t[]> per_tid_shards_;
   std::unique_ptr<std::uint8_t[]> per_tid_global_;
+  ProtocolChecker* checker_ = nullptr;
 };
 
 }  // namespace tcs

@@ -1,18 +1,35 @@
 #include "src/sync/pipeline_channel.h"
 
 #include "src/common/assert.h"
+#include "src/core/transaction.h"
 
 namespace tcs {
 
 PipelineChannel::PipelineChannel(Runtime* rt, Mechanism mech, std::uint64_t capacity,
                                  int producers)
-    : queue_(rt, mech, capacity), producers_left_(producers) {
+    : queue_(rt, mech, capacity),
+      rt_(rt),
+      mech_(mech),
+      producers_left_(static_cast<std::uint64_t>(producers)) {
   TCS_CHECK(producers > 0);
 }
 
 void PipelineChannel::ProducerDone() {
-  int left = producers_left_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-  TCS_CHECK_MSG(left >= 0, "ProducerDone called more times than producers");
+  std::uint64_t left;
+  if (mech_ == Mechanism::kPthreads) {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t cur = producers_left_.UnsafeRead();
+    TCS_CHECK_MSG(cur > 0, "ProducerDone called more times than producers");
+    producers_left_.UnsafeWrite(cur - 1);
+    left = cur - 1;
+  } else {
+    left = Atomically(rt_->sys(), [&](Tx& tx) -> std::uint64_t {
+      std::uint64_t cur = tx.Load(producers_left_);
+      TCS_CHECK_MSG(cur > 0, "ProducerDone called more times than producers");
+      tx.Store(producers_left_, cur - 1);
+      return cur - 1;
+    });
+  }
   if (left == 0) {
     queue_.Close();
   }

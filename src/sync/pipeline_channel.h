@@ -8,10 +8,11 @@
 #ifndef TCS_SYNC_PIPELINE_CHANNEL_H_
 #define TCS_SYNC_PIPELINE_CHANNEL_H_
 
-#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 
+#include "src/core/tvar.h"
 #include "src/sync/work_queue.h"
 
 namespace tcs {
@@ -33,7 +34,15 @@ class PipelineChannel {
 
  private:
   WorkQueue queue_;
-  std::atomic<int> producers_left_;
+  Runtime* rt_;
+  const Mechanism mech_;
+  // End-of-stream count. Transactional under the TM mechanisms; under the
+  // pthreads reference (no Runtime) it is read/written under mu_, like
+  // WorkQueue's pthreads path. Either way the sync/ adapters carry no raw
+  // atomics (the memory-order reasoning lives in the TM and condsync layers;
+  // tools/lint_tm_discipline.py enforces the boundary).
+  std::mutex mu_;
+  TVar<std::uint64_t> producers_left_;
 };
 
 }  // namespace tcs

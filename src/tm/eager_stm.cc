@@ -1,3 +1,5 @@
+// lint:hot-path — per-access TM fast path: TCS_DCHECK must not appear inside
+// loops here (tools/lint_tm_discipline.py); use TCS_CHECK on slow paths.
 #include "src/tm/eager_stm.h"
 
 namespace tcs {
@@ -6,6 +8,7 @@ EagerStm::EagerStm(const TmConfig& config) : TmSystem(config) {}
 
 void EagerStm::BeginTx(TxDesc& d) {
   d.start = clock_.Load();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, d.start));
   quiesce_.SetActive(d.tid, d.start);
 }
 
@@ -15,6 +18,8 @@ void EagerStm::BeginTx(TxDesc& d) {
 TmWord EagerStm::ReadWord(TxDesc& d, const TmWord* addr) {
   Orec& o = orecs_.For(addr);
   for (;;) {
+    // mo: acquire — pairs with the committer's release store [orec-publish];
+    // seeing an unlocked version makes the data that commit wrote visible.
     std::uint64_t o1 = o.word.load(std::memory_order_acquire);
     TmWord val = LoadWordAcquire(addr);
     if (Orec::IsLocked(o1)) {
@@ -23,6 +28,8 @@ TmWord EagerStm::ReadWord(TxDesc& d, const TmWord* addr) {
       }
       AbortCurrent(d, Counter::kAborts);
     }
+    // mo: acquire — re-check leg of the sample/read/re-check snapshot; pairs
+    // with [orec-publish] so an o1==o2 match proves no release intervened.
     std::uint64_t o2 = o.word.load(std::memory_order_acquire);
     if (o1 == o2 && Orec::Version(o1) <= d.start) {
       d.reads.push_back(&o);
@@ -43,6 +50,8 @@ TmWord EagerStm::ReadWord(TxDesc& d, const TmWord* addr) {
 void EagerStm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
   Orec& o = orecs_.For(addr);
   for (;;) {
+    // mo: acquire — pairs with [orec-publish]; orders the undo-log snapshot of
+    // the old value after the commit that published it.
     std::uint64_t w = o.word.load(std::memory_order_acquire);
     if (Orec::IsLocked(w)) {
       if (Orec::Owner(w) != d.tid) {
@@ -66,8 +75,12 @@ void EagerStm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
       }
       continue;
     }
+    // mo: acq_rel — the acquire leg pairs with the previous owner's release
+    // store [orec-publish] (their data writes become visible); the release leg
+    // publishes the locked word other threads' acquire samples key on.
     if (o.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
                                        std::memory_order_acq_rel)) {
+      TCS_PROTO(proto_->OnOrecAcquire(&o, d.tid, Orec::Version(w)));
       d.locks.push_back({&o, Orec::Version(w)});
       d.undo.Append(addr, LoadWordRelaxed(addr));
       StoreWordRelease(addr, val);
@@ -87,9 +100,12 @@ bool EagerStm::CommitTx(TxDesc& d) {
     return false;
   }
   std::uint64_t end = clock_.Increment();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, end));
   if (end != d.start + 1) {
     // Some other writer committed since we began: validate the read set.
     for (Orec* o : d.reads) {
+      // mo: acquire — pairs with [orec-publish]; an unlocked version ≤ start
+      // proves the covered data is still the data this transaction read.
       std::uint64_t w = o->word.load(std::memory_order_acquire);
       if (Orec::IsLocked(w)) {
         if (Orec::Owner(w) != d.tid) {
@@ -102,6 +118,10 @@ bool EagerStm::CommitTx(TxDesc& d) {
   }
   SnapshotCommitOrecsIfNeeded(d);
   for (const LockedOrec& l : d.locks) {
+    TCS_PROTO(proto_->OnOrecRelease(l.orec, d.tid, end,
+                                    ProtocolChecker::ReleaseKind::kCommit));
+    // mo: release — [orec-publish]: orders this transaction's in-place data
+    // writes before the unlocked version a reader's acquire sample pairs with.
     l.orec->word.store(Orec::MakeVersion(end), std::memory_order_release);
   }
   quiesce_.SetInactive(d.tid);
@@ -118,11 +138,16 @@ bool EagerStm::CommitTx(TxDesc& d) {
 void EagerStm::Rollback(TxDesc& d) {
   d.undo.UndoAll();
   for (const LockedOrec& l : d.locks) {
+    TCS_PROTO(proto_->OnOrecRelease(l.orec, d.tid, l.prev_version + 1,
+                                    ProtocolChecker::ReleaseKind::kAbortBump));
+    // mo: release — [orec-publish]: orders the undo restores before the
+    // bumped unlocked version a reader's acquire sample pairs with.
     l.orec->word.store(Orec::MakeVersion(l.prev_version + 1),
                        std::memory_order_release);
   }
   if (!d.locks.empty()) {
-    clock_.Increment();
+    [[maybe_unused]] std::uint64_t bumped = clock_.Increment();
+    TCS_PROTO(proto_->OnClockObserved(d.tid, bumped));
   }
   d.undo.Clear();
   d.locks.clear();
@@ -154,9 +179,11 @@ void EagerStm::Rollback(TxDesc& d) {
 // the transaction conservatively aborts — no worse than the conflict it was
 // already heading for.
 void EagerStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
-  TCS_DCHECK(d.redo.Empty());
+  // Always-on: OrElse partial rollback is rare (never per-access), and undoing
+  // with a stale savepoint silently corrupts user data.
+  TCS_CHECK(d.redo.Empty());
   d.undo.UndoTo(sp.undo_size);
-  TCS_DCHECK(sp.locks_size <= d.locks.size());
+  TCS_CHECK(sp.locks_size <= d.locks.size());
   if (sp.locks_size == d.locks.size()) {
     return;
   }
@@ -165,12 +192,17 @@ void EagerStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
   for (std::size_t i = sp.locks_size; i < d.locks.size(); ++i) {
     const LockedOrec& l = d.locks[i];
     std::uint64_t w = Orec::MakeVersion(l.prev_version + 1);
+    TCS_PROTO(proto_->OnOrecRelease(l.orec, d.tid, l.prev_version + 1,
+                                    ProtocolChecker::ReleaseKind::kAbortBump));
+    // mo: release — [orec-publish]: orders the branch's undo restores before
+    // the bumped unlocked version a reader's acquire sample pairs with.
     l.orec->word.store(w, std::memory_order_release);
     released.push_back({l.orec, w});
   }
   d.locks.resize(sp.locks_size);
   d.stats.Bump(Counter::kOrElseOrecReleases, released.size());
-  clock_.Increment();
+  [[maybe_unused]] std::uint64_t bumped = clock_.Increment();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, bumped));
   if (!TryExtendTimestamp(d, ExtendSite::kOrecRelease, released.data(),
                           released.size())) {
     AbortCurrent(d, Counter::kAborts);

@@ -1,3 +1,5 @@
+// lint:hot-path — per-access TM fast path: TCS_DCHECK must not appear inside
+// loops here (tools/lint_tm_discipline.py); use TCS_CHECK on slow paths.
 #include "src/tm/lazy_stm.h"
 
 namespace tcs {
@@ -6,6 +8,7 @@ LazyStm::LazyStm(const TmConfig& config) : TmSystem(config) {}
 
 void LazyStm::BeginTx(TxDesc& d) {
   d.start = clock_.Load();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, d.start));
   quiesce_.SetActive(d.tid, d.start);
 }
 
@@ -17,12 +20,16 @@ TmWord LazyStm::ReadWord(TxDesc& d, const TmWord* addr) {
   }
   Orec& o = orecs_.For(addr);
   for (;;) {
+    // mo: acquire — pairs with the committer's release store [orec-publish];
+    // seeing an unlocked version makes the written-back data visible.
     std::uint64_t o1 = o.word.load(std::memory_order_acquire);
     if (Orec::IsLocked(o1)) {
       // Locks are held only during a concurrent commit's write-back window.
       AbortCurrent(d, Counter::kAborts);
     }
     v = LoadWordAcquire(addr);
+    // mo: acquire — re-check leg of the sample/read/re-check snapshot; pairs
+    // with [orec-publish] so an o1==o2 match proves no release intervened.
     std::uint64_t o2 = o.word.load(std::memory_order_acquire);
     if (o1 == o2 && Orec::Version(o1) <= d.start) {
       d.reads.push_back(&o);
@@ -55,6 +62,8 @@ bool LazyStm::CommitTx(TxDesc& d) {
   d.redo.ForEachAddr([&](TmWord* addr) {
     Orec& o = orecs_.For(addr);
     for (;;) {
+      // mo: acquire — pairs with [orec-publish]; the CAS below must key on a
+      // version published by a completed release.
       std::uint64_t w = o.word.load(std::memory_order_acquire);
       if (Orec::IsLocked(w)) {
         if (Orec::Owner(w) == d.tid) {
@@ -74,8 +83,12 @@ bool LazyStm::CommitTx(TxDesc& d) {
         }
         continue;
       }
+      // mo: acq_rel — the acquire leg pairs with the previous owner's release
+      // store [orec-publish]; the release leg publishes the locked word other
+      // threads' acquire samples key on.
       if (o.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
                                          std::memory_order_acq_rel)) {
+        TCS_PROTO(proto_->OnOrecAcquire(&o, d.tid, Orec::Version(w)));
         d.locks.push_back({&o, Orec::Version(w)});
         return;
       }
@@ -84,8 +97,11 @@ bool LazyStm::CommitTx(TxDesc& d) {
     }
   });
   std::uint64_t end = clock_.Increment();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, end));
   if (end != d.start + 1) {
     for (Orec* o : d.reads) {
+      // mo: acquire — pairs with [orec-publish]; an unlocked version ≤ start
+      // proves the covered data is still the data this transaction read.
       std::uint64_t w = o->word.load(std::memory_order_acquire);
       if (Orec::IsLocked(w)) {
         if (Orec::Owner(w) == d.tid) {
@@ -113,6 +129,10 @@ bool LazyStm::CommitTx(TxDesc& d) {
   SnapshotCommitOrecsIfNeeded(d);
   d.redo.WriteBack();
   for (const LockedOrec& l : d.locks) {
+    TCS_PROTO(proto_->OnOrecRelease(l.orec, d.tid, end,
+                                    ProtocolChecker::ReleaseKind::kCommit));
+    // mo: release — [orec-publish]: orders the redo write-back before the
+    // unlocked version a reader's acquire sample pairs with.
     l.orec->word.store(Orec::MakeVersion(end), std::memory_order_release);
   }
   quiesce_.SetInactive(d.tid);
@@ -128,6 +148,10 @@ void LazyStm::Rollback(TxDesc& d) {
   // mid-acquisition; restoring the exact previous version is safe because memory
   // was never modified.
   for (const LockedOrec& l : d.locks) {
+    TCS_PROTO(proto_->OnOrecRelease(l.orec, d.tid, l.prev_version,
+                                    ProtocolChecker::ReleaseKind::kAbortExact));
+    // mo: release — [orec-publish]: memory under the lock was never modified,
+    // but the unlock itself must still pair with concurrent acquire samples.
     l.orec->word.store(Orec::MakeVersion(l.prev_version), std::memory_order_release);
   }
   d.locks.clear();
@@ -140,8 +164,11 @@ void LazyStm::Rollback(TxDesc& d) {
 // OrElse partial rollback: buffered writes never touched memory, so dropping
 // the branch's redo entries (and un-overwriting shared ones) is the whole job.
 void LazyStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
-  TCS_DCHECK(d.undo.Empty());
-  TCS_DCHECK(d.locks.empty());  // lazy STM locks only inside CommitTx
+  // Always-on: OrElse partial rollback is rare, and a populated undo log or
+  // lock list here means a branch wrote in place — dropping redo entries
+  // would then silently corrupt user data.
+  TCS_CHECK(d.undo.Empty());
+  TCS_CHECK(d.locks.empty());  // lazy STM locks only inside CommitTx
   d.redo.RollbackTo(sp.redo);
 }
 

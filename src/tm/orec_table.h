@@ -54,6 +54,12 @@ class OrecTable {
   std::size_t size() const { return mask_ + 1; }
   std::size_t granularity_bytes() const { return std::size_t{1} << gran_; }
 
+  // Index of an orec within this table (the protocol checker's shadow-array
+  // mapping). `o` must point into the table.
+  std::size_t IndexOf(const Orec* o) const {
+    return static_cast<std::size_t>(o - orecs_.get());
+  }
+
  private:
   std::unique_ptr<Orec[]> orecs_;
   std::size_t mask_;

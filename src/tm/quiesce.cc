@@ -16,6 +16,9 @@ void QuiesceTable::WaitForReadersBefore(std::uint64_t time, int self) const {
       continue;
     }
     int spins = 0;
+    // mo: acquire — pairs with SetInactive's release store (and SetActive's
+    // seq_cst store): once a straggler advances past `time`, its prior
+    // transactional reads happen-before this committer's return.
     while (slots_[t].start.load(std::memory_order_acquire) < time) {
       if (++spins < 64) {
         CpuRelax();

@@ -24,10 +24,16 @@ class QuiesceTable {
   QuiesceTable& operator=(const QuiesceTable&) = delete;
 
   // Publishes that `tid` is running a transaction that began at `start`.
+  // mo: seq_cst — Dekker with the committer's quiescence scan: either the scan
+  // sees this slot active (and waits for it), or this thread's clock sample
+  // is ordered after the commit's increment and start ≥ end.
   void SetActive(int tid, std::uint64_t start) {
     slots_[tid].start.store(start, std::memory_order_seq_cst);
   }
 
+  // mo: release — pairs with WaitForReadersBefore's acquire load: the
+  // transaction's last transactional read is ordered before the committer
+  // proceeds to reuse privatized memory.
   void SetInactive(int tid) {
     slots_[tid].start.store(kInactive, std::memory_order_release);
   }

@@ -1,3 +1,5 @@
+// lint:hot-path — per-access TM fast path: TCS_DCHECK must not appear inside
+// loops here (tools/lint_tm_discipline.py); use TCS_CHECK on slow paths.
 #include "src/tm/sim_htm.h"
 
 #include "src/common/cpu.h"
@@ -36,6 +38,8 @@ std::uint8_t SimHtm::RegisterPred(WaitPredFn fn, const WaitArgs& args) {
     if (e.fn == nullptr) {
       e.fn = fn;
       e.args = args;
+      // mo: release — publishes the entry just written above; pairs with the
+      // acquire load in LookupPred so a looked-up index reads initialized data.
       pred_table_size_.fetch_add(1, std::memory_order_release);
       return static_cast<std::uint8_t>(i);
     }
@@ -44,6 +48,8 @@ std::uint8_t SimHtm::RegisterPred(WaitPredFn fn, const WaitArgs& args) {
 }
 
 std::uint8_t SimHtm::LookupPred(WaitPredFn fn, const WaitArgs& args) {
+  // mo: acquire — pairs with the release fetch_add in RegisterPred; entries
+  // below `n` are fully initialized.
   int n = pred_table_size_.load(std::memory_order_acquire);
   for (int i = 1; i <= n && i < static_cast<int>(kHtmAbortCondSync); ++i) {
     const PredEntry& e = pred_table_[static_cast<std::size_t>(i)];
@@ -76,10 +82,17 @@ void SimHtm::MaybeHwPredTableDeschedule(TxDesc& d, WaitPredFn fn,
 
 void SimHtm::EnterSerial(TxDesc& d) {
   serial_entry_lock_.Lock();
+  // mo: seq_cst — [serial-token] Dekker: the token store must be totally
+  // ordered against every committer's flag store/re-check in CommitTx.
   serial_owner_.store(d.tid, std::memory_order_seq_cst);
+  // mo: seq_cst — [serial-token]: same total order as the token store, so a
+  // passive hardware transaction's seq re-check catches a full serial section.
   serial_seq_.fetch_add(1, std::memory_order_seq_cst);
   // Drain hardware commits that began before the token was visible.
   for (int t = 0; t < cfg_.max_threads; ++t) {
+    // mo: seq_cst — [serial-token] Dekker: either the committer's flag store
+    // is ordered before our token store (we wait here), or it is after and the
+    // committer's re-check sees the token and aborts.
     while (committing_[t].v.load(std::memory_order_seq_cst) != 0) {
       CpuRelax();
     }
@@ -90,6 +103,8 @@ void SimHtm::EnterSerial(TxDesc& d) {
 
 void SimHtm::ExitSerial(TxDesc& d) {
   d.htm_serial = false;
+  // mo: seq_cst — [serial-token]: release the token in the same total order
+  // hardware transactions poll it in (BeginTx / SerialInterference).
   serial_owner_.store(-1, std::memory_order_seq_cst);
   serial_entry_lock_.Unlock();
 }
@@ -101,16 +116,23 @@ void SimHtm::BeginTx(TxDesc& d) {
     // serially-irrevocably in software.
     EnterSerial(d);
     d.start = clock_.Load();
+    TCS_PROTO(proto_->OnClockObserved(d.tid, d.start));
     quiesce_.SetActive(d.tid, d.start);
     return;
   }
   d.htm_serial = false;
   // A hardware transaction cannot start while a serial transaction runs.
+  // mo: seq_cst — [serial-token]: poll the token in the same total order
+  // EnterSerial/ExitSerial store it in.
   while (serial_owner_.load(std::memory_order_seq_cst) != -1) {
     CpuYield();
   }
+  // mo: seq_cst — [serial-token]: baseline for SerialInterference's seq
+  // re-check; ordered after the token poll above so a serial section between
+  // the two is caught by either.
   d.htm_serial_seq0 = serial_seq_.load(std::memory_order_seq_cst);
   d.start = clock_.Load();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, d.start));
   quiesce_.SetActive(d.tid, d.start);
 }
 
@@ -136,6 +158,8 @@ TmWord SimHtm::ReadWord(TxDesc& d, const TmWord* addr) {
     return v;
   }
   Orec& line = orecs_.For(addr);
+  // mo: acquire — pairs with the committer's release store [orec-publish];
+  // seeing an unlocked line version makes the written-back data visible.
   std::uint64_t w1 = line.word.load(std::memory_order_acquire);
   if (Orec::IsLocked(w1)) {
     if (Orec::Owner(w1) == d.tid) {
@@ -148,6 +172,8 @@ TmWord SimHtm::ReadWord(TxDesc& d, const TmWord* addr) {
     HwAbort(d, Counter::kHtmConflictAborts);
   }
   v = LoadWordAcquire(addr);
+  // mo: acquire — re-check leg of the sample/read/re-check snapshot; pairs
+  // with [orec-publish] so a w1==w2 match proves no release intervened.
   std::uint64_t w2 = line.word.load(std::memory_order_acquire);
   if (w1 != w2 || Orec::Version(w1) > d.start) {
     HwAbort(d, Counter::kHtmConflictAborts);
@@ -171,16 +197,22 @@ void SimHtm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
     HwAbort(d, Counter::kHtmConflictAborts);
   }
   Orec& line = orecs_.For(addr);
+  // mo: acquire — pairs with [orec-publish]; the CAS below must key on a line
+  // version published by a completed release.
   std::uint64_t w = line.word.load(std::memory_order_acquire);
   if (Orec::IsLocked(w)) {
     if (Orec::Owner(w) != d.tid) {
       HwAbort(d, Counter::kHtmConflictAborts);
     }
   } else if (Orec::Version(w) > d.start ||
+             // mo: acq_rel — the acquire leg pairs with the previous owner's
+             // release store [orec-publish]; the release leg publishes the
+             // locked word other threads' acquire samples key on.
              !line.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
                                                 std::memory_order_acq_rel)) {
     HwAbort(d, Counter::kHtmConflictAborts);
   } else {
+    TCS_PROTO(proto_->OnOrecAcquire(&line, d.tid, Orec::Version(w)));
     d.locks.push_back({&line, Orec::Version(w)});
     if (d.locks.size() > cfg_.htm_write_capacity_lines) {
       HwAbort(d, Counter::kHtmCapacityAborts);
@@ -209,13 +241,18 @@ bool SimHtm::CommitTx(TxDesc& d) {
   // Announce the commit so serial entry drains us, then re-check the token
   // (Dekker-style: either we see the token and abort, or serial entry sees our
   // flag and waits).
+  // mo: seq_cst — [serial-token] Dekker: the flag store must be totally
+  // ordered against EnterSerial's token store and drain loop.
   committing_[d.tid].v.store(1, std::memory_order_seq_cst);
   if (SerialInterference(d)) {
     HwAbort(d, Counter::kHtmConflictAborts);
   }
   std::uint64_t end = clock_.Increment();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, end));
   if (end != d.start + 1) {
     for (Orec* line : d.reads) {
+      // mo: acquire — pairs with [orec-publish]; an unlocked version ≤ start
+      // proves the covered lines still hold the data this transaction read.
       std::uint64_t w = line->word.load(std::memory_order_acquire);
       if (Orec::IsLocked(w)) {
         if (Orec::Owner(w) != d.tid) {
@@ -229,8 +266,14 @@ bool SimHtm::CommitTx(TxDesc& d) {
   SnapshotCommitOrecsIfNeeded(d);
   d.redo.WriteBack();
   for (const LockedOrec& l : d.locks) {
+    TCS_PROTO(proto_->OnOrecRelease(l.orec, d.tid, end,
+                                    ProtocolChecker::ReleaseKind::kCommit));
+    // mo: release — [orec-publish]: orders the redo write-back before the
+    // unlocked version a reader's acquire sample pairs with.
     l.orec->word.store(Orec::MakeVersion(end), std::memory_order_release);
   }
+  // mo: seq_cst — [serial-token] Dekker: clearing the flag in the same total
+  // order EnterSerial's drain loop polls it in.
   committing_[d.tid].v.store(0, std::memory_order_seq_cst);
   quiesce_.SetInactive(d.tid);
   if (cfg_.privatization_safety) {
@@ -255,8 +298,14 @@ void SimHtm::Rollback(TxDesc& d) {
   }
   // Buffered writes never reached memory; restore exact line versions.
   for (const LockedOrec& l : d.locks) {
+    TCS_PROTO(proto_->OnOrecRelease(l.orec, d.tid, l.prev_version,
+                                    ProtocolChecker::ReleaseKind::kAbortExact));
+    // mo: release — [orec-publish]: memory under the line was never modified,
+    // but the unlock itself must still pair with concurrent acquire samples.
     l.orec->word.store(Orec::MakeVersion(l.prev_version), std::memory_order_release);
   }
+  // mo: seq_cst — [serial-token] Dekker: clearing the flag in the same total
+  // order EnterSerial's drain loop polls it in.
   committing_[d.tid].v.store(0, std::memory_order_seq_cst);
   d.locks.clear();
   d.reads.clear();
@@ -278,10 +327,16 @@ void SimHtm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
     return;
   }
   d.redo.RollbackTo(sp.redo);
-  TCS_DCHECK(sp.locks_size <= d.locks.size());
+  // Always-on: OrElse partial rollback is rare, and a stale savepoint here
+  // would release (and corrupt) lines the surviving branch still owns.
+  TCS_CHECK(sp.locks_size <= d.locks.size());
   std::size_t released = d.locks.size() - sp.locks_size;
   for (std::size_t i = sp.locks_size; i < d.locks.size(); ++i) {
     const LockedOrec& l = d.locks[i];
+    TCS_PROTO(proto_->OnOrecRelease(l.orec, d.tid, l.prev_version,
+                                    ProtocolChecker::ReleaseKind::kAbortExact));
+    // mo: release — [orec-publish]: buffered writes never reached memory; the
+    // unlock still pairs with concurrent acquire samples.
     l.orec->word.store(Orec::MakeVersion(l.prev_version),
                        std::memory_order_release);
   }

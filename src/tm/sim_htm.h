@@ -74,6 +74,9 @@ class SimHtm final : public TmSystem {
   void EnterSerial(TxDesc& d);
   void ExitSerial(TxDesc& d);
   bool SerialInterference(const TxDesc& d) const {
+    // mo: seq_cst (both loads) — [serial-token] Dekker: totally ordered against
+    // EnterSerial's token/seq stores and this thread's committing_ flag store,
+    // so a serial section cannot slip between the flag store and this check.
     return serial_owner_.load(std::memory_order_seq_cst) != -1 ||
            serial_seq_.load(std::memory_order_seq_cst) != d.htm_serial_seq0;
   }

@@ -1,3 +1,5 @@
+// lint:hot-path — per-access TM fast path: TCS_DCHECK must not appear inside
+// loops here (tools/lint_tm_discipline.py); use TCS_CHECK on slow paths.
 #include "src/tm/tm_system.h"
 
 #include <atomic>
@@ -63,12 +65,20 @@ TmSystem::TmSystem(const TmConfig& config)
       orecs_(config.orec_table_log2,
              config.backend == Backend::kSimHtm ? 6 : 3),
       quiesce_(config.max_threads),
+      // mo: relaxed — uid allocation only needs uniqueness (atomicity), not
+      // ordering; no other data is published through this counter.
       uid_(g_system_uid.fetch_add(1, std::memory_order_relaxed)) {
   descs_.resize(static_cast<std::size_t>(cfg_.max_threads));
   waiters_ = std::make_unique<WaiterRegistry>(cfg_.max_threads);
   retry_orig_ = std::make_unique<RetryOrigRegistry>(cfg_.max_threads);
   wake_index_ =
       std::make_unique<WakeIndex>(cfg_.max_threads, cfg_.wake_index_shards);
+#if TCS_PROTOCOL_CHECKS
+  proto_ = std::make_unique<ProtocolChecker>(orecs_, cfg_.max_threads);
+  // Standalone WakeIndex instances (unit tests) stay unchecked; only the
+  // domain-owned index participates in the add/remove-balance protocol.
+  wake_index_->AttachProtocolChecker(proto_.get());
+#endif
   std::lock_guard<std::mutex> g(LiveSystemsMutex());
   LiveSystems().emplace(uid_, this);
 }
@@ -138,8 +148,31 @@ TxDesc& TmSystem::Desc() {
 }
 
 Semaphore& TmSystem::SemOf(int tid) {
-  TCS_DCHECK(tid >= 0 && tid < next_tid_);
-  return descs_[static_cast<std::size_t>(tid)]->sem;
+  // Always-on: an out-of-range tid here dereferences a null descriptor slot,
+  // and this runs only on the condvar signal slow path. Bounds come from the
+  // immutable config rather than next_tid_ (which a concurrent registration
+  // may be growing); any tid that can legitimately reach here was published
+  // after its registration, so its slot is visibly non-null.
+  TCS_CHECK(tid >= 0 && tid < cfg_.max_threads);
+  TxDesc* d = descs_[static_cast<std::size_t>(tid)].get();
+  TCS_CHECK_MSG(d != nullptr, "SemOf for a never-registered tid");
+  return d->sem;
+}
+
+std::uint64_t TmSystem::ProtocolViolations() const {
+#if TCS_PROTOCOL_CHECKS
+  return proto_->violations();
+#else
+  return 0;
+#endif
+}
+
+ProtocolChecker* TmSystem::protocol_checker() {
+#if TCS_PROTOCOL_CHECKS
+  return proto_.get();
+#else
+  return nullptr;
+#endif
 }
 
 void TmSystem::Begin() {
@@ -199,6 +232,9 @@ void TmSystem::Commit() {
     if (writer) {
       // Order this writer's published state against the waiter-presence peeks
       // below (see WaiterRegistry's header for the full argument).
+      // mo: seq_cst fence — [wake-publish]: totally ordered against waiters'
+      // seq_cst bitmap inserts, so a registration that serialized before this
+      // commit is visible to the peeks below.
       std::atomic_thread_fence(std::memory_order_seq_cst);
       if (!commit_orecs.empty() && retry_orig_->HasWaiters()) {
         retry_orig_->OnWriterCommit(commit_orecs);
@@ -362,7 +398,10 @@ bool TmSystem::TryExtendTimestamp(TxDesc& d, ExtendSite site,
   // sample and the checks makes some read orec too new and the extension
   // fails, never the reverse.
   std::uint64_t now = clock_.Load();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, now));
   for (Orec* o : d.reads) {
+    // mo: acquire — pairs with [orec-publish]; an unlocked version ≤ now
+    // proves the covered data still matches what this transaction read.
     std::uint64_t w = o->word.load(std::memory_order_acquire);
     if (Orec::IsLocked(w)) {
       // An orec we read and later locked ourselves still covers consistent data.
@@ -387,6 +426,7 @@ bool TmSystem::TryExtendTimestamp(TxDesc& d, ExtendSite site,
       return false;
     }
   }
+  TCS_PROTO(proto_->OnStartAdvanced(d.tid, d.start, now));
   d.start = now;
   quiesce_.SetActive(d.tid, now);
   d.stats.Bump(Counter::kTimestampExtensions);

@@ -24,6 +24,7 @@
 #include "src/common/spin_lock.h"
 #include "src/common/stats.h"
 #include "src/tm/orec_table.h"
+#include "src/tm/protocol_checker.h"
 #include "src/tm/quiesce.h"
 #include "src/tm/tm_config.h"
 #include "src/tm/tx_desc.h"
@@ -179,6 +180,14 @@ class TmSystem {
   // Sleep semaphore of a registered thread (used by TMCondVar signalers).
   Semaphore& SemOf(int tid);
 
+  // --- dynamic protocol checker (TCS_PROTOCOL_CHECKS builds) ---
+  // Violations detected so far on this domain; always 0 when the checker is
+  // compiled out (and on any clean run — see src/tm/protocol_checker.h).
+  std::uint64_t ProtocolViolations() const;
+  // The domain's checker, or nullptr when compiled out. Tests use it to
+  // install a counting failure handler instead of the aborting default.
+  ProtocolChecker* protocol_checker();
+
   // --- statistics ---
   TxStats AggregateStats() const;
   void ResetStats();
@@ -277,6 +286,12 @@ class TmSystem {
   OrecTable orecs_;
   VersionClock clock_;
   QuiesceTable quiesce_;
+#if TCS_PROTOCOL_CHECKS
+  // Shadow-state verifier for the orec/clock/wake protocols; every hook call
+  // site below and in the backends is wrapped in TCS_PROTO so this member (and
+  // all hook costs) vanish when the CMake option is off.
+  std::unique_ptr<ProtocolChecker> proto_;
+#endif
 
  private:
   // Shared body of Deschedule and the timed waits: publish, double-check, and

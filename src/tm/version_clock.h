@@ -16,9 +16,13 @@ namespace tcs {
 
 class alignas(kCacheLineBytes) VersionClock {
  public:
+  // mo: acquire — [clock-chain]: pairs with the fetch_add chain below; a
+  // transaction beginning at start S happens-after every commit with end ≤ S.
   std::uint64_t Load() const { return time_.load(std::memory_order_acquire); }
 
   // Returns the new (post-increment) time.
+  // mo: seq_cst — [clock-chain]: the RMW chain totally orders writer commits
+  // and doubles as each commit's fence for the wake-path presence peeks.
   std::uint64_t Increment() {
     return time_.fetch_add(1, std::memory_order_seq_cst) + 1;
   }

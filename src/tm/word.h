@@ -12,16 +12,22 @@ namespace tcs {
 using TmWord = std::uintptr_t;
 static_assert(sizeof(TmWord) == 8, "tcsync assumes a 64-bit platform");
 
+// mo: acquire — the data leg of the sample/read/re-check snapshot; combined
+// with the orec re-check it pairs with a committer's [orec-publish] release.
 inline TmWord LoadWordAcquire(const TmWord* addr) {
   return std::atomic_ref<TmWord>(*const_cast<TmWord*>(addr))
       .load(std::memory_order_acquire);
 }
 
+// mo: relaxed — reads of data this transaction owns (undo snapshot under a
+// held orec) or values revalidated later through the orec protocol.
 inline TmWord LoadWordRelaxed(const TmWord* addr) {
   return std::atomic_ref<TmWord>(*const_cast<TmWord*>(addr))
       .load(std::memory_order_relaxed);
 }
 
+// mo: release — transactional data store; ordered before the owning orec's
+// release store [orec-publish], which is what readers actually synchronize on.
 inline void StoreWordRelease(TmWord* addr, TmWord val) {
   std::atomic_ref<TmWord>(*addr).store(val, std::memory_order_release);
 }
