@@ -15,7 +15,7 @@
 #include "bench/bench_util.h"
 #include "bench/bounded_grid.h"
 #include "bench/parsec_grid.h"
-#include "bench/report.h"
+#include "src/common/json_writer.h"
 #include "bench/wake_scenarios.h"
 
 namespace tcs {
@@ -54,6 +54,16 @@ void EmitWakeTrialRow(JsonWriter& w, const WakeTrialResult& r) {
   w.Key("wakeups").U64(r.wakeups);
   w.Key("vacuous_wakeups").U64(r.vacuous_wakeups);
   w.Key("genuine_wakeups").U64(r.genuine_wakeups);
+  // Latency distributions (src/obs/ histograms, hot phase only). Percentiles
+  // are log2-bucket upper bounds — conservative for SLO claims.
+  w.Key("commit_latency_count").U64(r.commit_latency_count);
+  w.Key("commit_p50_ns").U64(r.commit_p50_ns);
+  w.Key("commit_p99_ns").U64(r.commit_p99_ns);
+  w.Key("commit_p999_ns").U64(r.commit_p999_ns);
+  w.Key("wake_latency_count").U64(r.wake_latency_count);
+  w.Key("wake_p50_ns").U64(r.wake_p50_ns);
+  w.Key("wake_p99_ns").U64(r.wake_p99_ns);
+  w.Key("wake_p999_ns").U64(r.wake_p999_ns);
   w.EndObject();
 }
 

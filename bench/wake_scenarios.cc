@@ -90,6 +90,9 @@ WakeTrialResult RunWakeIndexTrial(const WakeTrialOptions& opts) {
   }
   double t1 = NowSec();
   TxStats st = rt.AggregateStats();
+  // Latency distributions cover the hot phase only: ResetStats above cleared
+  // the histograms, and the snapshot lands before the release commits.
+  TmSystem::ObsSnapshot obs = rt.sys().SnapshotObs();
 
   // Release: one commit per cell, in index order so an overlap neighbor that
   // gets falsely woken by cell w's release has already exited (it was waiter
@@ -126,6 +129,14 @@ WakeTrialResult RunWakeIndexTrial(const WakeTrialOptions& opts) {
                              static_cast<double>(opts.producer_commits);
   r.wake_batches_per_commit = static_cast<double>(r.wake_batches) /
                               static_cast<double>(opts.producer_commits);
+  r.commit_latency_count = obs.commit_latency.Count();
+  r.commit_p50_ns = obs.commit_latency.Percentile(50);
+  r.commit_p99_ns = obs.commit_latency.Percentile(99);
+  r.commit_p999_ns = obs.commit_latency.Percentile(99.9);
+  r.wake_latency_count = obs.wake_latency.Count();
+  r.wake_p50_ns = obs.wake_latency.Percentile(50);
+  r.wake_p99_ns = obs.wake_latency.Percentile(99);
+  r.wake_p999_ns = obs.wake_latency.Percentile(99.9);
   return r;
 }
 

@@ -69,6 +69,18 @@ struct WakeTrialResult {
   std::uint64_t genuine_wakeups = 0;
   double wake_checks_per_commit = 0.0;
   double wake_batches_per_commit = 0.0;
+  // Latency distributions (log2-bucket histograms, src/obs/), sampled over the
+  // hot-producer phase only. Commit latency covers the producer's committed
+  // attempts; wake latency is the waker's semaphore post → waiter resume
+  // hand-off. Percentile values are bucket upper bounds (conservative).
+  std::uint64_t commit_latency_count = 0;
+  std::uint64_t commit_p50_ns = 0;
+  std::uint64_t commit_p99_ns = 0;
+  std::uint64_t commit_p999_ns = 0;
+  std::uint64_t wake_latency_count = 0;
+  std::uint64_t wake_p50_ns = 0;
+  std::uint64_t wake_p99_ns = 0;
+  std::uint64_t wake_p999_ns = 0;
 };
 
 // Runs one trial: parks `waiters` threads on cache-line-padded cells (shape

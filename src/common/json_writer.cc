@@ -1,4 +1,4 @@
-#include "bench/report.h"
+#include "src/common/json_writer.h"
 
 #include <cmath>
 #include <cstdio>

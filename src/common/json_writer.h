@@ -1,6 +1,7 @@
-// Minimal streaming JSON writer for the benchmark harness — no dependencies,
-// emits the BENCH_*.json trajectory files that make perf claims comparable
-// PR-to-PR.
+// Minimal streaming JSON writer — no dependencies. Shared by the benchmark
+// harness (the BENCH_*.json trajectory files that make perf claims comparable
+// PR-to-PR) and the runtime observability layer (TmSystem::SnapshotMetrics and
+// the Chrome trace-event dump in src/obs/trace_dump.cc).
 //
 //   JsonWriter w;
 //   w.BeginObject();
@@ -10,8 +11,8 @@
 //   w.EndArray();
 //   w.EndObject();
 //   w.WriteFile("BENCH_wakeup.json");
-#ifndef TCS_BENCH_REPORT_H_
-#define TCS_BENCH_REPORT_H_
+#ifndef TCS_COMMON_JSON_WRITER_H_
+#define TCS_COMMON_JSON_WRITER_H_
 
 #include <cstdint>
 #include <string>
@@ -51,4 +52,4 @@ class JsonWriter {
 
 }  // namespace tcs
 
-#endif  // TCS_BENCH_REPORT_H_
+#endif  // TCS_COMMON_JSON_WRITER_H_

@@ -1,81 +1,61 @@
 #include "src/common/stats.h"
 
+#include <iterator>
+
 namespace tcs {
 
+namespace {
+
+// Indexed by Counter value. The static_assert below makes "added a counter,
+// forgot its name" a compile error instead of a silent "unknown" in every
+// stats dump (the old switch degraded that way — a missing case only warned).
+constexpr std::string_view kCounterNames[] = {
+    "commits",
+    "read_only_commits",
+    "aborts",
+    "explicit_restarts",
+    "retry_restarts",
+    "deschedules",
+    "sleeps",
+    "wakeups",
+    "wake_checks",
+    "false_wakeups",
+    "htm_fallbacks",
+    "htm_capacity_aborts",
+    "htm_conflict_aborts",
+    "htm_explicit_aborts",
+    "condvar_waits",
+    "condvar_signals",
+    "timestamp_extensions",
+    "htm_pred_table_fast_path",
+    "waitset_entries",
+    "quiesce_calls",
+    "wait_timeouts",
+    "orelse_fallbacks",
+    "partial_rollbacks",
+    "indexed_deschedules",
+    "global_deschedules",
+    "waitset_pruned",
+    "orelse_orec_releases",
+    "extend_on_validation",
+    "extend_on_orec_release",
+    "extend_on_commit_validation",
+    "extend_on_encounter_acquisition",
+    "wake_batches",
+    "wake_checks_batched",
+    "vacuous_wakeups",
+    "trace_events",
+    "trace_drops",
+};
+static_assert(std::size(kCounterNames) ==
+                  static_cast<std::size_t>(Counter::kNumCounters),
+              "kCounterNames out of sync with Counter — name every counter");
+
+}  // namespace
+
 std::string_view CounterName(Counter c) {
-  switch (c) {
-    case Counter::kCommits:
-      return "commits";
-    case Counter::kReadOnlyCommits:
-      return "read_only_commits";
-    case Counter::kAborts:
-      return "aborts";
-    case Counter::kExplicitRestarts:
-      return "explicit_restarts";
-    case Counter::kRetryRestarts:
-      return "retry_restarts";
-    case Counter::kDeschedules:
-      return "deschedules";
-    case Counter::kSleeps:
-      return "sleeps";
-    case Counter::kWakeups:
-      return "wakeups";
-    case Counter::kWakeChecks:
-      return "wake_checks";
-    case Counter::kFalseWakeups:
-      return "false_wakeups";
-    case Counter::kHtmFallbacks:
-      return "htm_fallbacks";
-    case Counter::kHtmCapacityAborts:
-      return "htm_capacity_aborts";
-    case Counter::kHtmConflictAborts:
-      return "htm_conflict_aborts";
-    case Counter::kHtmExplicitAborts:
-      return "htm_explicit_aborts";
-    case Counter::kCondVarWaits:
-      return "condvar_waits";
-    case Counter::kCondVarSignals:
-      return "condvar_signals";
-    case Counter::kTimestampExtensions:
-      return "timestamp_extensions";
-    case Counter::kHtmPredTableFastPath:
-      return "htm_pred_table_fast_path";
-    case Counter::kWaitsetEntries:
-      return "waitset_entries";
-    case Counter::kQuiesceCalls:
-      return "quiesce_calls";
-    case Counter::kWaitTimeouts:
-      return "wait_timeouts";
-    case Counter::kOrElseFallbacks:
-      return "orelse_fallbacks";
-    case Counter::kPartialRollbacks:
-      return "partial_rollbacks";
-    case Counter::kIndexedDeschedules:
-      return "indexed_deschedules";
-    case Counter::kGlobalDeschedules:
-      return "global_deschedules";
-    case Counter::kWaitsetPruned:
-      return "waitset_pruned";
-    case Counter::kOrElseOrecReleases:
-      return "orelse_orec_releases";
-    case Counter::kExtendOnValidation:
-      return "extend_on_validation";
-    case Counter::kExtendOnOrecRelease:
-      return "extend_on_orec_release";
-    case Counter::kExtendOnCommitValidation:
-      return "extend_on_commit_validation";
-    case Counter::kExtendOnEncounterAcquisition:
-      return "extend_on_encounter_acquisition";
-    case Counter::kWakeBatches:
-      return "wake_batches";
-    case Counter::kWakeChecksBatched:
-      return "wake_checks_batched";
-    case Counter::kVacuousWakeups:
-      return "vacuous_wakeups";
-    case Counter::kNumCounters:
-      break;
-  }
-  return "unknown";
+  auto i = static_cast<std::size_t>(c);
+  return i < std::size(kCounterNames) ? kCounterNames[i] : "unknown";
 }
 
 }  // namespace tcs

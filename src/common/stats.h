@@ -53,6 +53,8 @@ enum class Counter : int {
   kVacuousWakeups,     // conservative empty-waitset posts (no evidence the
                        // waiter was satisfied) — subtract from kWakeups for
                        // wake-precision metrics
+  kTraceEvents,        // lifecycle events recorded into per-thread TraceRings
+  kTraceDrops,         // ring-overflow overwrites (oldest record lost)
   kNumCounters,
 };
 

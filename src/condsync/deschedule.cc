@@ -18,6 +18,7 @@
 
 #include "src/condsync/waiter_registry.h"
 #include "src/condsync/wake_index.h"
+#include "src/obs/trace.h"
 #include "src/tm/tm_system.h"
 
 namespace tcs {
@@ -51,6 +52,7 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     }
   }
   d.stats.Bump(Counter::kDeschedules);
+  TCS_TRACE_EVENT(d, TraceEvent::kDeschedule, 0);
   if (ws != nullptr && !ws->Empty()) {
     // Count only the waitset this deschedule actually publishes: pure-predicate
     // waits (Await/WaitPred through a non-findChanges fn) publish no address
@@ -71,6 +73,10 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
 
   WaiterSlot& slot = waiters_->slot(d.tid);
   slot.Prepare(fn, args, &d.sem);
+  // Clear any stale wake-post stamp before this sleep's waker can write a new
+  // one (the previous claimer's post — and therefore its stamp — was consumed
+  // before this thread could re-deschedule).
+  slot.StampWakePost(0);
   // Index entries and the presence bit must be visible before the registration
   // transaction can commit; committing writers order their peeks against both
   // through the clock.
@@ -112,6 +118,8 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
 
   if (sleep) {
     d.stats.Bump(Counter::kSleeps);
+    TCS_TRACE_EVENT(d, TraceEvent::kSleep, 0);
+    std::uint64_t sleep_start_ns = cfg_.latency_metrics ? ObsNowNs() : 0;
     bool acquired = true;
     if (timed) {
       // Set by the DeadlineExpired check of the *For call that led here.
@@ -119,6 +127,20 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     } else {
       d.sem.Wait();
     }
+    if (cfg_.latency_metrics) {
+      std::uint64_t now = ObsNowNs();
+      d.obs.wait_duration.Record(now - sleep_start_ns);
+      if (acquired) {
+        // The claiming waker stamped the post time just before Post; the [sem]
+        // edge ordered that stamp before this load (see WaiterSlot).
+        std::uint64_t posted = slot.LoadWakePost();
+        if (posted != 0 && now >= posted) {
+          d.obs.wake_latency.Record(now - posted);
+        }
+      }
+    }
+    // arg 1 marks a timeout expiry rather than a wakeup post.
+    TCS_TRACE_EVENT(d, TraceEvent::kWakeup, acquired ? 0 : 1);
     if (acquired) {
       // Figure 2.1, time 4 approach: deregister before restarting so no writer
       // wastes work on this slot ("on wakeup, prevent future notifications").
@@ -281,11 +303,21 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
       d.stats.Bump(Counter::kWakeChecks, checks_this_batch);
       d.stats.Bump(Counter::kWakeChecksBatched, checks_this_batch);
     }
+    if (!claims.empty()) {
+      TCS_TRACE_EVENT(d, TraceEvent::kWakeBatch, claims.size());
+    }
     for (const TxDesc::WakeClaim& c : claims) {
       // The semaphore post is an escape action, so it happens strictly after
       // the wake transaction commits (Algorithm 4, line 9).
       TCS_PROTO(proto_->OnWakePost(c.tid));
-      waiters_->slot(c.tid).sem->Post();
+      WaiterSlot& claimed = waiters_->slot(c.tid);
+      if (cfg_.latency_metrics) {
+        // Stamp strictly before the post so the waiter's read (after Wait
+        // returns) observes it via the [sem] edge. Exclusive: this writer won
+        // the transactional asleep 1→0 claim for this sleep.
+        claimed.StampWakePost(ObsNowNs());
+      }
+      claimed.sem->Post();
       d.stats.Bump(Counter::kWakeups);
       if (c.vacuous) {
         // A vacuous (empty-waitset) wake is no evidence anyone was satisfied;

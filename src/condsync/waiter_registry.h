@@ -39,6 +39,26 @@ struct alignas(kCacheLineBytes) WaiterSlot {
   WaitArgs args;
   Semaphore* sem = nullptr;
 
+  // Wake-latency handshake (observability): the claiming waker stamps the post
+  // time just before sem->Post(); the waiter reads it right after its Wait()
+  // returns. Exclusivity comes from the claim protocol (the transactional
+  // asleep 1→0 admits exactly one waker per sleep) and the value rides the
+  // [sem] post/wait edge; atomic_ref keeps the cross-thread access tear-free.
+  std::uint64_t wake_post_ns = 0;
+
+  void StampWakePost(std::uint64_t ns) {
+    // mo: relaxed — ordering comes from the [sem] edge (Post happens-before
+    // the waiter's return from Wait); this store only needs atomicity.
+    std::atomic_ref<std::uint64_t>(wake_post_ns)
+        .store(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t LoadWakePost() const {
+    // mo: relaxed — read after Wait() returned; the [sem] edge already orders
+    // the waker's stamp before this load.
+    return std::atomic_ref<const std::uint64_t>(wake_post_ns)
+        .load(std::memory_order_relaxed);
+  }
+
   void Prepare(WaitPredFn f, const WaitArgs& a, Semaphore* s) {
     fn = f;
     args = a;

@@ -1,0 +1,155 @@
+// Abort attribution: *why* a transaction aborted and *which* orec it
+// collided on — the second half of the observability layer.
+//
+// Every call into TmSystem::AbortCurrent / SimHtm::HwAbort now carries an
+// AbortCause plus (when known) the conflicting orec. Per-thread tables tally
+// causes and hot orecs with the same atomic_ref-relaxed discipline as
+// TxStats: owning thread bumps, monitors merge on scan, harnesses reset
+// between trials.
+#ifndef TCS_OBS_ABORT_ATTRIBUTION_H_
+#define TCS_OBS_ABORT_ATTRIBUTION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace tcs {
+
+// Keep in sync with kAbortCauseNames in obs.cc (static_assert pins count).
+enum class AbortCause : std::uint8_t {
+  kReadValidation = 0,     // eager/lazy read saw a too-new or changed orec
+  kEncounterAcquisition,   // eager write-orec acquisition lost
+  kCommitValidation,       // lazy commit-time validation/acquisition lost
+  kLockCollision,          // orec held by another tx (any phase)
+  kHtmCapacity,            // sim-HTM buffer overflow
+  kHtmConflict,            // sim-HTM conflict footprint collision
+  kHtmExplicit,            // explicit xabort (e.g. Retry inside hw mode)
+  kOrElseAbandon,          // partial-rollback could not salvage the outer tx
+  kRetrySetup,             // Retry/RetryFor descheduling restart
+  kExplicit,               // user RestartNow / unclassified manual abort
+  kNumCauses,
+};
+
+inline constexpr int kNumAbortCauses = static_cast<int>(AbortCause::kNumCauses);
+
+const char* AbortCauseName(AbortCause cause);
+
+// Per-thread cause tally, TxStats-style.
+class AbortCauseTable {
+ public:
+  void Bump(AbortCause cause) {
+    // mo: relaxed — tally only; abort ordering is established by the orec
+    // and clock protocol, never by these counters.
+    std::atomic_ref<std::uint64_t>(counts_[static_cast<int>(cause)])
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Get(AbortCause cause) const {
+    // mo: relaxed — monitors tolerate stale tallies; tests read post-join.
+    return std::atomic_ref<const std::uint64_t>(
+               counts_[static_cast<int>(cause)])
+        .load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& c : counts_) {
+      // mo: relaxed — trial reset, same argument as TxStats::Reset.
+      std::atomic_ref<std::uint64_t>(c).store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void MergeFrom(const AbortCauseTable& other) {
+    for (int i = 0; i < kNumAbortCauses; ++i) {
+      counts_[i] += other.Get(static_cast<AbortCause>(i));
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, kNumAbortCauses> counts_{};
+};
+
+// Per-thread top-hot-orec tally: a small direct-mapped table of
+// (orec index, abort count) pairs. First abort on a new orec claims a free
+// slot; when the table is full further new orecs land in overflow_. Slots
+// store index+1 so 0 means "free" without a separate occupancy word.
+class HotOrecTable {
+ public:
+  static constexpr int kSlots = 32;
+
+  void Bump(std::size_t orec_index) {
+    std::uint64_t key = static_cast<std::uint64_t>(orec_index) + 1;
+    for (int i = 0; i < kSlots; ++i) {
+      // mo: relaxed — single-writer (owning thread) table; atomic_ref only
+      // guards against torn reads from concurrent monitor scans.
+      std::uint64_t cur = std::atomic_ref<std::uint64_t>(slots_[i].key).load(
+          std::memory_order_relaxed);
+      if (cur == 0) {
+        // mo: relaxed — owner-thread store; merge scans tolerate seeing the
+        // key before the first count bump (they read count 0, harmless).
+        std::atomic_ref<std::uint64_t>(slots_[i].key).store(
+            key, std::memory_order_relaxed);
+        cur = key;
+      }
+      if (cur == key) {
+        // mo: relaxed — tally only.
+        std::atomic_ref<std::uint64_t>(slots_[i].count)
+            .fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    // mo: relaxed — tally only.
+    std::atomic_ref<std::uint64_t>(overflow_).fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  // Visits occupied slots as (orec_index, count).
+  template <typename Fn>
+  void Visit(Fn&& fn) const {
+    for (int i = 0; i < kSlots; ++i) {
+      // mo: relaxed — monitor scan, stale tallies acceptable.
+      std::uint64_t key = std::atomic_ref<const std::uint64_t>(slots_[i].key)
+                              .load(std::memory_order_relaxed);
+      if (key == 0) {
+        continue;
+      }
+      // mo: relaxed — monitor scan, stale tallies acceptable.
+      std::uint64_t count =
+          std::atomic_ref<const std::uint64_t>(slots_[i].count)
+              .load(std::memory_order_relaxed);
+      fn(static_cast<std::size_t>(key - 1), count);
+    }
+  }
+
+  std::uint64_t Overflow() const {
+    // mo: relaxed — monitor scan.
+    return std::atomic_ref<const std::uint64_t>(overflow_).load(
+        std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& s : slots_) {
+      // mo: relaxed — trial reset while workers are parked.
+      std::atomic_ref<std::uint64_t>(s.count).store(0,
+                                                    std::memory_order_relaxed);
+      // mo: relaxed — trial reset; freeing the slot needs no ordering vs. the
+      // count store above because no owner thread races a reset.
+      std::atomic_ref<std::uint64_t>(s.key).store(0,
+                                                  std::memory_order_relaxed);
+    }
+    // mo: relaxed — trial reset.
+    std::atomic_ref<std::uint64_t>(overflow_).store(0,
+                                                    std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;  // orec index + 1; 0 = free
+    std::uint64_t count = 0;
+  };
+  std::array<Slot, kSlots> slots_{};
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_OBS_ABORT_ATTRIBUTION_H_

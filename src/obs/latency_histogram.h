@@ -1,0 +1,129 @@
+// Lock-free log2-bucket latency histogram for the runtime observability layer.
+//
+// One histogram per thread per metric (commit latency, abort-to-commit
+// latency, wait duration, wake latency), embedded in TxDesc via ThreadObs.
+// Like TxStats, the owning thread Bumps while monitors aggregate concurrently
+// and harnesses Reset() between trials, so every access is a relaxed atomic —
+// a histogram is never a synchronization point, only a tally.
+//
+// Buckets are powers of two: bucket i counts samples in [2^i, 2^(i+1)) ns
+// (bucket 0 additionally absorbs 0). 64 buckets cover the full uint64 range,
+// so nothing saturates. Percentiles are bucket-resolution: Percentile()
+// returns the *upper bound* of the bucket containing the requested rank —
+// deliberately pessimistic, so an SLO claim built on p99/p999 never
+// understates the tail by more than the 2x bucket width.
+#ifndef TCS_OBS_LATENCY_HISTOGRAM_H_
+#define TCS_OBS_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace tcs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  // Bucket index for a sample: floor(log2(ns)), with 0 and 1 both in bucket 0.
+  static int BucketOf(std::uint64_t ns) {
+    return ns <= 1 ? 0 : std::bit_width(ns) - 1;
+  }
+  // Inclusive lower / exclusive upper value bounds of bucket i.
+  static std::uint64_t BucketLow(int i) { return std::uint64_t{1} << i; }
+  static std::uint64_t BucketHigh(int i) {
+    return i >= 63 ? ~std::uint64_t{0} : (std::uint64_t{2} << i);
+  }
+
+  void Record(std::uint64_t ns) {
+    // mo: relaxed — statistics need atomicity (vs. concurrent Reset/readers),
+    // not ordering; no other data is published through a bucket count.
+    std::atomic_ref<std::uint64_t>(counts_[BucketOf(ns)])
+        .fetch_add(1, std::memory_order_relaxed);
+    // mo: relaxed — same tally-only argument as the bucket count above.
+    std::atomic_ref<std::uint64_t>(sum_).fetch_add(ns,
+                                                   std::memory_order_relaxed);
+  }
+
+  std::uint64_t BucketCount(int i) const {
+    // mo: relaxed — monitors tolerate slightly stale tallies; test assertions
+    // read after joining the worker threads.
+    return std::atomic_ref<const std::uint64_t>(counts_[i]).load(
+        std::memory_order_relaxed);
+  }
+
+  std::uint64_t Count() const {
+    std::uint64_t total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      total += BucketCount(i);
+    }
+    return total;
+  }
+
+  std::uint64_t Sum() const {
+    // mo: relaxed — same tally-only argument as BucketCount.
+    return std::atomic_ref<const std::uint64_t>(sum_).load(
+        std::memory_order_relaxed);
+  }
+
+  double Mean() const {
+    std::uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+
+  // Upper bound (ns) of the bucket holding the p-th percentile sample
+  // (p in [0, 100]), or 0 for an empty histogram. Ranks round up: p=50 of
+  // {1, 1000} is the bucket of 1 (rank 1 of 2), p=99 of 100 equal samples is
+  // their shared bucket.
+  std::uint64_t Percentile(double p) const {
+    std::uint64_t total = Count();
+    if (total == 0) {
+      return 0;
+    }
+    double want = (p / 100.0) * static_cast<double>(total);
+    std::uint64_t rank = static_cast<std::uint64_t>(want);
+    if (static_cast<double>(rank) < want) {
+      ++rank;  // ceil
+    }
+    if (rank == 0) {
+      rank = 1;
+    }
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += BucketCount(i);
+      if (cum >= rank) {
+        return BucketHigh(i);
+      }
+    }
+    return BucketHigh(kBuckets - 1);
+  }
+
+  void Reset() {
+    // mo: relaxed — harnesses reset between trials while workers are parked;
+    // Record's RMW keeps a racing sample from being silently undone.
+    for (int i = 0; i < kBuckets; ++i) {
+      std::atomic_ref<std::uint64_t>(counts_[i]).store(
+          0, std::memory_order_relaxed);
+    }
+    // mo: relaxed — same argument as the bucket counts above.
+    std::atomic_ref<std::uint64_t>(sum_).store(0, std::memory_order_relaxed);
+  }
+
+  void MergeFrom(const LatencyHistogram& other) {
+    // mo: relaxed — aggregation tolerates in-flight samples; exact totals are
+    // only asserted after joining.
+    for (int i = 0; i < kBuckets; ++i) {
+      counts_[i] += other.BucketCount(i);
+    }
+    sum_ += other.Sum();
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_OBS_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,44 @@
+// Name tables for the observability enums. Indexed arrays with
+// static_asserts so adding an enumerator without a name is a compile error —
+// the same desync guard stats.cc now uses for CounterName.
+#include "src/obs/abort_attribution.h"
+#include "src/obs/trace_ring.h"
+
+#include <iterator>
+
+namespace tcs {
+
+namespace {
+
+constexpr const char* kTraceEventNames[] = {
+    "tx_begin",       "tx_commit", "tx_abort",     "deschedule",
+    "sleep",          "wakeup",    "wake_batch",   "timestamp_extension",
+    "htm_fallback",   "orelse_fallback",
+};
+static_assert(std::size(kTraceEventNames) ==
+                  static_cast<std::size_t>(TraceEvent::kNumEvents),
+              "kTraceEventNames out of sync with TraceEvent");
+
+constexpr const char* kAbortCauseNames[] = {
+    "read_validation", "encounter_acquisition", "commit_validation",
+    "lock_collision",  "htm_capacity",          "htm_conflict",
+    "htm_explicit",    "orelse_abandon",        "retry_setup",
+    "explicit",
+};
+static_assert(std::size(kAbortCauseNames) ==
+                  static_cast<std::size_t>(AbortCause::kNumCauses),
+              "kAbortCauseNames out of sync with AbortCause");
+
+}  // namespace
+
+const char* TraceEventName(TraceEvent ev) {
+  auto i = static_cast<std::size_t>(ev);
+  return i < std::size(kTraceEventNames) ? kTraceEventNames[i] : "unknown";
+}
+
+const char* AbortCauseName(AbortCause cause) {
+  auto i = static_cast<std::size_t>(cause);
+  return i < std::size(kAbortCauseNames) ? kAbortCauseNames[i] : "unknown";
+}
+
+}  // namespace tcs

@@ -1,0 +1,37 @@
+// TCS_TRACE_EVENT — the compile- and runtime-gated tracing hook.
+//
+// With the TCS_TRACING CMake option OFF (the default) the macro expands to
+// nothing: zero code, zero branches, zero timestamp reads on any hot path.
+// With TCS_TRACING=ON the hook still costs only a single predictable branch
+// per site unless the ring was Init()ed (TmConfig::tracing = true at thread
+// registration), in which case it takes a steady_clock read and a ring store.
+//
+// `d` is a TxDesc& (anything with `.obs` and `.stats`), `ev` a TraceEvent,
+// `a` the event-specific argument.
+#ifndef TCS_OBS_TRACE_H_
+#define TCS_OBS_TRACE_H_
+
+#include "src/obs/thread_obs.h"
+
+#if TCS_TRACING
+
+#include "src/common/stats.h"
+
+#define TCS_TRACE_EVENT(d, ev, a)                                     \
+  do {                                                                \
+    if ((d).obs.ring.enabled()) {                                     \
+      if ((d).obs.ring.Record((ev), ::tcs::ObsNowNs(),                \
+                              static_cast<std::uint64_t>(a))) {       \
+        (d).stats.Bump(::tcs::Counter::kTraceDrops);                  \
+      }                                                               \
+      (d).stats.Bump(::tcs::Counter::kTraceEvents);                   \
+    }                                                                 \
+  } while (0)
+
+#else  // !TCS_TRACING
+
+#define TCS_TRACE_EVENT(d, ev, a) ((void)0)
+
+#endif  // TCS_TRACING
+
+#endif  // TCS_OBS_TRACE_H_

@@ -1,0 +1,143 @@
+#include "src/obs/trace_dump.h"
+
+#include <cstdint>
+
+#include "src/common/json_writer.h"
+#include "src/obs/abort_attribution.h"
+
+namespace tcs {
+
+namespace {
+
+constexpr int kTracePid = 1;  // single-process runtime; one pid lane
+
+double ToMicros(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void EmitInstant(JsonWriter& w, int tid, const TraceRecord& r) {
+  w.BeginObject();
+  w.Key("name").String(TraceEventName(r.type));
+  w.Key("ph").String("i");
+  w.Key("ts").Double(ToMicros(r.ts_ns));
+  w.Key("pid").Int(kTracePid);
+  w.Key("tid").Int(tid);
+  w.Key("s").String("t");  // thread-scoped instant
+  w.Key("args").BeginObject();
+  switch (r.type) {
+    case TraceEvent::kTxAbort:
+      w.Key("cause").String(AbortCauseName(static_cast<AbortCause>(r.arg)));
+      break;
+    case TraceEvent::kWakeBatch:
+      w.Key("claims").U64(r.arg);
+      break;
+    case TraceEvent::kHtmFallback:
+    case TraceEvent::kTimestampExtension:
+    case TraceEvent::kOrElseFallback:
+    case TraceEvent::kTxBegin:
+    case TraceEvent::kTxCommit:
+    case TraceEvent::kDeschedule:
+    case TraceEvent::kSleep:
+    case TraceEvent::kWakeup:
+    default:
+      w.Key("arg").U64(r.arg);
+      break;
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void EmitSpan(JsonWriter& w, int tid, const char* name, std::uint64_t begin_ns,
+              std::uint64_t end_ns) {
+  if (end_ns < begin_ns) {
+    return;  // ring wrapped mid-pair; drop the malformed span
+  }
+  w.BeginObject();
+  w.Key("name").String(name);
+  w.Key("ph").String("X");
+  w.Key("ts").Double(ToMicros(begin_ns));
+  w.Key("dur").Double(ToMicros(end_ns - begin_ns));
+  w.Key("pid").Int(kTracePid);
+  w.Key("tid").Int(tid);
+  w.EndObject();
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<ThreadTrace>& threads,
+                      bool tracing_compiled) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+
+  std::uint64_t total_drops = 0;
+  std::uint64_t total_events = 0;
+  for (const ThreadTrace& t : threads) {
+    if (t.ring == nullptr) {
+      continue;
+    }
+    total_drops += t.ring->dropped();
+    total_events += t.ring->size();
+
+    // Thread name metadata so Perfetto labels the lanes.
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(kTracePid);
+    w.Key("tid").Int(t.tid);
+    w.Key("args").BeginObject();
+    w.Key("name").String("tm-thread-" + std::to_string(t.tid));
+    w.EndObject();
+    w.EndObject();
+
+    // Pass 1: every record as an instant, in ring (per-thread monotonic)
+    // order. Pass 2 state threaded inline: open-begin / open-sleep pairing
+    // for span synthesis.
+    std::uint64_t open_begin_ns = 0;
+    bool have_begin = false;
+    std::uint64_t open_sleep_ns = 0;
+    bool have_sleep = false;
+    t.ring->Visit([&](const TraceRecord& r) {
+      EmitInstant(w, t.tid, r);
+      switch (r.type) {
+        case TraceEvent::kTxBegin:
+          open_begin_ns = r.ts_ns;
+          have_begin = true;
+          break;
+        case TraceEvent::kTxCommit:
+          if (have_begin) {
+            EmitSpan(w, t.tid, "tx", open_begin_ns, r.ts_ns);
+            have_begin = false;
+          }
+          break;
+        case TraceEvent::kTxAbort:
+          if (have_begin) {
+            EmitSpan(w, t.tid, "tx_attempt", open_begin_ns, r.ts_ns);
+            have_begin = false;
+          }
+          break;
+        case TraceEvent::kSleep:
+          open_sleep_ns = r.ts_ns;
+          have_sleep = true;
+          break;
+        case TraceEvent::kWakeup:
+          if (have_sleep) {
+            EmitSpan(w, t.tid, "parked", open_sleep_ns, r.ts_ns);
+            have_sleep = false;
+          }
+          break;
+        default:
+          break;
+      }
+    });
+  }
+
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ns");
+  w.Key("tracing_compiled").Bool(tracing_compiled);
+  w.Key("trace_events").U64(total_events);
+  w.Key("trace_drops").U64(total_drops);
+  w.EndObject();
+  return w.WriteFile(path);
+}
+
+}  // namespace tcs

@@ -1,0 +1,37 @@
+// Chrome trace-event JSON export for the per-thread TraceRings.
+//
+// The output loads directly into chrome://tracing or https://ui.perfetto.dev:
+// every ring record becomes an instant ("ph":"i") event, and paired records
+// (tx_begin→tx_commit/tx_abort, sleep→wakeup) additionally become complete
+// ("ph":"X") span events so transaction attempts and parked intervals render
+// as bars on the timeline. Timestamps are steady-clock microseconds (the
+// trace-event `ts` unit); sub-microsecond precision survives as fractions.
+//
+// Callers must quiesce the traced threads before dumping (TraceRing is
+// single-writer; see trace_ring.h).
+#ifndef TCS_OBS_TRACE_DUMP_H_
+#define TCS_OBS_TRACE_DUMP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace_ring.h"
+
+namespace tcs {
+
+struct ThreadTrace {
+  int tid = 0;
+  const TraceRing* ring = nullptr;
+};
+
+// Writes the Chrome trace-event document to `path`. `tracing_compiled`
+// reports whether the build had TCS_TRACING on — emitted as a top-level key
+// so the CI schema check can tell "no events because hooks were compiled
+// out" from "no events because nothing ran". Returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<ThreadTrace>& threads,
+                      bool tracing_compiled);
+
+}  // namespace tcs
+
+#endif  // TCS_OBS_TRACE_DUMP_H_

@@ -1,0 +1,112 @@
+// Per-thread fixed-capacity binary ring buffer of timestamped lifecycle
+// events — the event-tracing half of the observability layer.
+//
+// Each TxDesc owns one TraceRing. Only the owning thread Records into it (the
+// same single-writer discipline TxStats uses), so writes are plain stores.
+// Dumps (TmSystem::DumpTrace) happen from a monitor thread; callers must
+// quiesce the traced threads first (join them, or stop issuing transactions)
+// — the dump is a post-mortem flight-recorder read, not a live stream.
+//
+// Capacity is fixed at Init() time; on overflow the ring overwrites the
+// oldest record and Record() reports it so the caller can bump a drop
+// counter. An un-Init()ed ring (tracing disabled at runtime) has
+// enabled() == false and the hooks skip it.
+#ifndef TCS_OBS_TRACE_RING_H_
+#define TCS_OBS_TRACE_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tcs {
+
+// Lifecycle event types. Names live in kTraceEventNames (obs.cc) — keep the
+// two in sync; a static_assert there pins the count.
+enum class TraceEvent : std::uint8_t {
+  kTxBegin = 0,
+  kTxCommit,
+  kTxAbort,
+  kDeschedule,
+  kSleep,
+  kWakeup,
+  kWakeBatch,
+  kTimestampExtension,
+  kHtmFallback,
+  kOrElseFallback,
+  kNumEvents,
+};
+
+inline constexpr int kNumTraceEvents = static_cast<int>(TraceEvent::kNumEvents);
+
+const char* TraceEventName(TraceEvent ev);
+
+struct TraceRecord {
+  std::uint64_t ts_ns;  // steady-clock nanoseconds (ObsNowNs)
+  std::uint64_t arg;    // event-specific: abort cause, orec index, batch size…
+  TraceEvent type;
+};
+
+class TraceRing {
+ public:
+  // Allocates the buffer; a ring is inert (enabled() == false, Record is a
+  // no-op) until Init is called. Called once, before the owning thread
+  // records — from RegisterThread, which the owner itself runs.
+  void Init(std::size_t capacity) {
+    if (capacity == 0) {
+      return;
+    }
+    buf_.resize(capacity);
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  bool enabled() const { return !buf_.empty(); }
+
+  // Appends a record, overwriting the oldest on overflow. Returns true when
+  // an old record was dropped. Owner-thread only.
+  bool Record(TraceEvent type, std::uint64_t ts_ns, std::uint64_t arg = 0) {
+    if (buf_.empty()) {
+      return false;
+    }
+    buf_[head_] = TraceRecord{ts_ns, arg, type};
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) {
+      ++size_;
+      return false;
+    }
+    ++dropped_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+  // Visits records oldest-first. Quiesced-owner only (see file comment).
+  template <typename Fn>
+  void Visit(Fn&& fn) const {
+    if (size_ == 0) {
+      return;
+    }
+    std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(buf_[(start + i) % buf_.size()]);
+    }
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<TraceRecord> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_OBS_TRACE_RING_H_

@@ -26,7 +26,7 @@ TmWord EagerStm::ReadWord(TxDesc& d, const TmWord* addr) {
       if (Orec::Owner(o1) == d.tid) {
         return val;
       }
-      AbortCurrent(d, Counter::kAborts);
+      AbortCurrent(d, Counter::kAborts, AbortCause::kLockCollision, &o);
     }
     // mo: acquire — re-check leg of the sample/read/re-check snapshot; pairs
     // with [orec-publish] so an o1==o2 match proves no release intervened.
@@ -37,7 +37,7 @@ TmWord EagerStm::ReadWord(TxDesc& d, const TmWord* addr) {
     }
     if (o1 != o2 || !cfg_.timestamp_extension ||
         !TryExtendTimestamp(d, ExtendSite::kValidation)) {
-      AbortCurrent(d, Counter::kAborts);
+      AbortCurrent(d, Counter::kAborts, AbortCause::kReadValidation, &o);
     }
     // Extended: retake the whole sample. Re-checking the pre-extension o1
     // against the new start would accept a value a writer overwrote between
@@ -55,7 +55,7 @@ void EagerStm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
     std::uint64_t w = o.word.load(std::memory_order_acquire);
     if (Orec::IsLocked(w)) {
       if (Orec::Owner(w) != d.tid) {
-        AbortCurrent(d, Counter::kAborts);
+        AbortCurrent(d, Counter::kAborts, AbortCause::kLockCollision, &o);
       }
       // A single lock can cover multiple locations, so the undo entry is
       // required even when the lock is already held (Algorithm 10's note).
@@ -71,7 +71,8 @@ void EagerStm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
       // does, then re-sample the orec under the extended start.
       if (!cfg_.timestamp_extension ||
           !TryExtendTimestamp(d, ExtendSite::kEncounterAcquisition)) {
-        AbortCurrent(d, Counter::kAborts);
+        AbortCurrent(d, Counter::kAborts, AbortCause::kEncounterAcquisition,
+                     &o);
       }
       continue;
     }
@@ -109,10 +110,10 @@ bool EagerStm::CommitTx(TxDesc& d) {
       std::uint64_t w = o->word.load(std::memory_order_acquire);
       if (Orec::IsLocked(w)) {
         if (Orec::Owner(w) != d.tid) {
-          AbortCurrent(d, Counter::kAborts);
+          AbortCurrent(d, Counter::kAborts, AbortCause::kLockCollision, o);
         }
       } else if (Orec::Version(w) > d.start) {
-        AbortCurrent(d, Counter::kAborts);
+        AbortCurrent(d, Counter::kAborts, AbortCause::kCommitValidation, o);
       }
     }
   }
@@ -205,7 +206,7 @@ void EagerStm::PartialRollback(TxDesc& d, const TxSavepoint& sp) {
   TCS_PROTO(proto_->OnClockObserved(d.tid, bumped));
   if (!TryExtendTimestamp(d, ExtendSite::kOrecRelease, released.data(),
                           released.size())) {
-    AbortCurrent(d, Counter::kAborts);
+    AbortCurrent(d, Counter::kAborts, AbortCause::kOrElseAbandon);
   }
 }
 

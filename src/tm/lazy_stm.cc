@@ -25,7 +25,7 @@ TmWord LazyStm::ReadWord(TxDesc& d, const TmWord* addr) {
     std::uint64_t o1 = o.word.load(std::memory_order_acquire);
     if (Orec::IsLocked(o1)) {
       // Locks are held only during a concurrent commit's write-back window.
-      AbortCurrent(d, Counter::kAborts);
+      AbortCurrent(d, Counter::kAborts, AbortCause::kLockCollision, &o);
     }
     v = LoadWordAcquire(addr);
     // mo: acquire — re-check leg of the sample/read/re-check snapshot; pairs
@@ -40,7 +40,7 @@ TmWord LazyStm::ReadWord(TxDesc& d, const TmWord* addr) {
     // (buffered writes need no special handling — the redo log is private).
     if (o1 != o2 || !cfg_.timestamp_extension ||
         !TryExtendTimestamp(d, ExtendSite::kValidation)) {
-      AbortCurrent(d, Counter::kAborts);
+      AbortCurrent(d, Counter::kAborts, AbortCause::kReadValidation, &o);
     }
     // Extended: retake the whole sample rather than re-checking the stale o1,
     // which could accept a value overwritten during the extension itself.
@@ -69,7 +69,7 @@ bool LazyStm::CommitTx(TxDesc& d) {
         if (Orec::Owner(w) == d.tid) {
           return;
         }
-        AbortCurrent(d, Counter::kAborts);
+        AbortCurrent(d, Counter::kAborts, AbortCause::kLockCollision, &o);
       }
       if (Orec::Version(w) > d.start) {
         // The location was committed past our start, but the buffered write
@@ -79,7 +79,8 @@ bool LazyStm::CommitTx(TxDesc& d) {
         // orec under the extended start.
         if (!cfg_.timestamp_extension ||
             !TryExtendTimestamp(d, ExtendSite::kCommitValidation)) {
-          AbortCurrent(d, Counter::kAborts);
+          AbortCurrent(d, Counter::kAborts, AbortCause::kCommitValidation,
+                       &o);
         }
         continue;
       }
@@ -114,7 +115,7 @@ bool LazyStm::CommitTx(TxDesc& d) {
         // been released at an old version by the time it re-samples.
         if (!cfg_.timestamp_extension ||
             !TryExtendTimestamp(d, ExtendSite::kCommitValidation)) {
-          AbortCurrent(d, Counter::kAborts);
+          AbortCurrent(d, Counter::kAborts, AbortCause::kLockCollision, o);
         }
         break;
       }
@@ -122,7 +123,7 @@ bool LazyStm::CommitTx(TxDesc& d) {
         // Unlocked and too new: genuinely overwritten since we read it. An
         // extension would re-check this very orec and fail (versions are
         // monotonic), so abort outright rather than pay a doomed rescan.
-        AbortCurrent(d, Counter::kAborts);
+        AbortCurrent(d, Counter::kAborts, AbortCause::kCommitValidation, o);
       }
     }
   }

@@ -3,6 +3,7 @@
 #include "src/tm/sim_htm.h"
 
 #include "src/common/cpu.h"
+#include "src/obs/trace.h"
 
 namespace tcs {
 
@@ -75,6 +76,7 @@ void SimHtm::MaybeHwPredTableDeschedule(TxDesc& d, WaitPredFn fn,
   d.htm_abort_code = code;
   d.stats.Bump(Counter::kHtmExplicitAborts);
   d.stats.Bump(Counter::kHtmPredTableFastPath);
+  d.obs.causes.Bump(AbortCause::kHtmExplicit);
   Rollback(d);
   d.nesting = 0;
   Deschedule(pred_table_[code].fn, pred_table_[code].args);
@@ -99,6 +101,7 @@ void SimHtm::EnterSerial(TxDesc& d) {
   }
   d.htm_serial = true;
   d.stats.Bump(Counter::kHtmFallbacks);
+  TCS_TRACE_EVENT(d, TraceEvent::kHtmFallback, 0);
 }
 
 void SimHtm::ExitSerial(TxDesc& d) {
@@ -136,13 +139,14 @@ void SimHtm::BeginTx(TxDesc& d) {
   quiesce_.SetActive(d.tid, d.start);
 }
 
-void SimHtm::HwAbort(TxDesc& d, Counter reason) {
+void SimHtm::HwAbort(TxDesc& d, Counter reason, AbortCause cause,
+                     const Orec* conflict) {
   d.htm_attempts++;
   if (reason == Counter::kHtmCapacityAborts) {
     // A capacity overflow will recur; go straight to the software fallback.
     d.htm_attempts = cfg_.htm_max_attempts;
   }
-  AbortCurrent(d, reason);
+  AbortCurrent(d, reason, cause, conflict);
 }
 
 TmWord SimHtm::ReadWord(TxDesc& d, const TmWord* addr) {
@@ -151,7 +155,7 @@ TmWord SimHtm::ReadWord(TxDesc& d, const TmWord* addr) {
     return LoadWordAcquire(addr);
   }
   if (SerialInterference(d)) {
-    HwAbort(d, Counter::kHtmConflictAborts);
+    HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict);
   }
   TmWord v;
   if (d.redo.Lookup(addr, &v)) {
@@ -169,19 +173,19 @@ TmWord SimHtm::ReadWord(TxDesc& d, const TmWord* addr) {
     // Requester loses: encountering another transaction's line aborts us, the
     // eager behavior that makes HTM abort on read-write conflicts lazy STM
     // tolerates (§2.4.1).
-    HwAbort(d, Counter::kHtmConflictAborts);
+    HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict, &line);
   }
   v = LoadWordAcquire(addr);
   // mo: acquire — re-check leg of the sample/read/re-check snapshot; pairs
   // with [orec-publish] so a w1==w2 match proves no release intervened.
   std::uint64_t w2 = line.word.load(std::memory_order_acquire);
   if (w1 != w2 || Orec::Version(w1) > d.start) {
-    HwAbort(d, Counter::kHtmConflictAborts);
+    HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict, &line);
   }
   if (d.reads.empty() || d.reads.back() != &line) {
     d.reads.push_back(&line);
     if (d.reads.size() > cfg_.htm_read_capacity_lines) {
-      HwAbort(d, Counter::kHtmCapacityAborts);
+      HwAbort(d, Counter::kHtmCapacityAborts, AbortCause::kHtmCapacity);
     }
   }
   return v;
@@ -194,7 +198,7 @@ void SimHtm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
     return;
   }
   if (SerialInterference(d)) {
-    HwAbort(d, Counter::kHtmConflictAborts);
+    HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict);
   }
   Orec& line = orecs_.For(addr);
   // mo: acquire — pairs with [orec-publish]; the CAS below must key on a line
@@ -202,7 +206,7 @@ void SimHtm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
   std::uint64_t w = line.word.load(std::memory_order_acquire);
   if (Orec::IsLocked(w)) {
     if (Orec::Owner(w) != d.tid) {
-      HwAbort(d, Counter::kHtmConflictAborts);
+      HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict, &line);
     }
   } else if (Orec::Version(w) > d.start ||
              // mo: acq_rel — the acquire leg pairs with the previous owner's
@@ -210,12 +214,12 @@ void SimHtm::WriteWord(TxDesc& d, TmWord* addr, TmWord val) {
              // locked word other threads' acquire samples key on.
              !line.word.compare_exchange_strong(w, Orec::MakeLocked(d.tid),
                                                 std::memory_order_acq_rel)) {
-    HwAbort(d, Counter::kHtmConflictAborts);
+    HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict, &line);
   } else {
     TCS_PROTO(proto_->OnOrecAcquire(&line, d.tid, Orec::Version(w)));
     d.locks.push_back({&line, Orec::Version(w)});
     if (d.locks.size() > cfg_.htm_write_capacity_lines) {
-      HwAbort(d, Counter::kHtmCapacityAborts);
+      HwAbort(d, Counter::kHtmCapacityAborts, AbortCause::kHtmCapacity);
     }
   }
   d.redo.Put(addr, val);
@@ -245,7 +249,7 @@ bool SimHtm::CommitTx(TxDesc& d) {
   // ordered against EnterSerial's token store and drain loop.
   committing_[d.tid].v.store(1, std::memory_order_seq_cst);
   if (SerialInterference(d)) {
-    HwAbort(d, Counter::kHtmConflictAborts);
+    HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict);
   }
   std::uint64_t end = clock_.Increment();
   TCS_PROTO(proto_->OnClockObserved(d.tid, end));
@@ -256,10 +260,12 @@ bool SimHtm::CommitTx(TxDesc& d) {
       std::uint64_t w = line->word.load(std::memory_order_acquire);
       if (Orec::IsLocked(w)) {
         if (Orec::Owner(w) != d.tid) {
-          HwAbort(d, Counter::kHtmConflictAborts);
+          HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict,
+                  line);
         }
       } else if (Orec::Version(w) > d.start) {
-        HwAbort(d, Counter::kHtmConflictAborts);
+        HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict,
+                line);
       }
     }
   }
@@ -386,7 +392,7 @@ void SimHtm::SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging) {
     d.retry_logging = true;
   }
   d.skip_backoff = true;
-  AbortCurrent(d, Counter::kHtmExplicitAborts);
+  AbortCurrent(d, Counter::kHtmExplicitAborts, AbortCause::kHtmExplicit);
 }
 
 }  // namespace tcs

@@ -80,7 +80,8 @@ class SimHtm final : public TmSystem {
     return serial_owner_.load(std::memory_order_seq_cst) != -1 ||
            serial_seq_.load(std::memory_order_seq_cst) != d.htm_serial_seq0;
   }
-  [[noreturn]] void HwAbort(TxDesc& d, Counter reason);
+  [[noreturn]] void HwAbort(TxDesc& d, Counter reason, AbortCause cause,
+                            const Orec* conflict = nullptr);
 
   // Serial-irrevocable mode token. Hardware transactions subscribe by checking it
   // on every access; `serial_seq_` catches transactions that were entirely passive

@@ -78,6 +78,20 @@ struct TmConfig {
   // disjoint waiters a commit pays ~3 wake checks, at 1024 it pays ~1 — for
   // ~64 bytes of bitmap per shard.
   int wake_index_shards = 1024;
+
+  // ---- Observability (src/obs/) ----
+  // Record lifecycle events into per-thread TraceRings. Only effective in
+  // builds with the TCS_TRACING CMake option ON (otherwise the hooks are
+  // compiled out entirely); checked at thread registration, so flip it
+  // before the worker threads first touch the domain.
+  bool tracing = false;
+  // TraceRing capacity in records per thread (each record is 24 bytes).
+  // On overflow the oldest record is overwritten and kTraceDrops bumped.
+  std::size_t trace_ring_capacity = std::size_t{1} << 14;
+  // Record commit/abort-to-commit/wait/wake latency histograms. Cheap (two
+  // steady_clock reads per committed transaction) but not free; benchmarks
+  // chasing peak throughput can turn it off.
+  bool latency_metrics = true;
 };
 
 }  // namespace tcs

@@ -2,9 +2,13 @@
 // loops here (tools/lint_tm_discipline.py); use TCS_CHECK on slow paths.
 #include "src/tm/tm_system.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "src/common/cpu.h"
+#include "src/common/json_writer.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_dump.h"
 #include "src/condsync/retry_orig.h"
 #include "src/condsync/tm_condvar.h"
 #include "src/condsync/waiter_registry.h"
@@ -117,6 +121,13 @@ TxDesc& TmSystem::RegisterThread() {
   TCS_CHECK_MSG(next_tid_ < cfg_.max_threads, "too many threads for this TM domain");
   int tid = next_tid_++;
   descs_[tid] = std::make_unique<TxDesc>(tid, uid_ * 0x9E3779B9ULL + tid);
+#if TCS_TRACING
+  if (cfg_.tracing) {
+    // The registering thread is the ring's single writer; Init here (before
+    // the thread's first transaction) keeps that discipline.
+    descs_[tid]->obs.ring.Init(cfg_.trace_ring_capacity);
+  }
+#endif
   return *descs_[tid];
 }
 
@@ -195,6 +206,13 @@ void TmSystem::Begin() {
     // occurrence bookkeeping resets.
     d.orelse_alts = 0;
     d.wait_keys_this_attempt.clear();
+    if (cfg_.latency_metrics) {
+      // Each attempt resets the clock: commit latency measures the attempt
+      // that succeeded. first_abort_ns (set in AbortCurrent) spans restarts
+      // and feeds abort_to_commit.
+      d.obs.tx_begin_ns = ObsNowNs();
+    }
+    TCS_TRACE_EVENT(d, TraceEvent::kTxBegin, 0);
   }
   BeginTx(d);
 }
@@ -212,6 +230,16 @@ void TmSystem::Commit() {
   std::vector<const Orec*> commit_orecs;
   std::vector<DeferredCvSignal> signals;
   if (!internal) {
+    TCS_TRACE_EVENT(d, TraceEvent::kTxCommit, 0);
+    if (cfg_.latency_metrics && d.obs.tx_begin_ns != 0) {
+      std::uint64_t now = ObsNowNs();
+      d.obs.commit_latency.Record(now - d.obs.tx_begin_ns);
+      if (d.obs.first_abort_ns != 0 && now >= d.obs.first_abort_ns) {
+        // First abort → eventual commit, parked time included: the price the
+        // caller actually paid for contention and waiting.
+        d.obs.abort_to_commit.Record(now - d.obs.first_abort_ns);
+      }
+    }
     commit_orecs.swap(d.commit_orecs);
     signals.swap(d.deferred_signals);
     ResetDescAfterTx(d);
@@ -268,14 +296,27 @@ void TmSystem::ResetDescAfterTx(TxDesc& d) {
   d.commit_orecs.clear();
   d.deferred_signals.clear();
   d.backoff.Reset();
+  d.obs.tx_begin_ns = 0;
+  d.obs.first_abort_ns = 0;
 }
 
-void TmSystem::AbortCurrent(TxDesc& d, Counter reason) {
+void TmSystem::AbortCurrent(TxDesc& d, Counter reason, AbortCause cause,
+                            const Orec* conflict) {
   Rollback(d);
   d.mem.OnAbort();
   // Signals deferred by this attempt die with it; a re-execution re-defers.
   d.deferred_signals.clear();
   d.stats.Bump(reason);
+  d.obs.causes.Bump(cause);
+  if (conflict != nullptr) {
+    d.obs.hot_orecs.Bump(orecs_.IndexOf(conflict));
+  }
+  if (cfg_.latency_metrics && !d.internal && d.obs.first_abort_ns == 0) {
+    d.obs.first_abort_ns = ObsNowNs();
+  }
+  if (!d.internal) {
+    TCS_TRACE_EVENT(d, TraceEvent::kTxAbort, static_cast<std::uint64_t>(cause));
+  }
   d.nesting = 0;
   throw TxRestart{};
 }
@@ -430,7 +471,14 @@ bool TmSystem::TryExtendTimestamp(TxDesc& d, ExtendSite site,
   d.start = now;
   quiesce_.SetActive(d.tid, now);
   d.stats.Bump(Counter::kTimestampExtensions);
+  TCS_TRACE_EVENT(d, TraceEvent::kTimestampExtension, now);
   return true;
+}
+
+void TmSystem::OnOrElseFallback() {
+  TxDesc& d = Desc();
+  d.stats.Bump(Counter::kOrElseFallbacks);
+  TCS_TRACE_EVENT(d, TraceEvent::kOrElseFallback, 0);
 }
 
 void TmSystem::Retry() {
@@ -444,7 +492,7 @@ void TmSystem::Retry() {
     // ⟨addr, value⟩ pair on every read, making the waitset expressible.
     d.retry_logging = true;
     d.skip_backoff = true;
-    AbortCurrent(d, Counter::kRetryRestarts);
+    AbortCurrent(d, Counter::kRetryRestarts, AbortCause::kRetrySetup);
   }
   WaitArgs args;
   args.v[0] = reinterpret_cast<TmWord>(&d.waitset);
@@ -517,7 +565,7 @@ WaitResult TmSystem::RetryFor(std::chrono::nanoseconds timeout,
     // logging pass, once the addresses identifying this wait are known.
     d.retry_logging = true;
     d.skip_backoff = true;
-    AbortCurrent(d, Counter::kRetryRestarts);
+    AbortCurrent(d, Counter::kRetryRestarts, AbortCause::kRetrySetup);
   }
   // Fold the waitset's addresses into the call-site key: a false-wakeup replay
   // of the same wait re-reads the same locations (deterministic body, so the
@@ -667,6 +715,7 @@ void TmSystem::RetryOrig() {
   d.mem.OnAbort();
   d.deferred_signals.clear();
   d.nesting = 0;
+  d.obs.causes.Bump(AbortCause::kRetrySetup);
   retry_orig_->WaitForOverlap(d, std::move(read_orecs), start, released);
   d.skip_backoff = true;
   throw TxRestart{};
@@ -683,6 +732,7 @@ void TmSystem::RestartNow() {
   d.mem.OnAbort();
   d.deferred_signals.clear();
   d.stats.Bump(Counter::kExplicitRestarts);
+  d.obs.causes.Bump(AbortCause::kExplicit);
   d.nesting = 0;
   CpuYield();
   throw TxRestart{};
@@ -727,8 +777,119 @@ void TmSystem::ResetStats() {
   for (const auto& d : descs_) {
     if (d != nullptr) {
       d->stats.Reset();
+      // Trial reset covers the derived metrics too; TraceRings deliberately
+      // survive (cumulative flight recorder, single-writer — see ThreadObs).
+      d->obs.ResetMetrics();
     }
   }
+}
+
+TmSystem::ObsSnapshot TmSystem::SnapshotObs(std::size_t top_n_orecs) const {
+  SpinLockGuard g(registration_lock_);
+  ObsSnapshot snap;
+  // Hot-orec tallies are merged across threads by orec index before ranking.
+  std::vector<std::pair<std::size_t, std::uint64_t>> orec_counts;
+  for (const auto& d : descs_) {
+    if (d == nullptr) {
+      continue;
+    }
+    snap.stats.MergeFrom(d->stats);
+    for (int i = 0; i < kNumAbortCauses; ++i) {
+      snap.abort_causes[i] += d->obs.causes.Get(static_cast<AbortCause>(i));
+    }
+    snap.commit_latency.MergeFrom(d->obs.commit_latency);
+    snap.abort_to_commit.MergeFrom(d->obs.abort_to_commit);
+    snap.wait_duration.MergeFrom(d->obs.wait_duration);
+    snap.wake_latency.MergeFrom(d->obs.wake_latency);
+    snap.hot_orec_overflow += d->obs.hot_orecs.Overflow();
+    d->obs.hot_orecs.Visit([&](std::size_t idx, std::uint64_t count) {
+      for (auto& [i, c] : orec_counts) {
+        if (i == idx) {
+          c += count;
+          return;
+        }
+      }
+      orec_counts.emplace_back(idx, count);
+    });
+  }
+  std::sort(orec_counts.begin(), orec_counts.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (orec_counts.size() > top_n_orecs) {
+    orec_counts.resize(top_n_orecs);
+  }
+  snap.hot_orecs.reserve(orec_counts.size());
+  for (const auto& [idx, count] : orec_counts) {
+    snap.hot_orecs.push_back({idx, count});
+  }
+  return snap;
+}
+
+namespace {
+
+void EmitHistogram(JsonWriter& w, const char* name,
+                   const LatencyHistogram& h) {
+  w.Key(name).BeginObject();
+  w.Key("count").U64(h.Count());
+  w.Key("mean_ns").Double(h.Mean());
+  w.Key("p50_ns").U64(h.Percentile(50));
+  w.Key("p99_ns").U64(h.Percentile(99));
+  w.Key("p999_ns").U64(h.Percentile(99.9));
+  w.EndObject();
+}
+
+}  // namespace
+
+void TmSystem::SnapshotMetrics(JsonWriter& w, std::size_t top_n_orecs) const {
+  ObsSnapshot snap = SnapshotObs(top_n_orecs);
+  w.BeginObject();
+  w.Key("backend").String(BackendName(cfg_.backend));
+  w.Key("counters").BeginObject();
+  for (int i = 0; i < kNumCounters; ++i) {
+    auto c = static_cast<Counter>(i);
+    w.Key(std::string(CounterName(c))).U64(snap.stats.Get(c));
+  }
+  w.EndObject();
+  w.Key("abort_causes").BeginObject();
+  for (int i = 0; i < kNumAbortCauses; ++i) {
+    w.Key(AbortCauseName(static_cast<AbortCause>(i)))
+        .U64(snap.abort_causes[i]);
+  }
+  w.EndObject();
+  w.Key("hot_orecs").BeginArray();
+  for (const ObsSnapshot::HotOrec& h : snap.hot_orecs) {
+    w.BeginObject();
+    w.Key("orec_index").U64(h.orec_index);
+    w.Key("aborts").U64(h.aborts);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("hot_orec_overflow").U64(snap.hot_orec_overflow);
+  w.Key("latency_ns").BeginObject();
+  EmitHistogram(w, "commit", snap.commit_latency);
+  EmitHistogram(w, "abort_to_commit", snap.abort_to_commit);
+  EmitHistogram(w, "wait_duration", snap.wait_duration);
+  EmitHistogram(w, "wake_latency", snap.wake_latency);
+  w.EndObject();
+  w.EndObject();
+}
+
+bool TmSystem::DumpTrace(const std::string& path) const {
+  std::vector<ThreadTrace> threads;
+  {
+    SpinLockGuard g(registration_lock_);
+    threads.reserve(descs_.size());
+    for (const auto& d : descs_) {
+      if (d != nullptr) {
+        threads.push_back({d->tid, &d->obs.ring});
+      }
+    }
+  }
+#if TCS_TRACING
+  constexpr bool kCompiled = true;
+#else
+  constexpr bool kCompiled = false;
+#endif
+  return WriteChromeTrace(path, threads, kCompiled);
 }
 
 }  // namespace tcs

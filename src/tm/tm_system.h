@@ -20,9 +20,13 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "src/common/assert.h"
 #include "src/common/spin_lock.h"
 #include "src/common/stats.h"
+#include "src/obs/abort_attribution.h"
+#include "src/obs/latency_histogram.h"
 #include "src/tm/orec_table.h"
 #include "src/tm/protocol_checker.h"
 #include "src/tm/quiesce.h"
@@ -123,7 +127,7 @@ class TmSystem {
   void EnterOrElse();
   void ExitOrElse();
   bool OrElseAltPending() { return Desc().orelse_alts > 0; }
-  void OnOrElseFallback() { Desc().stats.Bump(Counter::kOrElseFallbacks); }
+  void OnOrElseFallback();
 
   // TMCondVar support: commits the in-flight transaction at a wait point (this is
   // the atomicity break of transactional condition variables) and queues `sig` to
@@ -192,6 +196,35 @@ class TmSystem {
   TxStats AggregateStats() const;
   void ResetStats();
 
+  // --- observability (src/obs/) ---
+  // Merged view of the per-thread obs tables: abort causes, the four latency
+  // histograms, and the hot-orec contention leaderboard (top N by abort
+  // count, descending).
+  struct ObsSnapshot {
+    TxStats stats;
+    std::array<std::uint64_t, kNumAbortCauses> abort_causes{};
+    LatencyHistogram commit_latency;
+    LatencyHistogram abort_to_commit;
+    LatencyHistogram wait_duration;
+    LatencyHistogram wake_latency;
+    struct HotOrec {
+      std::size_t orec_index;
+      std::uint64_t aborts;
+    };
+    std::vector<HotOrec> hot_orecs;
+    std::uint64_t hot_orec_overflow = 0;
+  };
+  ObsSnapshot SnapshotObs(std::size_t top_n_orecs = 16) const;
+  // Appends the snapshot as one JSON object (backend, counters, abort-cause
+  // table, hot orecs, p50/p99/p999/mean per latency metric) to `w`, which
+  // must be positioned where a value is expected.
+  void SnapshotMetrics(class JsonWriter& w, std::size_t top_n_orecs = 16) const;
+  // Writes every thread's TraceRing as Chrome trace-event JSON (Perfetto-
+  // loadable). Compiled in all builds — without the TCS_TRACING option the
+  // document is valid but empty, with "tracing_compiled": false so tools can
+  // tell the difference. Quiesce the traced threads first (see trace_ring.h).
+  bool DumpTrace(const std::string& path) const;
+
  protected:
   explicit TmSystem(const TmConfig& config);
 
@@ -232,7 +265,12 @@ class TmSystem {
   [[noreturn]] virtual void SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging);
 
   // Shared abort path: rollback + allocation cleanup + restart exception.
-  [[noreturn]] void AbortCurrent(TxDesc& d, Counter reason);
+  // `cause` attributes the abort for the per-thread cause table; `conflict`
+  // (when the aborting site knows it) names the orec the transaction lost
+  // on, feeding the hot-orec contention table.
+  [[noreturn]] void AbortCurrent(TxDesc& d, Counter reason,
+                                 AbortCause cause = AbortCause::kExplicit,
+                                 const Orec* conflict = nullptr);
 
   // --- unified timestamp extension (Riegel et al. [22]) ---
   // Where an extension attempt originates, for the per-site stats counters:

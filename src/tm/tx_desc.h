@@ -16,6 +16,7 @@
 #include "src/common/backoff.h"
 #include "src/common/semaphore.h"
 #include "src/common/stats.h"
+#include "src/obs/thread_obs.h"
 #include "src/tm/orec_table.h"
 #include "src/tm/redo_log.h"
 #include "src/tm/tx_malloc.h"
@@ -165,6 +166,10 @@ struct TxDesc {
   bool skip_backoff = false;
 
   TxStats stats;
+
+  // Observability: abort attribution, latency histograms, trace ring
+  // (src/obs/thread_obs.h). Same concurrency contract as `stats`.
+  ThreadObs obs;
 };
 
 }  // namespace tcs

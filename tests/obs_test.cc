@@ -1,0 +1,497 @@
+// Observability layer (src/obs/): trace-ring wraparound and drop accounting,
+// histogram bucket math and percentile extraction against known inputs,
+// abort-cause attribution seeded deterministically per backend, hot-orec
+// contention tables, wake-latency sanity, and DumpTrace structure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/core/transaction.h"
+#include "src/obs/abort_attribution.h"
+#include "src/obs/latency_histogram.h"
+#include "src/obs/trace_ring.h"
+
+namespace tcs {
+namespace {
+
+std::uint64_t Cause(const TmSystem::ObsSnapshot& s, AbortCause c) {
+  return s.abort_causes[static_cast<int>(c)];
+}
+
+// --- TraceRing ---------------------------------------------------------------
+
+TEST(TraceRingTest, UninitializedRingIsInert) {
+  TraceRing ring;
+  EXPECT_FALSE(ring.enabled());
+  EXPECT_FALSE(ring.Record(TraceEvent::kTxBegin, 1));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(TraceRingTest, RecordsInOrderBelowCapacity) {
+  TraceRing ring;
+  ring.Init(8);
+  ASSERT_TRUE(ring.enabled());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(ring.Record(TraceEvent::kTxCommit, 100 + i, i));
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<std::uint64_t> ts;
+  ring.Visit([&](const TraceRecord& r) { ts.push_back(r.ts_ns); });
+  ASSERT_EQ(ts.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ts[i], 100 + i);
+  }
+}
+
+TEST(TraceRingTest, WraparoundDropsOldestAndCounts) {
+  TraceRing ring;
+  ring.Init(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(ring.Record(TraceEvent::kTxBegin, i));
+  }
+  // Records 4..6 overwrite 0..2; each overwrite is reported.
+  for (std::uint64_t i = 4; i < 7; ++i) {
+    EXPECT_TRUE(ring.Record(TraceEvent::kTxBegin, i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 3u);
+  std::vector<std::uint64_t> ts;
+  ring.Visit([&](const TraceRecord& r) { ts.push_back(r.ts_ns); });
+  ASSERT_EQ(ts.size(), 4u);
+  // Oldest-first view: the survivors are 3,4,5,6.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ts[i], 3 + i);
+  }
+}
+
+TEST(TraceRingTest, ClearEmptiesButKeepsCapacity) {
+  TraceRing ring;
+  ring.Init(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.Record(TraceEvent::kSleep, i);
+  }
+  ring.Clear();
+  EXPECT_TRUE(ring.enabled());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  int visited = 0;
+  ring.Visit([&](const TraceRecord&) { ++visited; });
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(TraceRingTest, EventNamesCoverAllTypes) {
+  for (int i = 0; i < kNumTraceEvents; ++i) {
+    const char* name = TraceEventName(static_cast<TraceEvent>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+// --- LatencyHistogram --------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 0);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 1);
+  EXPECT_EQ(LatencyHistogram::BucketOf(3), 1);
+  EXPECT_EQ(LatencyHistogram::BucketOf(4), 2);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1023), 9);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1024), 10);
+  EXPECT_EQ(LatencyHistogram::BucketOf(~std::uint64_t{0}), 63);
+  // A sample always lands strictly below its bucket's upper bound.
+  for (std::uint64_t ns : {std::uint64_t{0}, std::uint64_t{1},
+                           std::uint64_t{7}, std::uint64_t{4096},
+                           std::uint64_t{50'000'000}}) {
+    int b = LatencyHistogram::BucketOf(ns);
+    EXPECT_LT(ns, LatencyHistogram::BucketHigh(b)) << ns;
+  }
+}
+
+TEST(LatencyHistogramTest, RecordAndCounts) {
+  LatencyHistogram h;
+  h.Record(1);
+  h.Record(10);
+  h.Record(10);
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 1021u);
+  EXPECT_EQ(h.BucketCount(LatencyHistogram::BucketOf(1)), 1u);
+  EXPECT_EQ(h.BucketCount(LatencyHistogram::BucketOf(10)), 2u);
+  EXPECT_EQ(h.BucketCount(LatencyHistogram::BucketOf(1000)), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1021.0 / 4.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAgainstKnownInputs) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(50), 0u);  // empty
+  // 100 samples of 10ns and one outlier of 1s.
+  for (int i = 0; i < 100; ++i) {
+    h.Record(10);
+  }
+  h.Record(1'000'000'000);
+  // 10 lives in bucket 3 = [8, 16); p50 and p99 (ranks 51 and 100 of 101)
+  // both land there, so the reported value is the bucket's upper bound.
+  EXPECT_EQ(h.Percentile(50), 16u);
+  EXPECT_EQ(h.Percentile(99), 16u);
+  // p99.9 (rank 101) is the outlier: bucket 29 = [2^29, 2^30).
+  EXPECT_EQ(h.Percentile(99.9), std::uint64_t{1} << 30);
+  EXPECT_EQ(h.Percentile(100), std::uint64_t{1} << 30);
+}
+
+TEST(LatencyHistogramTest, ResetAndMerge) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(5);
+  b.Record(500);
+  b.Record(500);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_EQ(a.Sum(), 1005u);
+  a.Reset();
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.Sum(), 0u);
+  EXPECT_EQ(a.Percentile(99), 0u);
+}
+
+// --- AbortCauseTable / HotOrecTable -----------------------------------------
+
+TEST(AbortAttributionTest, CauseTableTallies) {
+  AbortCauseTable t;
+  t.Bump(AbortCause::kLockCollision);
+  t.Bump(AbortCause::kLockCollision);
+  t.Bump(AbortCause::kExplicit);
+  EXPECT_EQ(t.Get(AbortCause::kLockCollision), 2u);
+  EXPECT_EQ(t.Get(AbortCause::kExplicit), 1u);
+  EXPECT_EQ(t.Get(AbortCause::kHtmCapacity), 0u);
+  t.Reset();
+  EXPECT_EQ(t.Get(AbortCause::kLockCollision), 0u);
+}
+
+TEST(AbortAttributionTest, CauseNamesCoverAllCauses) {
+  for (int i = 0; i < kNumAbortCauses; ++i) {
+    const char* name = AbortCauseName(static_cast<AbortCause>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+TEST(AbortAttributionTest, HotOrecTableClaimsAndOverflows) {
+  HotOrecTable t;
+  t.Bump(7);
+  t.Bump(7);
+  t.Bump(0);  // index 0 must be representable (keys are stored +1)
+  int visited = 0;
+  std::uint64_t count7 = 0;
+  std::uint64_t count0 = 0;
+  t.Visit([&](std::size_t idx, std::uint64_t n) {
+    ++visited;
+    if (idx == 7) {
+      count7 = n;
+    }
+    if (idx == 0) {
+      count0 = n;
+    }
+  });
+  EXPECT_EQ(visited, 2);
+  EXPECT_EQ(count7, 2u);
+  EXPECT_EQ(count0, 1u);
+  EXPECT_EQ(t.Overflow(), 0u);
+  // Fill every slot with distinct indices; the next new index overflows.
+  for (std::size_t i = 100; i < 100 + HotOrecTable::kSlots; ++i) {
+    t.Bump(i);
+  }
+  t.Bump(9999);
+  EXPECT_GT(t.Overflow(), 0u);
+  t.Reset();
+  EXPECT_EQ(t.Overflow(), 0u);
+  visited = 0;
+  t.Visit([&](std::size_t, std::uint64_t) { ++visited; });
+  EXPECT_EQ(visited, 0);
+}
+
+// --- Seeded abort attribution per backend -----------------------------------
+
+TmConfig ObsConfig(Backend b) {
+  TmConfig cfg;
+  cfg.backend = b;
+  cfg.orec_table_log2 = 12;
+  cfg.max_threads = 8;
+  return cfg;
+}
+
+class ObsBackendTest : public ::testing::TestWithParam<Backend> {};
+
+// RestartNow is attributed as an explicit abort on every backend.
+TEST_P(ObsBackendTest, ExplicitRestartAttributed) {
+  Runtime rt(ObsConfig(GetParam()));
+  std::uint64_t x = 0;
+  bool restarted = false;
+  Atomically(rt.sys(), [&](Tx& tx) {
+    tx.Store(x, std::uint64_t{1});
+    if (!restarted) {
+      restarted = true;
+      tx.RestartNow();
+    }
+  });
+  TmSystem::ObsSnapshot s = rt.sys().SnapshotObs();
+  EXPECT_GE(Cause(s, AbortCause::kExplicit), 1u);
+}
+
+// Eager STM: thread A holds x's orec mid-transaction (encounter-time
+// locking), so B's write collides and is attributed to the lock holder's
+// orec. The handshake makes the collision deterministic: A won't commit
+// until B has aborted at least once.
+TEST(ObsSeededTest, EagerLockCollisionAttributed) {
+  Runtime rt(ObsConfig(Backend::kEagerStm));
+  std::uint64_t x = 0;
+  std::atomic<bool> a_holding{false};
+  std::atomic<bool> b_aborted{false};
+
+  std::thread a([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.Store(x, std::uint64_t{1});  // acquires x's orec in place
+      a_holding.store(true);
+      while (!b_aborted.load()) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  std::thread b([&] {
+    int attempts = 0;
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (++attempts == 1) {
+        while (!a_holding.load()) {
+          std::this_thread::yield();
+        }
+      } else {
+        b_aborted.store(true);  // lets A commit and release the orec
+      }
+      tx.Store(x, std::uint64_t{2});
+    });
+  });
+  a.join();
+  b.join();
+
+  TmSystem::ObsSnapshot s = rt.sys().SnapshotObs();
+  EXPECT_GE(Cause(s, AbortCause::kLockCollision), 1u);
+  EXPECT_FALSE(s.hot_orecs.empty());
+  EXPECT_GE(s.hot_orecs[0].aborts, 1u);
+}
+
+// Lazy STM: A reads x and writes y; B commits a new version of x while A is
+// parked mid-transaction. A's commit-time revalidation of x then fails and
+// is attributed to x's orec.
+//
+// A waits for B's *write-back* (a raw relaxed peek at x), not for B's
+// Atomically to return: B's post-commit quiescence fence blocks until A's
+// doomed attempt aborts, so any signal sent after B's commit call returns
+// would deadlock against it. The write-back lands before the fence.
+TEST(ObsSeededTest, LazyCommitValidationAttributed) {
+  Runtime rt(ObsConfig(Backend::kLazyStm));
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  std::atomic<bool> a_read{false};
+
+  std::thread a([&] {
+    int attempts = 0;
+    Atomically(rt.sys(), [&](Tx& tx) {
+      std::uint64_t v = tx.Load(x);
+      tx.Store(y, v + 1);
+      if (++attempts == 1) {
+        a_read.store(true);
+        while (std::atomic_ref<const std::uint64_t>(x).load(
+                   std::memory_order_relaxed) != 41) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  });
+  std::thread b([&] {
+    while (!a_read.load()) {
+      std::this_thread::yield();
+    }
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(x, std::uint64_t{41}); });
+  });
+  a.join();
+  b.join();
+
+  TmSystem::ObsSnapshot s = rt.sys().SnapshotObs();
+  EXPECT_GE(Cause(s, AbortCause::kCommitValidation) +
+                Cause(s, AbortCause::kReadValidation),
+            1u);
+  EXPECT_FALSE(s.hot_orecs.empty());
+  EXPECT_EQ(y, 42u);
+}
+
+// Simulated HTM: B writes a line A holds in its hardware write footprint —
+// requester loses, attributed as an HTM conflict on that line's orec.
+TEST(ObsSeededTest, HtmConflictAttributed) {
+  Runtime rt(ObsConfig(Backend::kSimHtm));
+  std::uint64_t x = 0;
+  std::atomic<bool> a_holding{false};
+  std::atomic<bool> b_aborted{false};
+
+  std::thread a([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      tx.Store(x, std::uint64_t{1});  // locks x's line in the sim footprint
+      a_holding.store(true);
+      while (!b_aborted.load()) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  std::thread b([&] {
+    int attempts = 0;
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (++attempts == 1) {
+        while (!a_holding.load()) {
+          std::this_thread::yield();
+        }
+      } else {
+        b_aborted.store(true);
+      }
+      tx.Store(x, std::uint64_t{2});
+    });
+  });
+  a.join();
+  b.join();
+
+  TmSystem::ObsSnapshot s = rt.sys().SnapshotObs();
+  EXPECT_GE(Cause(s, AbortCause::kHtmConflict), 1u);
+  EXPECT_FALSE(s.hot_orecs.empty());
+}
+
+// Simulated HTM: a write set wider than htm_write_capacity_lines overflows
+// the hardware buffer; the transaction still commits via the serial software
+// fallback, and the overflow is attributed as a capacity abort.
+TEST(ObsSeededTest, HtmCapacityAttributed) {
+  TmConfig cfg = ObsConfig(Backend::kSimHtm);
+  cfg.htm_write_capacity_lines = 4;
+  Runtime rt(cfg);
+
+  struct PaddedWord {
+    alignas(64) std::uint64_t v = 0;
+  };
+  std::vector<PaddedWord> cells(16);
+  Atomically(rt.sys(), [&](Tx& tx) {
+    for (PaddedWord& c : cells) {
+      tx.Store(c.v, std::uint64_t{1});
+    }
+  });
+  for (const PaddedWord& c : cells) {
+    EXPECT_EQ(c.v, 1u);
+  }
+
+  TmSystem::ObsSnapshot s = rt.sys().SnapshotObs();
+  EXPECT_GE(Cause(s, AbortCause::kHtmCapacity), 1u);
+  EXPECT_GE(s.stats.Get(Counter::kHtmFallbacks), 1u);
+}
+
+// --- Wait / wake latency -----------------------------------------------------
+
+// A waiter parks on Retry; the signaler deliberately sleeps ~50ms after
+// observing the park before writing. The recorded wait duration must cover
+// at least that injected delay, and the wake-latency histogram (post →
+// resume) must have captured the hand-off.
+TEST_P(ObsBackendTest, WaitAndWakeLatencyRecorded) {
+  Runtime rt(ObsConfig(GetParam()));
+  std::uint64_t flag = 0;
+
+  std::thread waiter([&] {
+    Atomically(rt.sys(), [&](Tx& tx) {
+      if (tx.Load(flag) == 0) {
+        tx.Retry();
+      }
+    });
+  });
+
+  // Only start the injected delay once the waiter has actually gone to
+  // sleep — kSleeps is bumped at the sleep site, after the wait-duration
+  // clock starts, so from here on every elapsed nanosecond is covered.
+  while (rt.AggregateStats().Get(Counter::kSleeps) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  constexpr auto kDelay = std::chrono::milliseconds(50);
+  std::this_thread::sleep_for(kDelay);
+  Atomically(rt.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{1}); });
+  waiter.join();
+
+  TmSystem::ObsSnapshot s = rt.sys().SnapshotObs();
+  ASSERT_GE(s.wait_duration.Count(), 1u);
+  // Percentile returns the bucket's upper bound, which is >= every sample;
+  // all samples here are >= the injected 50ms delay.
+  EXPECT_GE(s.wait_duration.Percentile(100), 50'000'000u);
+  EXPECT_GE(s.wake_latency.Count(), 1u);
+  EXPECT_GT(s.wake_latency.Percentile(100), 0u);
+  // The deschedule restart is attributed, not lumped into "explicit". The
+  // STM backends restart once to turn on retry logging (kRetrySetup); sim-HTM
+  // reaches the software deschedule path via an explicit hardware abort
+  // instead, which doubles as the logging restart.
+  if (GetParam() == Backend::kSimHtm) {
+    EXPECT_GE(Cause(s, AbortCause::kHtmExplicit), 1u);
+  } else {
+    EXPECT_GE(Cause(s, AbortCause::kRetrySetup), 1u);
+  }
+}
+
+// --- DumpTrace ---------------------------------------------------------------
+
+TEST_P(ObsBackendTest, DumpTraceWritesParsableDocument) {
+  TmConfig cfg = ObsConfig(GetParam());
+  cfg.tracing = true;
+  cfg.trace_ring_capacity = 256;
+  Runtime rt(cfg);
+
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) {
+    Atomically(rt.sys(), [&](Tx& tx) { tx.Store(x, tx.Load(x) + 1); });
+  }
+
+  std::string path = ::testing::TempDir() + "obs_trace_" +
+                     std::string(BackendName(GetParam())) + ".json";
+  ASSERT_TRUE(rt.sys().DumpTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"trace_drops\""), std::string::npos);
+#if TCS_TRACING
+  EXPECT_NE(doc.find("\"tracing_compiled\":true"), std::string::npos);
+  EXPECT_NE(doc.find("\"tx_commit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tx_begin\""), std::string::npos);
+#else
+  EXPECT_NE(doc.find("\"tracing_compiled\":false"), std::string::npos);
+#endif
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ObsBackendTest,
+                         ::testing::Values(Backend::kEagerStm,
+                                           Backend::kLazyStm,
+                                           Backend::kSimHtm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           std::string n = BackendName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace tcs

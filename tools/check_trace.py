@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Schema check for TmSystem::DumpTrace output (Chrome trace-event JSON).
+
+CI round-trip: build with -DTCS_TRACING=ON, run `trace_smoke trace.json`,
+then `python3 tools/check_trace.py trace.json --require-events`.
+
+Validates:
+  * the document parses and has the trace-event container shape
+    (traceEvents array + displayTimeUnit) plus our top-level bookkeeping
+    keys (tracing_compiled, trace_events, trace_drops);
+  * every event carries name/ph/pid/tid with sane types, and a numeric ts
+    on everything except "M" metadata;
+  * per-thread instant ("i") timestamps are non-decreasing — the rings are
+    per-thread and single-writer, so any inversion is a dump bug;
+  * with --require-events, at least one instant event exists and
+    tracing_compiled is true (catches "smoke ran but hooks were compiled
+    out" silently passing).
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_EVENT_FIELDS = ("name", "ph", "pid", "tid")
+KNOWN_EVENT_NAMES = {
+    "tx_begin", "tx_commit", "tx_abort", "deschedule", "sleep", "wakeup",
+    "wake_batch", "timestamp_extension", "htm_fallback", "orelse_fallback",
+}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="path to a DumpTrace JSON file")
+    ap.add_argument("--require-events", action="store_true",
+                    help="fail unless instant events exist and "
+                         "tracing_compiled is true")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    for key in ("traceEvents", "displayTimeUnit", "tracing_compiled",
+                "trace_events", "trace_drops"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+    if not isinstance(doc["tracing_compiled"], bool):
+        fail("tracing_compiled is not a bool")
+    for key in ("trace_events", "trace_drops"):
+        if not isinstance(doc[key], int) or doc[key] < 0:
+            fail(f"{key} is not a non-negative integer")
+
+    last_ts = {}
+    counts = collections.Counter()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in ev:
+                fail(f"event {i} missing field {field!r}: {ev}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"event {i} has a bad name: {ev}")
+        if ev["ph"] not in ("i", "X", "M"):
+            fail(f"event {i} has unexpected phase {ev['ph']!r}")
+        if ev["ph"] != "M" and not isinstance(ev.get("ts"), (int, float)):
+            # Metadata ("M") events carry no timestamp; everything else must.
+            fail(f"event {i} ts is not numeric: {ev}")
+        counts[ev["ph"]] += 1
+        if ev["ph"] == "i":
+            if ev["name"] not in KNOWN_EVENT_NAMES:
+                fail(f"event {i} has unknown instant name {ev['name']!r}")
+            tid = ev["tid"]
+            if tid in last_ts and ev["ts"] < last_ts[tid]:
+                fail(f"event {i}: per-thread timestamps regressed on tid "
+                     f"{tid} ({ev['ts']} < {last_ts[tid]})")
+            last_ts[tid] = ev["ts"]
+        if ev["ph"] == "X" and (not isinstance(ev.get("dur"), (int, float))
+                                or ev["dur"] < 0):
+            fail(f"event {i}: X event without a non-negative dur: {ev}")
+
+    if counts["i"] != doc["trace_events"]:
+        fail(f"trace_events={doc['trace_events']} but document has "
+             f"{counts['i']} instant events")
+
+    if args.require_events:
+        if not doc["tracing_compiled"]:
+            fail("tracing_compiled is false (built without -DTCS_TRACING=ON?)")
+        if counts["i"] == 0:
+            fail("no instant events recorded")
+
+    print(f"check_trace: OK: {counts['i']} instants, {counts['X']} spans, "
+          f"{counts['M']} metadata events across {len(last_ts)} thread(s), "
+          f"{doc['trace_drops']} drops, "
+          f"tracing_compiled={doc['tracing_compiled']}")
+
+
+if __name__ == "__main__":
+    main()

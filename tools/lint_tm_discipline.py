@@ -31,7 +31,7 @@ import re
 import sys
 from pathlib import Path
 
-ATOMIC_ALLOWLIST = ("src/tm/", "src/common/", "src/condsync/")
+ATOMIC_ALLOWLIST = ("src/tm/", "src/common/", "src/condsync/", "src/obs/")
 SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 
 MO_RE = re.compile(r"\bstd::memory_order_\w+")
