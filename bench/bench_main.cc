@@ -8,6 +8,7 @@
 //   --out=PATH           output file (default BENCH_wakeup.json)
 //   --scenario=NAME      all | wake_index | bounded | parsec (default all)
 //   --ops=N --trials=N --scale=N --max_threads=N --commits=N --many_commits=N
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -43,12 +44,17 @@ void EmitWakeTrialRow(JsonWriter& w, const WakeTrialResult& r) {
   w.Key("producer").String(r.silent_producer ? "silent" : "hot");
   w.Key("producer_commits").U64(r.producer_commits);
   w.Key("wake_batch_size").Int(r.wake_batch_size);
+  w.Key("cas_claim_fast_path").Bool(r.cas_claim_fast_path);
+  w.Key("adaptive_wake_batch").Bool(r.adaptive_wake_batch);
   w.Key("seconds").Double(r.seconds);
   w.Key("commits_per_sec").Double(r.commits_per_sec);
   w.Key("wake_checks").U64(r.wake_checks);
   w.Key("wake_checks_per_commit").Double(r.wake_checks_per_commit);
   w.Key("wake_batches").U64(r.wake_batches);
   w.Key("wake_batches_per_commit").Double(r.wake_batches_per_commit);
+  w.Key("cas_claims").U64(r.cas_claims);
+  w.Key("cas_fallbacks").U64(r.cas_fallbacks);
+  w.Key("wake_tx_aborts").U64(r.wake_tx_aborts);
   // Precision rows: vacuous empty-waitset posts are conservative broadcasts,
   // not satisfied wakes, so they are subtracted out of genuine_wakeups.
   w.Key("wakeups").U64(r.wakeups);
@@ -186,6 +192,7 @@ void EmitWakeBatchSweep(JsonWriter& w, const std::vector<Backend>& backends,
         continue;
       }
       double base_cps = 0.0;
+      double best_fixed_cps = 0.0;
       for (int batch : {1, 4, 8, 16}) {
         WakeTrialOptions opts;
         opts.backend = b;
@@ -193,11 +200,16 @@ void EmitWakeBatchSweep(JsonWriter& w, const std::vector<Backend>& backends,
         opts.waiters = n;
         opts.producer_commits = commits;
         opts.wake_batch_size = batch;
+        // Fixed-batch rows isolate the batching variable: no fast-path
+        // claims, no adaptive resizing.
+        opts.cas_claim_fast_path = false;
+        opts.adaptive_wake_batch = false;
         WakeTrialResult r = RunWakeIndexTrial(opts);
         EmitWakeTrialRow(w, r);
         if (batch == 1) {
           base_cps = r.commits_per_sec;
         }
+        best_fixed_cps = std::max(best_fixed_cps, r.commits_per_sec);
         double speedup =
             base_cps > 0 ? r.commits_per_sec / base_cps : 0.0;
         std::printf("wake_batch  backend=%-10s waiters=%-5d batch=%-3d "
@@ -205,6 +217,57 @@ void EmitWakeBatchSweep(JsonWriter& w, const std::vector<Backend>& backends,
                     "speedup_vs_batch1=%.2fx\n",
                     BackendName(b), n, batch, r.wake_batches_per_commit,
                     r.wake_checks_per_commit, r.commits_per_sec, speedup);
+      }
+      // Adaptive row: same shape, batch capped at the sweep maximum, the
+      // effective size steered by the wake-tx abort-rate EWMA. Compared
+      // against the best fixed size from the rows above.
+      WakeTrialOptions opts;
+      opts.backend = b;
+      opts.targeted = false;
+      opts.waiters = n;
+      opts.producer_commits = commits;
+      opts.wake_batch_size = 16;
+      opts.cas_claim_fast_path = false;
+      opts.adaptive_wake_batch = true;
+      WakeTrialResult r = RunWakeIndexTrial(opts);
+      EmitWakeTrialRow(w, r);
+      double vs_best =
+          best_fixed_cps > 0 ? r.commits_per_sec / best_fixed_cps : 0.0;
+      std::printf("wake_batch  backend=%-10s waiters=%-5d batch=ada "
+                  "batches/commit=%.2f checks/commit=%.2f commits/s=%.0f "
+                  "vs_best_fixed=%.2fx\n",
+                  BackendName(b), n, r.wake_batches_per_commit,
+                  r.wake_checks_per_commit, r.commits_per_sec, vs_best);
+    }
+  }
+  w.EndArray();
+}
+
+// CAS fast-path ablation: 1–4 disjoint waiters — the paper's common case of a
+// few threads blocked on distinct conditions — on the targeted wake path.
+// With the fast path off, every satisfied waiter costs at least one internal
+// wake transaction; with it on, the claim is a single orec CAS and
+// wake_batches_per_commit collapses to ~0 while cas_claims carries the wakes.
+void EmitCasClaimAblation(JsonWriter& w, const std::vector<Backend>& backends,
+                          std::uint64_t commits) {
+  w.Key("cas_claim_ablation").BeginArray();
+  for (Backend b : backends) {
+    for (int n : {1, 2, 4}) {
+      for (bool cas : {false, true}) {
+        WakeTrialOptions opts;
+        opts.backend = b;
+        opts.targeted = true;
+        opts.waiters = n;
+        opts.producer_commits = commits;
+        opts.cas_claim_fast_path = cas;
+        WakeTrialResult r = RunWakeIndexTrial(opts);
+        EmitWakeTrialRow(w, r);
+        std::printf("cas_claim   backend=%-10s waiters=%-2d cas=%-3s "
+                    "batches/commit=%.3f cas_claims=%llu commits/s=%.0f\n",
+                    BackendName(b), n, cas ? "on" : "off",
+                    r.wake_batches_per_commit,
+                    static_cast<unsigned long long>(r.cas_claims),
+                    r.commits_per_sec);
       }
     }
   }
@@ -308,6 +371,7 @@ int Run(int argc, char** argv) {
     // commit pays one check per waiter); full runs cover all three backends
     // at 256 waiters plus eager at 1024.
     EmitWakeBatchSweep(w, backends, many_waiter_counts, many_commits);
+    EmitCasClaimAblation(w, backends, commits);
   }
   if (scenario == "all" || scenario == "bounded") {
     EmitBounded(w, backends, bounded);

@@ -41,6 +41,8 @@ WakeTrialResult RunWakeIndexTrial(const WakeTrialOptions& opts) {
   if (opts.wake_batch_size > 0) {
     cfg.wake_batch_size = opts.wake_batch_size;
   }
+  cfg.cas_claim_fast_path = opts.cas_claim_fast_path;
+  cfg.adaptive_wake_batch = opts.adaptive_wake_batch;
   Runtime rt(cfg);
 
   const int waiters = opts.waiters;
@@ -118,8 +120,13 @@ WakeTrialResult RunWakeIndexTrial(const WakeTrialOptions& opts) {
   r.commits_per_sec =
       r.seconds > 0 ? static_cast<double>(opts.producer_commits) / r.seconds
                     : 0.0;
+  r.cas_claim_fast_path = rt.config().cas_claim_fast_path;
+  r.adaptive_wake_batch = rt.config().adaptive_wake_batch;
   r.wake_checks = st.Get(Counter::kWakeChecks);
   r.wake_batches = st.Get(Counter::kWakeBatches);
+  r.cas_claims = st.Get(Counter::kCasWakeClaims);
+  r.cas_fallbacks = st.Get(Counter::kCasClaimFallbacks);
+  r.wake_tx_aborts = st.Get(Counter::kWakeTxAborts);
   r.wakeups = st.Get(Counter::kWakeups);
   // Precision rows must not credit conservative empty-waitset posts as
   // genuine wakes (they inflate wake-precision metrics).

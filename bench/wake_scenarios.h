@@ -47,6 +47,12 @@ struct WakeTrialOptions {
   // 0 = TmConfig's default wake batch size; 1 reverts to the paper's
   // one-transaction-per-candidate wake path (the batching ablation baseline).
   int wake_batch_size = 0;
+  // Lock-free CAS wake-claim fast path (TmConfig::cas_claim_fast_path).
+  // Disabling it reverts to the all-transactional claim baseline.
+  bool cas_claim_fast_path = true;
+  // Abort-rate-driven effective batch sizing (TmConfig::adaptive_wake_batch);
+  // wake_batch_size becomes the cap. Disabling pins the batch at the cap.
+  bool adaptive_wake_batch = true;
 };
 
 struct WakeTrialResult {
@@ -60,8 +66,13 @@ struct WakeTrialResult {
   std::uint64_t producer_commits = 0;
   double seconds = 0.0;            // hot-producer phase wall time
   double commits_per_sec = 0.0;    // wake-path throughput
+  bool cas_claim_fast_path = false;  // as configured
+  bool adaptive_wake_batch = false;  // as configured
   std::uint64_t wake_checks = 0;   // predicate evaluations writers paid
   std::uint64_t wake_batches = 0;  // internal wake transactions writers paid
+  std::uint64_t cas_claims = 0;    // waiters claimed without any wake tx
+  std::uint64_t cas_fallbacks = 0;  // fast-path bails into the batched path
+  std::uint64_t wake_tx_aborts = 0;  // aborted wake-transaction attempts
   std::uint64_t wakeups = 0;       // all semaphore posts, vacuous included
   // Conservative empty-waitset posts: no evidence anyone was satisfied, so
   // precision rows report genuine_wakeups = wakeups - vacuous_wakeups.

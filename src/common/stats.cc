@@ -46,6 +46,11 @@ constexpr std::string_view kCounterNames[] = {
     "vacuous_wakeups",
     "trace_events",
     "trace_drops",
+    "cas_wake_claims",
+    "cas_claim_fallbacks",
+    "wake_tx_aborts",
+    "condvar_batches",
+    "condvar_ring_growths",
 };
 static_assert(std::size(kCounterNames) ==
                   static_cast<std::size_t>(Counter::kNumCounters),

@@ -55,6 +55,19 @@ enum class Counter : int {
                        // wake-precision metrics
   kTraceEvents,        // lifecycle events recorded into per-thread TraceRings
   kTraceDrops,         // ring-overflow overwrites (oldest record lost)
+  kCasWakeClaims,      // waiter slots claimed by the lock-free CAS fast path
+                       // (no wake transaction at all for these)
+  kCasClaimFallbacks,  // fast-path attempts that bailed to the batched wake
+                       // transaction (orec contention, mid-registration slot,
+                       // serial-mode writer, inconsistent predicate snapshot)
+  kWakeTxAborts,       // wake-transaction attempts that aborted and re-ran
+                       // (batch lambda executions minus committed batches);
+                       // feeds the adaptive-batch EWMA
+  kCondVarBatches,     // internal pop transactions committed by TMCondVar
+                       // signal/broadcast delivery (each pops up to
+                       // wake_batch_size tids)
+  kCondVarRingGrowths,  // TMCondVar ring doublings forced by a full ring
+                        // (the pre-fix code silently overwrote a parked tid)
   kNumCounters,
 };
 

@@ -13,7 +13,9 @@
 // no-lost-wakeup argument, and the comment on WakeWaiters below for why it
 // survives batching the wake checks into shared wake transactions.
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/condsync/waiter_registry.h"
@@ -176,14 +178,21 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
   throw TxRestart{};
 }
 
-// wakeWaiters, batched. Algorithm 4 re-checks each candidate in its own
-// internal transaction, so every candidate costs a full tx setup/commit (one
-// global-clock RMW each) on the committing writer's critical path. Here the
-// writer instead (1) collects candidate tids — the shard-indexed waiters its
-// write-set shard union covers, then the global-fallback waiters, in that
-// order — and (2) evaluates predicates and claims slots for up to
-// TmConfig::wake_batch_size candidates inside ONE wake transaction, posting
-// every claimed semaphore strictly after that transaction commits.
+// wakeWaiters, batched and with a lock-free claim fast path. Algorithm 4
+// re-checks each candidate in its own internal transaction, so every candidate
+// costs a full tx setup/commit (one global-clock RMW each) on the committing
+// writer's critical path. Here the writer instead (1) collects candidate tids
+// — the shard-indexed waiters its write-set shard union covers, then the
+// global-fallback waiters, in that order, deduplicated (ForEachCandidateIn
+// can emit a tid twice; see below) — (2) tries to claim each uncontended
+// findChanges candidate with a single orec CAS and no transaction at all
+// (TryCasWakeClaim below), and (3) evaluates predicates and claims slots for
+// the leftover candidates in batches of up to the effective batch size inside
+// ONE wake transaction each, posting every claimed semaphore strictly after
+// its claim is durable. With adaptive_wake_batch the effective batch size
+// shrinks while the recent wake-transaction abort rate (EWMA in TxDesc) is
+// high, degrading toward the paper's per-candidate baseline under contention
+// instead of repeatedly aborting large batches.
 //
 // Why batching preserves the no-lost-wakeup argument (extending the
 // conservativeness argument in wake_index.h): a claim is the transactional
@@ -210,16 +219,202 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
 // batches (no further batch runs). Vacuous empty-waitset claims earlier in
 // the same batch are still posted — they were committed — but do not absorb
 // the single-wakeup budget.
+// The lock-free claim fast path. An uncontended claim is, at bottom, the
+// asleep 1→0 transition made durable at a serialization point — nothing about
+// it *needs* a full transaction. The fast path performs it directly:
+//
+//   1. Enter the backend's wake-claim region (sim-HTM: join the serial-token
+//      Dekker handshake, since serial-irrevocable writers bypass orecs).
+//   2. CAS-lock the orec covering `slot.asleep`. This excludes every
+//      transactional toucher of the slot: the registration transaction and
+//      the timeout deregistration write `asleep` (so they need this orec),
+//      and the wakeup deregistration can only run after a *claim*, which
+//      needs it too. Holding it with asleep == 1 therefore pins the slot in
+//      its published state — fn/args/sem are frozen (they are rewritten only
+//      after asleep returns to 0) and no other waker can claim.
+//   3. Snapshot-evaluate the findChanges predicate seqlock-style: per waitset
+//      entry, sample the covering orec, read the value, re-sample. Equal
+//      unlocked samples prove the value is a committed one (every release
+//      kind that could have covered a memory modification changes the
+//      version; the exact-version releases never touched memory). Any locked
+//      or changed sample → fall back to the wake transaction.
+//   4. Claim: store asleep = 0, then release the orec at a fresh global-clock
+//      increment. Publishing a *new* version is what makes the claim a real
+//      serialization point: a concurrent wake transaction that read
+//      asleep == 1 before our claim now fails validation (version > its
+//      start) and re-executes, re-reads asleep == 0, and skips — the same
+//      idempotence argument the batched path relies on. Releasing at the old
+//      version would let that transaction commit a second claim.
+//   5. Post, strictly after the release — exactly Algorithm 4's escape-action
+//      ordering, with the orec release as the commit point.
+//
+// The quiesce table brackets the whole attempt: the raw waitset reads in step
+// 3 look at memory a concurrent committer may be about to privatize/free, so
+// the claimer registers as an active reader at its sampled clock, making the
+// committer's quiescence fence wait for it exactly as it would for a reader
+// transaction.
+TmSystem::CasClaimResult TmSystem::TryCasWakeClaim(TxDesc& d, int waiter_tid) {
+  WaiterSlot& slot = waiters_->slot(waiter_tid);
+  // Cheap raw peek before touching any shared cache line exclusively: a
+  // candidate already claimed (or never re-registered) needs no claim.
+  // mo: relaxed — advisory peek only; the post-CAS acquire re-read decides.
+  if (std::atomic_ref<const TmWord>(slot.active)
+              .load(std::memory_order_relaxed) == 0 ||
+      std::atomic_ref<const TmWord>(slot.asleep)
+              .load(std::memory_order_relaxed) == 0) {
+    return CasClaimResult::kSkipped;
+  }
+  if (!EnterWakeClaimRegion(d)) {
+    return CasClaimResult::kFallback;  // serial-mode writer active (sim-HTM)
+  }
+  Orec& claim_orec = orecs_.For(&slot.asleep);
+  // mo: acquire — pairs with [orec-publish]; the CAS below must key on a
+  // version published by a completed release.
+  std::uint64_t prev = claim_orec.word.load(std::memory_order_acquire);
+  if (Orec::IsLocked(prev) ||
+      // mo: acq_rel — the acquire leg pairs with the previous owner's release
+      // store [orec-publish]; the release leg publishes the locked word other
+      // threads' acquire samples key on.
+      !claim_orec.word.compare_exchange_strong(prev, Orec::MakeLocked(d.tid),
+                                               std::memory_order_acq_rel)) {
+    ExitWakeClaimRegion(d);
+    return CasClaimResult::kFallback;  // contended or mid-registration
+  }
+  TCS_PROTO(proto_->OnOrecAcquire(&claim_orec, d.tid, Orec::Version(prev)));
+  // Re-read under the lock; only now are the loads decisive (see step 2).
+  // mo: acquire — pairs with the registration transaction's commit release
+  // [orec-publish]: asleep == 1 proves the registration committed, which
+  // makes the slot's plain-stored fn/args/sem visible and frozen.
+  bool published =
+      std::atomic_ref<const TmWord>(slot.active)
+              .load(std::memory_order_acquire) == 1 &&
+      std::atomic_ref<const TmWord>(slot.asleep)
+              .load(std::memory_order_acquire) == 1;
+  if (!published) {
+    TCS_PROTO(proto_->OnOrecRelease(&claim_orec, d.tid, Orec::Version(prev),
+                                    ProtocolChecker::ReleaseKind::kAbortExact));
+    // mo: release — [orec-publish]: nothing under the orec was modified; the
+    // unlock still pairs with concurrent acquire samples.
+    claim_orec.word.store(Orec::MakeVersion(Orec::Version(prev)),
+                          std::memory_order_release);
+    ExitWakeClaimRegion(d);
+    return CasClaimResult::kSkipped;
+  }
+  const WaitSet* ws = nullptr;
+  if (slot.fn == &FindChangesPred) {
+    ws = reinterpret_cast<const WaitSet*>(slot.args.v[0]);
+  }
+  bool changed = false;
+  bool consistent = ws != nullptr && !ws->Empty();
+  if (consistent) {
+    for (const WaitSet::Entry& e : ws->entries()) {
+      Orec& o = orecs_.For(e.addr);
+      if (&o == &claim_orec) {
+        // Entry aliases the orec we hold: the value is pinned by our own lock.
+        if (LoadWordAcquire(e.addr) != e.val) {
+          changed = true;
+        }
+        continue;
+      }
+      // mo: acquire — sample leg of the sample/read/re-check snapshot; pairs
+      // with [orec-publish] so matching unlocked samples bracket a committed
+      // value (no release kind that covers a memory change keeps the version).
+      std::uint64_t w1 = o.word.load(std::memory_order_acquire);
+      if (Orec::IsLocked(w1)) {
+        consistent = false;
+        break;
+      }
+      TmWord v = LoadWordAcquire(e.addr);
+      // mo: acquire — re-check leg; pairs with [orec-publish], as above.
+      std::uint64_t w2 = o.word.load(std::memory_order_acquire);
+      if (w1 != w2) {
+        consistent = false;
+        break;
+      }
+      if (v != e.val) {
+        changed = true;
+      }
+    }
+  }
+  if (!consistent) {
+    // Arbitrary predicate, empty waitset (vacuous-wake semantics belong to
+    // the transactional path), or a concurrent writer mid-flight over an
+    // entry: the wake transaction decides instead.
+    TCS_PROTO(proto_->OnOrecRelease(&claim_orec, d.tid, Orec::Version(prev),
+                                    ProtocolChecker::ReleaseKind::kAbortExact));
+    // mo: release — [orec-publish]: no modification under the orec; unlock
+    // pairs with concurrent acquire samples.
+    claim_orec.word.store(Orec::MakeVersion(Orec::Version(prev)),
+                          std::memory_order_release);
+    ExitWakeClaimRegion(d);
+    return CasClaimResult::kFallback;
+  }
+  d.stats.Bump(Counter::kWakeChecks);
+  if (!changed) {
+    // Predicate unchanged at a consistent snapshot: final, exactly like the
+    // batch path's skip — any writer that satisfies it later runs its own
+    // wake pass against the still-registered slot.
+    TCS_PROTO(proto_->OnOrecRelease(&claim_orec, d.tid, Orec::Version(prev),
+                                    ProtocolChecker::ReleaseKind::kAbortExact));
+    // mo: release — [orec-publish]: no modification under the orec; unlock
+    // pairs with concurrent acquire samples.
+    claim_orec.word.store(Orec::MakeVersion(Orec::Version(prev)),
+                          std::memory_order_release);
+    ExitWakeClaimRegion(d);
+    return CasClaimResult::kSkipped;
+  }
+  // Claim. The data store is ordered before the version publish below.
+  StoreWordRelease(&slot.asleep, 0);
+  std::uint64_t end = clock_.Increment();
+  TCS_PROTO(proto_->OnClockObserved(d.tid, end));
+  TCS_PROTO(proto_->OnOrecRelease(&claim_orec, d.tid, end,
+                                  ProtocolChecker::ReleaseKind::kCommit));
+  // mo: release — [orec-publish]: orders the asleep store above before the
+  // fresh version concurrent validators key on; publishing a *new* version is
+  // what invalidates wake transactions that read asleep == 1 before us.
+  claim_orec.word.store(Orec::MakeVersion(end), std::memory_order_release);
+  ExitWakeClaimRegion(d);
+  TCS_PROTO(proto_->OnWakeClaimCas(waiter_tid));
+  d.stats.Bump(Counter::kCasWakeClaims);
+  TCS_TRACE_EVENT(d, TraceEvent::kCasWakeClaim,
+                  static_cast<std::uint64_t>(waiter_tid));
+  // The post happens strictly after the orec release — the claim's commit
+  // point — preserving Algorithm 4's escape-action ordering.
+  TCS_PROTO(proto_->OnWakePost(waiter_tid));
+  if (cfg_.latency_metrics) {
+    slot.StampWakePost(ObsNowNs());
+  }
+  slot.sem->Post();
+  d.stats.Bump(Counter::kWakeups);
+  return CasClaimResult::kClaimed;
+}
+
 void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
   TxDesc& d = Desc();
-  const std::size_t batch_size =
-      cfg_.wake_batch_size > 0 ? static_cast<std::size_t>(cfg_.wake_batch_size)
-                               : std::size_t{1};
 
   // Phase 1: collect candidates. Order is significant (shard-indexed first;
-  // see ForEachCandidateIn) and self never qualifies.
+  // see ForEachCandidateIn) and self never qualifies. Collection dedups with
+  // a per-writer seen bitmap: ForEachCandidateIn's global pass masks against
+  // the *current* shard words, so a waiter that deregistered from a shard and
+  // re-registered globally between the two passes is emitted twice — harmless
+  // for claiming (the second claim sees asleep == 0) but it would double the
+  // candidate's wake-check cost and skew the precision counters.
   std::vector<int>& cands = d.wake_candidates;
   cands.clear();
+  const std::size_t seen_words =
+      (static_cast<std::size_t>(waiters_->capacity()) + 63) / 64;
+  d.wake_seen_scratch.assign(seen_words, 0);
+  auto collect = [&](int tid) {
+    if (tid != d.tid) {
+      std::uint64_t& word = d.wake_seen_scratch[static_cast<std::size_t>(tid) / 64];
+      const std::uint64_t bit = std::uint64_t{1} << (tid % 64);
+      if ((word & bit) == 0) {
+        word |= bit;
+        cands.push_back(tid);
+      }
+    }
+    return true;
+  };
   if (cfg_.targeted_wakeup && !write_orecs.empty()) {
     // Targeted pass: only the shards this write set covers, plus the global
     // fallback list. Work scales with relevant waiters, not registered ones.
@@ -229,29 +424,74 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
         static_cast<std::size_t>(wake_index_->shard_words()));
     wake_index_->BuildShardSet(write_orecs.data(), write_orecs.size(),
                                d.wake_shard_scratch.data());
-    wake_index_->ForEachCandidateIn(d.wake_shard_scratch.data(), [&](int tid) {
-      if (tid != d.tid) {
-        cands.push_back(tid);
-      }
-      return true;
-    });
+    wake_index_->ForEachCandidateIn(d.wake_shard_scratch.data(), collect);
   } else {
     // Global scan: targeting disabled, or the write-set snapshot was not taken
     // (no waiter was visible mid-commit; any waiter visible now either
     // registered after this commit serialized — and so re-checked its
     // predicate against our writes — or is covered by this conservative scan).
-    waiters_->ForEachRegistered([&](int tid, WaiterSlot&) {
-      if (tid != d.tid) {
-        cands.push_back(tid);
-      }
-      return true;
-    });
+    waiters_->ForEachRegistered(
+        [&](int tid, WaiterSlot&) { return collect(tid); });
   }
 
-  // Phase 2: batched wake transactions over the collected candidates.
   bool stop = false;
-  for (std::size_t base = 0; base < cands.size() && !stop; base += batch_size) {
-    const std::size_t end = std::min(cands.size(), base + batch_size);
+
+  // Phase 2: the lock-free claim fast path. The common case — a few disjoint
+  // waiters, nobody racing — claims every candidate here and never runs a
+  // wake transaction at all. Undecidable candidates accumulate for phase 3.
+  std::vector<int>& work = d.wake_fallback;
+  work.clear();
+  if (cfg_.cas_claim_fast_path && !cands.empty()) {
+    // Register as an active reader for the raw predicate snapshots (see
+    // TryCasWakeClaim); our own quiesce entry is free post-commit.
+    std::uint64_t snap_start = clock_.Load();
+    TCS_PROTO(proto_->OnClockObserved(d.tid, snap_start));
+    quiesce_.SetActive(d.tid, snap_start);
+    for (int tid : cands) {
+      if (stop) {
+        break;
+      }
+      switch (TryCasWakeClaim(d, tid)) {
+        case CasClaimResult::kClaimed:
+          if (cfg_.wake_single) {
+            // Fast-path claims are never vacuous (empty waitsets fall back),
+            // so every claim absorbs the single-wakeup budget.
+            stop = true;
+          }
+          break;
+        case CasClaimResult::kSkipped:
+          break;
+        case CasClaimResult::kFallback:
+          d.stats.Bump(Counter::kCasClaimFallbacks);
+          work.push_back(tid);
+          break;
+      }
+    }
+    quiesce_.SetInactive(d.tid);
+  } else {
+    work = cands;
+  }
+
+  // Phase 3: batched wake transactions over the leftover candidates. The
+  // effective batch size is capped by wake_batch_size and, when adaptive,
+  // shrunk while the recent wake-tx abort-rate EWMA is high — big batches
+  // amortize commit cost but repeatedly aborting ones re-run more checks.
+  const std::size_t batch_cap =
+      cfg_.wake_batch_size > 0 ? static_cast<std::size_t>(cfg_.wake_batch_size)
+                               : std::size_t{1};
+  std::size_t batch_size = batch_cap;
+  if (cfg_.adaptive_wake_batch) {
+    const std::uint64_t ewma = d.wake_abort_ewma_permille;
+    if (ewma >= 500) {
+      batch_size = std::max<std::size_t>(1, batch_cap / 4);
+    } else if (ewma >= 250) {
+      batch_size = std::max<std::size_t>(1, batch_cap / 2);
+    }
+  }
+  std::uint64_t executions = 0;
+  std::uint64_t batches = 0;
+  for (std::size_t base = 0; base < work.size() && !stop; base += batch_size) {
+    const std::size_t end = std::min(work.size(), base + batch_size);
     std::vector<TxDesc::WakeClaim>& claims = d.wake_claims;
     std::size_t checks_this_batch = 0;
     RunInternalTx([&] {
@@ -259,10 +499,11 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
       // rolled back with the transaction, so the list must be rebuilt (else a
       // retried batch would double-post) and active/asleep re-read (else it
       // would claim a waiter another writer took in the meantime).
+      ++executions;
       claims.clear();
       checks_this_batch = 0;
       for (std::size_t i = base; i < end; ++i) {
-        WaiterSlot& slot = waiters_->slot(cands[i]);
+        WaiterSlot& slot = waiters_->slot(work[i]);
         if (Read(&slot.active) == 0 || Read(&slot.asleep) == 0) {
           continue;
         }
@@ -281,7 +522,7 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
         }
         if (satisfied) {
           Write(&slot.asleep, 0);
-          claims.push_back({cands[i], vacuous});
+          claims.push_back({work[i], vacuous});
           if (cfg_.wake_single && !vacuous) {
             // First non-vacuous satisfied waiter: stop claiming within this
             // batch; the cross-batch stop happens below, after the commit.
@@ -296,6 +537,7 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
       proto_->OnWakeClaimCommitted(c.tid);
     }
 #endif
+    ++batches;
     // Counters reflect the committed execution only (an aborted batch's
     // checks died with it), so kWakeChecks stays an exact per-commit metric.
     d.stats.Bump(Counter::kWakeBatches);
@@ -330,6 +572,23 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
         stop = true;
       }
     }
+  }
+
+  // Feed the adaptive policy: executions counts every entry into the batch
+  // lambda, batches only committed ones, so the difference is exactly the
+  // aborted-and-re-run attempts. The EWMA (alpha = 1/8, permille) smooths a
+  // single contended commit into a gradual batch-size response.
+  if (executions > 0) {
+    const std::uint64_t aborts = executions - batches;
+    if (aborts > 0) {
+      d.stats.Bump(Counter::kWakeTxAborts, aborts);
+    }
+    const std::uint64_t rate = aborts * 1000 / executions;
+    // mo: relaxed — monitoring-only tally, owner-writer (this thread is the
+    // sole writer of its own EWMA; SnapshotObs reads it racily, like `stats`).
+    std::atomic_ref<std::uint64_t>(d.wake_abort_ewma_permille)
+        .store((7 * d.wake_abort_ewma_permille + rate) / 8,
+               std::memory_order_relaxed);
   }
 }
 

@@ -10,12 +10,15 @@
 // The waiter queue itself is transactional state: the enqueue is part of the
 // committing transaction, so a waiter can never miss a signal from a writer whose
 // commit serialized after its wait-commit (the predicate it tested and the enqueue
-// are one atomic action).
+// are one atomic action). The ring, its capacity, and both cursors are all read
+// and written transactionally; a full ring grows transactionally (TxAlloc + copy
+// + TxFree of the old ring, made safe by commit-time quiescence) instead of
+// silently overwriting a parked waiter's entry.
 #ifndef TCS_CONDSYNC_TM_CONDVAR_H_
 #define TCS_CONDSYNC_TM_CONDVAR_H_
 
 #include <cstddef>
-#include <memory>
+#include <vector>
 
 #include "src/tm/word.h"
 
@@ -25,9 +28,11 @@ class TmSystem;
 
 class TmCondVar {
  public:
-  // `capacity` must be at least the number of threads that may wait concurrently
-  // (each thread has at most one queue entry at a time).
+  // `capacity` (> 0, checked) sizes the initial ring; each thread has at most
+  // one queue entry at a time, and the ring grows transactionally if more
+  // threads than expected wait concurrently.
   explicit TmCondVar(int capacity);
+  ~TmCondVar();
 
   TmCondVar(const TmCondVar&) = delete;
   TmCondVar& operator=(const TmCondVar&) = delete;
@@ -47,11 +52,21 @@ class TmCondVar {
   void BroadcastNow(TmSystem& sys);
 
  private:
-  // Pops one waiting tid (inside an internal transaction); -1 if none.
-  int PopOne(TmSystem& sys);
+  // Doubles the ring inside the caller's in-flight transaction. `h`/`t`/`cap`
+  // are the values the transaction already read.
+  void Grow(TmSystem& sys, TmWord h, TmWord t, TmWord cap);
 
-  std::size_t cap_;
-  std::unique_ptr<TmWord[]> ring_;  // waiting tids
+  // Pops up to `max` waiting tids inside ONE internal transaction, appending
+  // them to `out`; returns the number popped. Semaphore posts are the caller's
+  // job, strictly after this commits.
+  std::size_t PopBatch(TmSystem& sys, std::size_t max, std::vector<int>& out);
+
+  // All four words are transactional state (accessed via sys.Read/Write).
+  // ring_ holds the current buffer pointer as a TmWord: growth retargets it
+  // transactionally, so concurrent pops and enqueues see pointer, capacity,
+  // and cursors change atomically.
+  TmWord cap_;
+  TmWord ring_;  // TmWord* holding waiting tids
   TmWord head_ = 0;
   TmWord tail_ = 0;
 };

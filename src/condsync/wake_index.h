@@ -274,8 +274,15 @@ class WakeIndex {
       // mo: seq_cst — [wake-publish]: pairs with the waiter's seq_cst insert
       // in AddGlobal, same total-order argument as the shard scan above.
       std::uint64_t bits = global_[w].load(std::memory_order_seq_cst);
-      // A tid registers either indexed or global, never both; masking out the
-      // shard union only de-dups a racing re-registration between the passes.
+      // A tid registers either indexed or global, never both, so masking out
+      // the shard union usually suppresses a racing re-registration between
+      // the passes. It is best-effort, NOT a dedup guarantee: a tid emitted by
+      // the shard pass that deregistered and re-registered globally before
+      // this mask is sampled has already cleared its shard bits, so the mask
+      // misses it and the global pass emits it a second time. Callers that
+      // need distinct tids must dedup themselves (WakeWaiters keeps a seen
+      // bitmap); claiming stays correct regardless because a second claim
+      // attempt observes asleep == 0 and skips.
       for (int sw = 0; sw < shard_words_; ++sw) {
         std::uint64_t ss = shard_set[sw];
         while (ss != 0) {

@@ -13,7 +13,7 @@ namespace {
 constexpr const char* kTraceEventNames[] = {
     "tx_begin",       "tx_commit", "tx_abort",     "deschedule",
     "sleep",          "wakeup",    "wake_batch",   "timestamp_extension",
-    "htm_fallback",   "orelse_fallback",
+    "htm_fallback",   "orelse_fallback",           "cas_wake_claim",
 };
 static_assert(std::size(kTraceEventNames) ==
                   static_cast<std::size_t>(TraceEvent::kNumEvents),

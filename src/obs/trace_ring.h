@@ -32,6 +32,7 @@ enum class TraceEvent : std::uint8_t {
   kTimestampExtension,
   kHtmFallback,
   kOrElseFallback,
+  kCasWakeClaim,  // lock-free fast-path claim; arg = claimed waiter's tid
   kNumEvents,
 };
 

@@ -269,6 +269,21 @@ void ProtocolChecker::OnWakeClaimCommitted(int waiter_tid) {
   }
 }
 
+void ProtocolChecker::OnWakeClaimCas(int waiter_tid) {
+  TidShadow& t = TidOf(waiter_tid, "wake-claim");
+  // mo: relaxed RMW — same claim/post chain argument as OnWakeClaimCommitted:
+  // the CAS claim and its post are same-thread (the waker), and any later
+  // claim of this waiter is ordered behind the post by [sem] plus the
+  // waiter's re-registration.
+  int pending = t.pending_posts.fetch_add(1, std::memory_order_relaxed);
+  if (pending != 0) {
+    Fail("wake-claim",
+         "waiter tid %d CAS-claimed while %d post(s) already pending (a "
+         "waiter cannot be claimed twice before being posted)",
+         waiter_tid, pending);
+  }
+}
+
 void ProtocolChecker::OnWakePost(int waiter_tid) {
   TidShadow& t = TidOf(waiter_tid, "wake-claim");
   // mo: relaxed RMW — same claim/post chain argument as OnWakeClaimCommitted.

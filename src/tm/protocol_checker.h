@@ -127,6 +127,11 @@ class ProtocolChecker {
   // Called once per claim after the claiming wake transaction COMMITS (claims
   // of an aborted batch die with it and must not be reported).
   void OnWakeClaimCommitted(int waiter_tid);
+  // Called once per claim made by the lock-free CAS fast path, after the
+  // claiming orec has been released (the CAS claim has no enclosing wake
+  // transaction — the orec release IS its commit point). Same pairing
+  // contract as OnWakeClaimCommitted: exactly one post must follow.
+  void OnWakeClaimCas(int waiter_tid);
   // Called by the waker immediately before posting the claimed semaphore.
   void OnWakePost(int waiter_tid);
 

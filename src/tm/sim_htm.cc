@@ -383,6 +383,38 @@ void SimHtm::PrepareAwait(TxDesc& d, const TmWord* const* addrs, std::size_t n) 
 
 bool SimHtm::NeedsSoftwareForCondSync(TxDesc& d) { return !d.htm_serial; }
 
+bool SimHtm::EnterWakeClaimRegion(TxDesc& d) {
+  // A CAS wake claim locks the slot's covering orec and writes the slot word
+  // directly — safe against hardware transactions (they respect orecs) but
+  // not against a serial-irrevocable writer, which bypasses orecs entirely.
+  // Join the same Dekker handshake a hardware commit uses: announce, then
+  // re-check the token. Either the serial entrant sees our flag and drains
+  // us, or we see its token/seq and bail to the wake transaction (whose
+  // Begin participates in serial entry properly).
+  // (SerialInterference's seq re-check is NOT used here: its baseline seq
+  // sample belongs to the last transaction, and a serial section that fully
+  // completed before this region began is harmless — its writes are settled.)
+  // mo: seq_cst — [serial-token] Dekker: the flag store must be totally
+  // ordered against EnterSerial's token store and drain loop.
+  committing_[d.tid].v.store(1, std::memory_order_seq_cst);
+  // mo: seq_cst — [serial-token] Dekker: either our flag store precedes the
+  // serial entrant's token store (its drain loop waits on us), or the token
+  // store precedes this load (we see it and bail).
+  if (serial_owner_.load(std::memory_order_seq_cst) != -1) {
+    // mo: seq_cst — [serial-token] Dekker: clearing the flag in the same
+    // total order EnterSerial's drain loop polls it in.
+    committing_[d.tid].v.store(0, std::memory_order_seq_cst);
+    return false;
+  }
+  return true;
+}
+
+void SimHtm::ExitWakeClaimRegion(TxDesc& d) {
+  // mo: seq_cst — [serial-token] Dekker: clearing the flag in the same total
+  // order EnterSerial's drain loop polls it in.
+  committing_[d.tid].v.store(0, std::memory_order_seq_cst);
+}
+
 void SimHtm::SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging) {
   // The hardware transaction aborts with the condition-synchronization code and
   // the dispatcher re-executes it serially, where escape actions are legal.

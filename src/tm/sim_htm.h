@@ -67,6 +67,13 @@ class SimHtm final : public TmSystem {
   [[noreturn]] void SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging) override;
   void MaybeHwPredTableDeschedule(TxDesc& d, WaitPredFn fn,
                                   const WaitArgs& args) override;
+  // CAS wake-claim fast path: serial-irrevocable software mode writes with no
+  // orecs, so a non-transactional claimer must join the committing_[] /
+  // serial-token Dekker handshake (same shape as CommitTx's hardware commit
+  // window). Returns false — caller falls back to the wake transaction — when
+  // a serial section is active or pending.
+  bool EnterWakeClaimRegion(TxDesc& d) override;
+  void ExitWakeClaimRegion(TxDesc& d) override;
 
  private:
   friend class TmSystem;

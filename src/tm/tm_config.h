@@ -64,7 +64,25 @@ struct TmConfig {
   // with all claimed semaphores posted strictly after it commits (see
   // deschedule.cc for why the no-lost-wakeup argument survives batching).
   // 1 reverts to the paper's per-candidate transactions (ablation baseline).
+  // With adaptive_wake_batch on, this is the CAP on the effective batch size;
+  // the actual batch scales with the candidate count and shrinks when the
+  // recent wake-tx abort rate (EWMA in TxDesc) is high.
   int wake_batch_size = 8;
+
+  // Lock-free CAS claim fast path: an uncontended waiter slot's asleep 1->0
+  // transition is claimed by locking the slot's covering orec with a single
+  // compare_exchange (plus a predicate-snapshot validation) instead of running
+  // a full internal wake transaction. Contended / mid-registration slots fall
+  // back to the batched wake transaction. Off reproduces PR 5's all-batched
+  // behavior (ablation baseline).
+  bool cas_claim_fast_path = true;
+
+  // Scale the effective wake batch per commit: min(wake_batch_size,
+  // candidate count), halved (or quartered) while the wake-tx abort-rate EWMA
+  // is high so contended wake batches shrink toward the paper's per-candidate
+  // baseline instead of repeatedly aborting large batches. Off uses the fixed
+  // wake_batch_size (ablation baseline).
+  bool adaptive_wake_batch = true;
 
   // Sharded wakeup index (src/condsync/wake_index.h): committing writers
   // wake-check only the waiters registered under shards their write-set orecs

@@ -383,6 +383,15 @@ bool TmSystem::NeedsSoftwareForCondSync(TxDesc& d) {
   return false;
 }
 
+bool TmSystem::EnterWakeClaimRegion(TxDesc& d) {
+  // STM backends: every committed write respects orecs, so holding the slot's
+  // covering orec is already enough — no extra handshake needed.
+  (void)d;
+  return true;
+}
+
+void TmSystem::ExitWakeClaimRegion(TxDesc& d) { (void)d; }
+
 void TmSystem::SwitchToSoftwareMode(TxDesc& d, bool enable_retry_logging) {
   (void)enable_retry_logging;
   TCS_CHECK_MSG(false, "SwitchToSoftwareMode on a software backend");
@@ -797,6 +806,13 @@ TmSystem::ObsSnapshot TmSystem::SnapshotObs(std::size_t top_n_orecs) const {
     for (int i = 0; i < kNumAbortCauses; ++i) {
       snap.abort_causes[i] += d->obs.causes.Get(static_cast<AbortCause>(i));
     }
+    // mo: relaxed — the EWMA is a monitoring tally (owner-writer, like
+    // `stats`); staleness is fine, atomicity avoids a torn read.
+    std::uint64_t ewma = std::atomic_ref<const std::uint64_t>(
+                             d->wake_abort_ewma_permille)
+                             .load(std::memory_order_relaxed);
+    snap.wake_abort_ewma_permille =
+        std::max(snap.wake_abort_ewma_permille, ewma);
     snap.commit_latency.MergeFrom(d->obs.commit_latency);
     snap.abort_to_commit.MergeFrom(d->obs.abort_to_commit);
     snap.wait_duration.MergeFrom(d->obs.wait_duration);
@@ -864,6 +880,7 @@ void TmSystem::SnapshotMetrics(JsonWriter& w, std::size_t top_n_orecs) const {
   }
   w.EndArray();
   w.Key("hot_orec_overflow").U64(snap.hot_orec_overflow);
+  w.Key("wake_abort_ewma_permille").U64(snap.wake_abort_ewma_permille);
   w.Key("latency_ns").BeginObject();
   EmitHistogram(w, "commit", snap.commit_latency);
   EmitHistogram(w, "abort_to_commit", snap.abort_to_commit);

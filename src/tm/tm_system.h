@@ -213,6 +213,9 @@ class TmSystem {
     };
     std::vector<HotOrec> hot_orecs;
     std::uint64_t hot_orec_overflow = 0;
+    // Highest per-thread wake-transaction abort-rate EWMA (permille) — the
+    // signal adaptive_wake_batch steers on (see TxDesc).
+    std::uint64_t wake_abort_ewma_permille = 0;
   };
   ObsSnapshot SnapshotObs(std::size_t top_n_orecs = 16) const;
   // Appends the snapshot as one JSON object (backend, counters, abort-cause
@@ -254,6 +257,19 @@ class TmSystem {
   // publish a waitset or sleep (no escape actions, §2.2.2); condition
   // synchronization must abort and re-execute in software mode.
   virtual bool NeedsSoftwareForCondSync(TxDesc& d);
+
+  // --- CAS claim fast path (non-transactional wake claiming) ---
+  // The fast path in WakeWaiters claims a waiter slot by CAS-locking its
+  // covering orec outside any transaction. That is sound for the STM backends
+  // (all their commits respect orecs), but the simulated HTM's
+  // serial-irrevocable software mode writes with NO orecs, protected only by
+  // the Dekker handshake between committing_[] flags and the serial token.
+  // EnterWakeClaimRegion makes the claimer a participant in that handshake
+  // (or returns false: fall back to the wake transaction, which already
+  // participates via Begin/Commit); ExitWakeClaimRegion leaves it. The
+  // default (STM backends) is trivially true / no-op.
+  virtual bool EnterWakeClaimRegion(TxDesc& d);
+  virtual void ExitWakeClaimRegion(TxDesc& d);
 
   // §2.2.6 pred-table extension: if the (predicate, arguments) combination is
   // registered, a hardware transaction can deschedule through its 8-bit abort
@@ -332,6 +348,13 @@ class TmSystem {
 #endif
 
  private:
+  // Outcome of one lock-free fast-path claim attempt (deschedule.cc):
+  // kClaimed posted the waiter, kSkipped decided no wake is due (slot gone or
+  // predicate unchanged — final, like the batch path's skip), kFallback could
+  // not decide non-transactionally (orec contention, mid-registration slot,
+  // serial-mode writer, arbitrary predicate) and defers to the wake batch.
+  enum class CasClaimResult { kClaimed, kSkipped, kFallback };
+  CasClaimResult TryCasWakeClaim(TxDesc& d, int waiter_tid);
   // Shared body of Deschedule and the timed waits: publish, double-check, and
   // sleep — bounded by d's deadline when `timed` is set. A timeout deregisters
   // the slot (draining any racing wakeup post) and restarts the transaction;

@@ -153,6 +153,20 @@ struct TxDesc {
     bool vacuous;  // conservative empty-waitset wake, not a satisfied one
   };
   std::vector<WakeClaim> wake_claims;
+  // Candidates the CAS fast path could not claim this pass; they re-enter the
+  // batched wake-transaction path (rebuilt each pass, like wake_candidates).
+  std::vector<int> wake_fallback;
+  // Per-tid seen bitmap (one bit per possible waiter tid) used to drop
+  // duplicate candidates: a waiter that deregisters and re-registers globally
+  // between the shard pass and the global pass of ForEachCandidateIn can be
+  // emitted twice (see wake_index.h). Zeroed lazily per wake pass.
+  std::vector<std::uint64_t> wake_seen_scratch;
+  // Wake-transaction abort rate, EWMA in permille (0..1000), alpha = 1/8:
+  // updated by the owning writer after each wake pass from (batch lambda
+  // executions - committed batches). adaptive_wake_batch shrinks the
+  // effective batch while this is high. Read by monitors through a relaxed
+  // atomic_ref (same contract as `stats`).
+  std::uint64_t wake_abort_ewma_permille = 0;
 
   // --- simulated HTM state ---
   bool htm_serial = false;         // currently executing in serial-irrevocable mode

@@ -190,6 +190,94 @@ TEST_P(TmCondVarTest, TwoCondVarsAreIndependent) {
   ta.join();
 }
 
+// Regression: the ring used to enqueue with no fullness check, so the
+// (capacity+1)-th concurrent waiter silently overwrote the oldest parked
+// waiter's tid and that waiter's wakeup was lost forever — this test hung at
+// the final join. Now a full ring grows transactionally instead.
+TEST_P(TmCondVarTest, MoreWaitersThanCapacityLoseNoWakeups) {
+  constexpr int kCapacity = 2;
+  constexpr int kWaiters = 11;  // forces several doublings
+  TmCondVar cv(kCapacity);
+  std::uint64_t go = 0;
+  std::atomic<int> awake{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      Atomically(rt_.sys(), [&](Tx& tx) {
+        if (tx.Load(go) == 0) {
+          tx.CondWait(cv);
+        }
+      });
+      awake.fetch_add(1);
+    });
+  }
+  AwaitWaiters(kWaiters);
+  Atomically(rt_.sys(), [&](Tx& tx) {
+    tx.Store(go, std::uint64_t{1});
+    tx.CondBroadcast(cv);
+  });
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(awake.load(), kWaiters);
+  TxStats s = rt_.AggregateStats();
+  EXPECT_GE(s.Get(Counter::kCondVarRingGrowths), 1u)
+      << "11 concurrent waiters on a 2-slot ring never grew it";
+  EXPECT_GE(s.Get(Counter::kCondVarBatches), 1u);
+}
+
+// A second overflow shape: churn through wait/wake rounds so the cursors wrap
+// the ring several times while it is at (or near) capacity — catches masking
+// bugs a single monotone fill misses.
+TEST_P(TmCondVarTest, WrappedCursorsSurviveRepeatedOverflow) {
+  constexpr int kWaiters = 6;
+  constexpr int kRounds = 5;
+  TmCondVar cv(2);
+  std::uint64_t go = 0;
+  std::atomic<int> awake{0};
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint64_t round_waits =
+        rt_.AggregateStats().Get(Counter::kCondVarWaits);
+    Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(go, std::uint64_t{0}); });
+    std::vector<std::thread> waiters;
+    for (int i = 0; i < kWaiters; ++i) {
+      waiters.emplace_back([&] {
+        Atomically(rt_.sys(), [&](Tx& tx) {
+          if (tx.Load(go) == 0) {
+            tx.CondWait(cv);
+          }
+        });
+        awake.fetch_add(1);
+      });
+    }
+    AwaitWaiters(round_waits + kWaiters);
+    Atomically(rt_.sys(), [&](Tx& tx) {
+      tx.Store(go, std::uint64_t{1});
+      tx.CondBroadcast(cv);
+    });
+    for (auto& w : waiters) {
+      w.join();
+    }
+  }
+  EXPECT_EQ(awake.load(), kWaiters * kRounds);
+}
+
+using TmCondVarDeathTest = TmCondVarTest;
+
+TEST_P(TmCondVarDeathTest, NonPositiveCapacityFailsLoudly) {
+  // RoundUpPow2(capacity + 1) on a negative capacity used to wrap through
+  // size_t and spin the doubling loop; zero built a degenerate ring. Both now
+  // die in the constructor instead of corrupting later waits.
+  EXPECT_DEATH(TmCondVar cv(0), "capacity must be positive");
+  EXPECT_DEATH(TmCondVar cv(-3), "capacity must be positive");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TmCondVarDeathTest,
+                         ::testing::Values(Backend::kEagerStm),
+                         [](const ::testing::TestParamInfo<Backend>&) {
+                           return "EagerStm";
+                         });
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, TmCondVarTest,
                          ::testing::Values(Backend::kEagerStm, Backend::kLazyStm,
                                            Backend::kSimHtm),

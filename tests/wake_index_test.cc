@@ -149,6 +149,36 @@ TEST(WakeIndexUnitTest, DuplicateOrecsRegisterShardOnce) {
   EXPECT_TRUE(idx.Empty());
 }
 
+// Documents the duplicate-emission hazard the WakeWaiters seen-bitmap defends
+// against: the global pass masks against the *current* shard words, so a tid
+// that deregisters its indexed entry and re-registers globally between the
+// shard pass emitting it and the global pass sampling the mask is emitted
+// twice. Simulated deterministically by performing the re-registration inside
+// the visitor callback — exactly the interleaving a racing waiter produces.
+TEST(WakeIndexUnitTest, GlobalPassMayReEmitARacinglyReRegisteredTid) {
+  WakeIndex idx(64, 64);
+  Orec o;
+  const Orec* reg[] = {&o};
+  idx.AddIndexed(5, reg, 1);
+  std::vector<int> seen;
+  const Orec* writes[] = {&o};
+  idx.ForEachCandidate(writes, 1, [&](int tid) {
+    if (seen.empty()) {
+      // Racing waiter: timeout-deregister, then re-park with an arbitrary
+      // predicate (global list) before the visitor's global pass runs.
+      idx.Remove(tid);
+      idx.AddGlobal(tid);
+    }
+    seen.push_back(tid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{5, 5}))
+      << "if this stops re-emitting, the index now dedups internally and "
+         "WakeWaiters' seen bitmap is redundant";
+  idx.Remove(5);
+  EXPECT_TRUE(idx.Empty());
+}
+
 TEST(WakeIndexUnitTest, SingleShardDegradesToGlobalScan) {
   WakeIndex idx(64, 1);
   Orec a;
@@ -765,6 +795,11 @@ class WakeBatchingTest : public ::testing::TestWithParam<BackendWakeSingle> {
     TmConfig cfg = ConfigFor(backend(), targeted);
     cfg.wake_batch_size = batch;
     cfg.wake_single = wake_single();
+    // These suites exercise the batched wake-transaction path specifically;
+    // the CAS fast path would claim most candidates before any batch forms,
+    // and adaptive sizing would perturb the exact batch-count accounting.
+    cfg.cas_claim_fast_path = false;
+    cfg.adaptive_wake_batch = false;
     return cfg;
   }
 };
@@ -946,6 +981,11 @@ TEST(WakeBatchCountersTest, BatchesAreCeilCandidatesOverBatchSize) {
   for (int batch : {1, 8}) {
     TmConfig cfg = ConfigFor(Backend::kEagerStm, /*targeted=*/false);
     cfg.wake_batch_size = batch;
+    // Exact ceil(N/B) accounting only holds on the pure batched path: the CAS
+    // fast path resolves unchanged-predicate candidates without any wake
+    // transaction, and adaptive sizing may shrink B under abort pressure.
+    cfg.cas_claim_fast_path = false;
+    cfg.adaptive_wake_batch = false;
     Runtime rt(cfg);
     auto cells = std::make_unique<PaddedCell[]>(kWaiters);
     std::vector<std::thread> waiters;
@@ -991,6 +1031,8 @@ TEST(WakeBatchCountersTest, WakeSingleStopsAcrossBatches) {
   TmConfig cfg = ConfigFor(Backend::kEagerStm);
   cfg.wake_single = true;
   cfg.wake_batch_size = 2;
+  // Cross-batch stop behavior is only observable on the batched path.
+  cfg.cas_claim_fast_path = false;
   Runtime rt(cfg);
   PaddedCell cell;
   std::atomic<int> woken{0};
