@@ -44,6 +44,13 @@
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace {
 
 std::vector<int> ParseIntList(int argc, char** argv, const std::string& key,
@@ -100,7 +107,8 @@ bool VerifyNoLostWakeups(tcs::Backend backend, int batch, bool cas,
           tx.Retry();
         }
       });
-      woken.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      woken.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   while (rt.sys().waiters().RegisteredCount() < waiters) {
@@ -110,11 +118,13 @@ bool VerifyNoLostWakeups(tcs::Backend backend, int batch, bool cas,
     Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cells[w].v, std::uint64_t{1}); });
   }
   auto until = std::chrono::steady_clock::now() + deadline;
-  while (woken.load() < waiters) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (woken.load(std::memory_order_acquire) < waiters) {
     if (std::chrono::steady_clock::now() >= until) {
       std::fprintf(stderr,
                    "LOST WAKEUP: backend=%s batch=%d — %d of %d waiters woke\n",
-                   BackendName(backend), batch, woken.load(), waiters);
+                   // mo: acquire — [harness] observe worker-published state.
+                   BackendName(backend), batch, woken.load(std::memory_order_acquire), waiters);
       std::fprintf(stderr, "wake-batching verification FAILED\n");
       // Exit here on purpose: the stuck waiters (and the runtime they point
       // into) cannot be torn down, and unwinding past joinable threads would

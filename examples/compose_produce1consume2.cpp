@@ -18,6 +18,13 @@
 #include "src/core/transaction.h"
 #include "src/sync/bounded_buffer.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 using namespace tcs;
 
 namespace {
@@ -32,11 +39,13 @@ int RunScenario(bool use_condvar) {
   std::atomic<int> observed{0};
 
   std::thread observer([&] {
-    while (!stop.load()) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (!stop.load(std::memory_order_acquire)) {
       std::uint64_t v =
           Atomically(rt.sys(), [&](Tx& tx) { return tx.Load(inprogress); });
       if (v != 0) {
-        observed.fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        observed.fetch_add(1, std::memory_order_acq_rel);
       }
     }
   });
@@ -71,9 +80,11 @@ int RunScenario(bool use_condvar) {
     }
   });
   composer.join();
-  stop.store(true);
+  // mo: release — [harness] publish state to other harness threads.
+  stop.store(true, std::memory_order_release);
   observer.join();
-  return observed.load();
+  // mo: acquire — [harness] observe worker-published state.
+  return observed.load(std::memory_order_acquire);
 }
 
 }  // namespace

@@ -17,12 +17,15 @@ void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
   Entry& e = entries_[static_cast<std::size_t>(d.tid)];
   // The count is raised before validation; a committing writer that reads zero is
   // thereby guaranteed to have released its orecs before our validation loads,
-  // so validation will observe its commit (Dekker pairing with OnWriterCommit).
-  // mo: seq_cst — Dekker: the count raise must be totally ordered against the
-  // writer's HasWaiters-style count peek (via the commit fence in tm_system.cc).
-  count_.fetch_add(1, std::memory_order_seq_cst);
-  // mo: seq_cst fence — belt over the RMW above: orders the raise before the
-  // validation loads below in the same total order the writer's fence uses.
+  // so validation will observe its commit ([retry-dekker] pairing with the
+  // commit path that calls HasWaiters/OnWriterCommit).
+  // mo: relaxed — [retry-dekker] rider: the raise is anchored by the seq_cst
+  // fence just below; the RMW itself only needs atomicity.
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // mo: seq_cst fence — [retry-dekker] waiter leg.
+  // seq_cst-required: store-buffering exclusion — W(count_)/R(orecs) here vs
+  // the writer's W(orecs)/R(count_); acquire/release fences cannot forbid both
+  // sides reading the pre-update values ([atomics.fences]).
   std::atomic_thread_fence(std::memory_order_seq_cst);
 
   bool slept = false;
@@ -30,10 +33,11 @@ void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
     SpinLockGuard g(lock_);
     bool valid = true;
     for (const Orec* o : read_orecs) {
-      // mo: seq_cst — Dekker validation leg: ordered after the count raise, so
-      // either this load sees the writer's release or the writer's count peek
-      // sees us and its OnWriterCommit posts our semaphore.
-      std::uint64_t w = o->word.load(std::memory_order_seq_cst);
+      // mo: acquire — [orec-publish], and a [retry-dekker] rider: the waiter's
+      // seq_cst fence above orders this load after the count raise, so either
+      // it sees the writer's orec release or the writer's count peek sees us
+      // and its OnWriterCommit posts our semaphore.
+      std::uint64_t w = o->word.load(std::memory_order_acquire);
       if (!Orec::IsLocked(w) && Orec::Version(w) <= start) {
         continue;
       }
@@ -65,9 +69,10 @@ void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
     e.sleeping = false;
     e.reads.clear();
   }
-  // mo: seq_cst — Dekker: lowering stays in the same total order as raising,
-  // so a writer's peek never sees a stale zero while we still wait.
-  count_.fetch_sub(1, std::memory_order_seq_cst);
+  // mo: relaxed — [retry-dekker] rider: per-word coherence keeps the lowering
+  // after the raise; a writer that still sees the raised count merely takes
+  // the scan slow path and finds no sleeping entry under the lock.
+  count_.fetch_sub(1, std::memory_order_relaxed);
   d.stats.Bump(Counter::kDeschedules);
 }
 

@@ -14,6 +14,15 @@
 // orecs itself. Validation therefore accepts an orec whose current word equals the
 // value this thread's own rollback stored ("released" below); any later writer
 // commit moves the orec past that value, so the check stays conservative.
+//
+// Lost-wakeup exclusion is the [retry-dekker] store-buffering shape (glossary in
+// wake_index.h). Waiter: raise count_ (relaxed RMW), seq_cst fence, validate the
+// read orecs. Writer: release its orecs, seq_cst fence (commit path in
+// tm_system.cc), peek count_. The two fences are the only seq_cst the protocol
+// needs — [atomics.fences] forbids both sides missing each other, so either
+// validation observes the commit (waiter restarts) or the peek observes the
+// raised count (writer scans and posts). The count ops themselves are relaxed
+// riders anchored by the fences.
 #ifndef TCS_CONDSYNC_RETRY_ORIG_H_
 #define TCS_CONDSYNC_RETRY_ORIG_H_
 
@@ -37,10 +46,11 @@ class RetryOrigRegistry {
   RetryOrigRegistry& operator=(const RetryOrigRegistry&) = delete;
 
   // Conservative fast-path check used by committing writers.
-  // mo: seq_cst — Dekker: the peek runs after the writer's commit fence and is
-  // totally ordered against waiters' seq_cst count raise in WaitForOverlap, so
-  // "raise serialized first" implies "the writer sees a non-zero count".
-  bool HasWaiters() const { return count_.load(std::memory_order_seq_cst) > 0; }
+  // mo: relaxed — [retry-dekker] rider: the peek is ordered by the writer's
+  // commit-side seq_cst fence (tm_system.cc), which excludes the SB outcome
+  // against the waiter's raise+fence in WaitForOverlap; the load itself only
+  // needs atomicity.
+  bool HasWaiters() const { return count_.load(std::memory_order_relaxed) > 0; }
 
   // Algorithm 1, Retry lines 3-8: under the waiting lock, re-validate the read
   // orecs against `start` (honoring `released`, see above); if still valid,

@@ -7,12 +7,13 @@
 // against writer commits and closes the lost-wakeup window.
 //
 // A writer that committed must not pay a scan when nobody waits. The registry keeps
-// a conservative bitmap of possibly-registered slots: a waiter sets its bit (seq_cst)
+// a conservative bitmap of possibly-registered slots: a waiter sets its bit (release)
 // *before* its registration transaction begins and clears it after deregistering.
 // Writer commits and the bitmap load are ordered through the global version clock's
-// RMW chain, so "registration serialized before my commit" implies "I see the bit".
-// The no-waiters fast path is therefore a handful of relaxed loads — the paper's
-// "no overhead on in-flight hardware transactions".
+// RMW chain ([clock-chain]'s release sequence), so "registration serialized before
+// my commit" implies "I see the bit" — the full argument is the [wake-publish]
+// glossary entry in wake_index.h. The no-waiters fast path is therefore a handful
+// of acquire loads — the paper's "no overhead on in-flight hardware transactions".
 #ifndef TCS_CONDSYNC_WAITER_REGISTRY_H_
 #define TCS_CONDSYNC_WAITER_REGISTRY_H_
 
@@ -79,10 +80,11 @@ class WaiterRegistry {
   // Conservative "anyone possibly waiting?" peek for the writer fast path.
   bool HasWaiters() const {
     for (int w = 0; w < mask_words_; ++w) {
-      // mo: seq_cst — [wake-publish]: the peek runs after the writer's commit
-      // fence; total order with the waiter's seq_cst MarkRegistered closes the
-      // lost-wakeup window (see the header comment).
-      if (mask_[w].load(std::memory_order_seq_cst) != 0) {
+      // mo: acquire — [wake-publish]: the peek runs after the writer's commit
+      // RMW on the version clock; [clock-chain]'s release sequence carries the
+      // waiter's release MarkRegistered (sequenced before its registration
+      // commit) to this load, closing the lost-wakeup window.
+      if (mask_[w].load(std::memory_order_acquire) != 0) {
         return true;
       }
     }
@@ -90,27 +92,32 @@ class WaiterRegistry {
   }
 
   void MarkRegistered(int tid) {
-    // mo: seq_cst — [wake-publish]: the bit set is totally ordered with writer
-    // commit fences and HasWaiters peeks; "registration serialized before the
-    // commit" must imply "the writer sees the bit".
+    // mo: release — [wake-publish]: the bit set precedes the registration
+    // transaction's [clock-chain] RMW in program order; a writer whose commit
+    // serializes after that registration picks it up through the clock's
+    // release sequence, so "registration serialized before the commit" implies
+    // "the writer sees the bit".
     mask_[tid / 64].fetch_or(std::uint64_t{1} << (tid % 64),
-                             std::memory_order_seq_cst);
+                             std::memory_order_release);
   }
 
   void UnmarkRegistered(int tid) {
-    // mo: seq_cst — [wake-publish]: clearing stays in the same total order as
-    // setting, so a writer's scan never sees a stale cleared bit ahead of the
-    // deregistration it belongs to.
+    // mo: relaxed — [wake-publish] rider: per-word coherence keeps set/clear
+    // of the same bit ordered; a writer that sees the cleared bit merely skips
+    // a slot whose transactional deregistration already committed, and one
+    // that sees a stale set bit wakes a candidate the transactional check
+    // (asleep == 0) rejects.
     mask_[tid / 64].fetch_and(~(std::uint64_t{1} << (tid % 64)),
-                              std::memory_order_seq_cst);
+                              std::memory_order_relaxed);
   }
 
   // Introspection for tests and debugging: is this slot's presence bit set?
   // A timed wait that expires must leave its bit clear (no leaked entries).
   bool IsRegistered(int tid) const {
-    // mo: seq_cst — [wake-publish]: same total order as Mark/Unmark, so test
-    // assertions see the latest transition.
-    return (mask_[tid / 64].load(std::memory_order_seq_cst) &
+    // mo: acquire — [wake-publish]: test assertions run after a join or a
+    // committed transition they arranged themselves; acquire pairs with the
+    // release Mark and per-word coherence covers the Unmark rider.
+    return (mask_[tid / 64].load(std::memory_order_acquire) &
             (std::uint64_t{1} << (tid % 64))) != 0;
   }
 
@@ -118,8 +125,8 @@ class WaiterRegistry {
   int RegisteredCount() const {
     int n = 0;
     for (int w = 0; w < mask_words_; ++w) {
-      // mo: seq_cst — [wake-publish]: same total order as Mark/Unmark.
-      n += __builtin_popcountll(mask_[w].load(std::memory_order_seq_cst));
+      // mo: acquire — [wake-publish]: same pairing as IsRegistered above.
+      n += __builtin_popcountll(mask_[w].load(std::memory_order_acquire));
     }
     return n;
   }
@@ -129,9 +136,10 @@ class WaiterRegistry {
   template <typename Fn>
   void ForEachRegistered(Fn&& fn) {
     for (int w = 0; w < mask_words_; ++w) {
-      // mo: seq_cst — [wake-publish]: the writer-side scan, ordered after its
-      // commit fence; pairs with waiters' seq_cst MarkRegistered.
-      std::uint64_t bits = mask_[w].load(std::memory_order_seq_cst);
+      // mo: acquire — [wake-publish]: the writer-side scan runs after the
+      // commit's [clock-chain] RMW, whose release sequence carries every
+      // registration's release MarkRegistered to this load.
+      std::uint64_t bits = mask_[w].load(std::memory_order_acquire);
       while (bits != 0) {
         int bit = __builtin_ctzll(bits);
         bits &= bits - 1;

@@ -55,9 +55,10 @@ WakeIndex::WakeIndex(int max_threads, int num_shards)
 int WakeIndex::ShardPopulation(int s) const {
   int n = 0;
   for (int w = 0; w < mask_words_; ++w) {
-    // mo: seq_cst — [wake-publish]: introspection reads in the same total
-    // order as Add/Remove, so tests see the latest transition.
-    n += __builtin_popcountll(ShardWord(s, w).load(std::memory_order_seq_cst));
+    // mo: acquire — [wake-publish]: introspection pairs with the release
+    // inserts; callers that need a fresh count sequence their own barrier
+    // (join/commit) before asking.
+    n += __builtin_popcountll(ShardWord(s, w).load(std::memory_order_acquire));
   }
   return n;
 }
@@ -65,24 +66,25 @@ int WakeIndex::ShardPopulation(int s) const {
 int WakeIndex::GlobalPopulation() const {
   int n = 0;
   for (int w = 0; w < mask_words_; ++w) {
-    // mo: seq_cst — [wake-publish]: same total order as Add/Remove.
-    n += __builtin_popcountll(global_[w].load(std::memory_order_seq_cst));
+    // mo: acquire — [wake-publish]: same pairing as the shard scan above.
+    n += __builtin_popcountll(global_[w].load(std::memory_order_acquire));
   }
   return n;
 }
 
 bool WakeIndex::Empty() const {
   for (int w = 0; w < mask_words_; ++w) {
-    // mo: seq_cst — [wake-publish]: the leak check must not miss an entry the
-    // last Remove already cleared in the total order.
-    if (global_[w].load(std::memory_order_seq_cst) != 0) {
+    // mo: acquire — [wake-publish]: the leak check runs after every waiter
+    // thread has joined (thread join orders the final Remove before this
+    // load), so acquire is already stronger than required.
+    if (global_[w].load(std::memory_order_acquire) != 0) {
       return false;
     }
   }
   for (int s = 0; s < num_shards_; ++s) {
     for (int w = 0; w < mask_words_; ++w) {
-      // mo: seq_cst — [wake-publish]: same argument as the global scan above.
-      if (ShardWord(s, w).load(std::memory_order_seq_cst) != 0) {
+      // mo: acquire — [wake-publish]: same argument as the global scan above.
+      if (ShardWord(s, w).load(std::memory_order_acquire) != 0) {
         return false;
       }
     }

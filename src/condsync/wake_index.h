@@ -43,10 +43,11 @@
 // batched claim/post protocol and its abort/retry reasoning.
 //
 // Publication ordering mirrors the WaiterRegistry presence bitmap: a waiter
-// inserts its index entries (seq_cst) *before* its registration transaction
-// begins, and a writer reads shards only after its commit's seq_cst fence, so
-// "registration serialized before my commit" implies "I see the entries" — the
-// same clock-RMW chain that closes the bitmap's lost-wakeup window.
+// inserts its index entries (release) *before* its registration transaction
+// begins, and a writer reads shards (acquire) only after its commit's
+// [clock-chain] RMW, so "registration serialized before my commit" implies
+// "I see the entries" — see the [wake-publish] glossary entry below for the
+// full release-sequence argument that let these drop from seq_cst.
 #ifndef TCS_CONDSYNC_WAKE_INDEX_H_
 #define TCS_CONDSYNC_WAKE_INDEX_H_
 
@@ -68,10 +69,43 @@ struct Orec;
 //
 // Every std::memory_order argument in this codebase carries a `// mo:` comment
 // naming its pairing partner; the recurring cross-file edges are named here so
-// the comments can reference them by label (and the atomics-discipline lint,
-// tools/lint_tm_discipline.py, can enforce the comments' presence):
+// the comments can reference them by label. Tooling reads this appendix:
+// tools/lint_tm_discipline.py enforces the comments' presence, and
+// tools/tm_analyze.py parses every annotation into a cross-file edge graph
+// keyed by these tags and verifies each edge is well-formed.
 //
-//  [orec-publish]  The orec (or sim-HTM cache-line) word's release store of an
+// Annotation grammar (machine-checked, see tools/tm_lint_lib.py):
+//
+//   // mo: <order>[ fence] — <argument naming the happens-before partner>
+//
+// with <order> ∈ {relaxed, acquire, release, acq_rel, seq_cst}. The argument
+// may reference edges as `[tag]`; a tag must be declared here or by a
+// file-local `// mo-edge: [tag] (minimal: <spec>) — <description>` line.
+//
+// Every seq_cst site — including seq_cst fences — must additionally carry
+//
+//   seq_cst-required: <why acquire/release is insufficient>
+//
+// in its annotation block; tm_analyze's budget gate fails CI on any seq_cst
+// site without one. A valid reason names a Dekker / store-buffering shape
+// (two threads that each store one word then load the other's): acq/rel
+// cannot exclude both loads missing both stores, only membership in the
+// single total order S can. Anything weaker than that shape should be argued
+// as release/acquire instead of justified.
+//
+// Each entry's `(minimal: <spec>)` marks the edge's intended minimal
+// ordering, which tm_analyze verifies against the code's endpoints:
+//   release/acquire  needs ≥1 release-side and ≥1 acquire-side endpoint;
+//                    relaxed endpoints only ride the edge
+//   seq_cst          a Dekker edge: at least two seq_cst anchors (ops or
+//                    fences), each with a seq_cst-required justification;
+//                    weaker endpoints ride the anchors
+//   external         synchronization comes from a non-atomic primitive
+//                    (semaphore, thread join, lock); no endpoint obligations
+//   relaxed          endpoints need no ordering at all (atomicity only)
+//
+//  [orec-publish]  (minimal: release/acquire)
+//                  The orec (or sim-HTM cache-line) word's release store of an
 //                  unlocked version, paired with every acquire load/CAS that
 //                  samples the word. A committer orders its data write-back
 //                  before the store; a reader that acquires an unlocked
@@ -79,36 +113,76 @@ struct Orec;
 //                  read / re-check snapshot and all lock acquisitions key on
 //                  this one edge.
 //
-//  [clock-chain]   The global version clock's seq_cst fetch_add (Increment)
-//                  and acquire Load. Every committed writer's increment is
-//                  totally ordered; a transaction that begins at start S
-//                  happens-after every commit with end ≤ S. This chain also
-//                  orders the wake path: a waiter's registration transaction
-//                  and a writer's commit are both clock RMWs, so one of them
-//                  serializes first — the case split the no-lost-wakeup
-//                  argument below rests on.
+//  [clock-chain]   (minimal: release/acquire)
+//                  The global version clock's fetch_add chain (Increment) and
+//                  acquire Load. Every committed writer's increment is an RMW
+//                  on the one clock word, so the increments form a release
+//                  sequence: an acquire operation that reads any link of the
+//                  chain synchronizes with every earlier release link, and a
+//                  transaction that begins at start S happens-after every
+//                  commit with end ≤ S. This chain also orders the wake path:
+//                  a waiter's registration transaction and a writer's commit
+//                  are both clock RMWs, so one of them serializes first — the
+//                  case split the no-lost-wakeup argument below rests on.
+//                  (The Increment itself stays seq_cst for the committer leg
+//                  of [quiesce-dekker]; the *edge* needs only acq_rel.)
 //
-//  [wake-publish]  The seq_cst bitmap operations in this file plus the
-//                  WaiterRegistry presence bitmap. A waiter inserts entries
-//                  (seq_cst) before its registration transaction's clock RMW;
-//                  a writer reads the bitmaps only after its commit's seq_cst
-//                  fence. seq_cst makes the bitmap writes totally ordered
-//                  with those fences, closing the window where a registration
-//                  that serialized before the commit is not yet visible to
-//                  the writer's scan.
+//  [wake-publish]  (minimal: release/acquire)
+//                  The bitmap operations in this file plus the WaiterRegistry
+//                  presence bitmap. A waiter inserts entries (release) before
+//                  its registration transaction begins; that transaction
+//                  writes slot words, so its commit performs a [clock-chain]
+//                  RMW. A committing writer's own commit RMW reads the chain,
+//                  so if the registration's RMW precedes the writer's in the
+//                  clock's modification order, the writer's increment
+//                  synchronizes with the registration's and the insert —
+//                  sequenced before it — is visible to the writer's acquire
+//                  scan (write-read coherence: a load ordered after the
+//                  insert by happens-before cannot read an older bitmap
+//                  word). If instead the writer's RMW serializes first, the
+//                  registration's double-check runs against the writer's
+//                  committed state and the waiter never sleeps on a satisfied
+//                  predicate. Either way no wakeup is lost — seq_cst added
+//                  nothing but a total order the argument never used.
 //
-//  [serial-token]  sim-HTM's Dekker pair: each committer's per-thread
+//  [serial-token]  (minimal: seq_cst)
+//                  sim-HTM's Dekker pair: each committer's per-thread
 //                  `committing_` flag vs. the serial token/sequence words.
 //                  All four accesses are seq_cst so either the serial entrant
 //                  sees the flag (and drains) or the committer sees the token
 //                  (and aborts) — the classic store-buffering case both
 //                  being acquire/release would not exclude.
 //
-//  [sem]           Semaphore post/wait: everything before Post() happens-
+//  [retry-dekker]  (minimal: seq_cst)
+//                  Retry-Orig's store-buffering handshake, fence-anchored:
+//                  a retrying waiter raises `count_` (relaxed RMW), issues a
+//                  seq_cst fence, then validates its read orecs; a committing
+//                  writer releases its write orecs, issues its commit-side
+//                  seq_cst fence (tm_system.cc), then peeks `count_`
+//                  (relaxed). The two fences are ordered in S, so either the
+//                  waiter's validation sees the writer's orec bump (and does
+//                  not sleep) or the writer's peek sees the raised count (and
+//                  scans the sleeper list). The count and peek themselves
+//                  ride the fences at relaxed — the fences are the edge.
+//
+//  [quiesce-dekker] (minimal: seq_cst)
+//                  Privatization-safety Dekker between a raw snapshot reader
+//                  and a committing writer: the reader publishes its quiesce
+//                  slot (seq_cst store) then samples orec words; the
+//                  committer locks/bumps its orecs, performs the seq_cst
+//                  [clock-chain] Increment, then scans the quiesce slots.
+//                  Either the reader's sample sees the locked/bumped orec
+//                  (and falls back or aborts), or the committer's scan sees
+//                  the published slot (and waits for the reader) — the
+//                  store-buffering exclusion that gates memory reclamation.
+//
+//  [sem]           (minimal: external)
+//                  Semaphore post/wait: everything before Post() happens-
 //                  before the matching Wait() return. The wake path posts
 //                  strictly after the claiming transaction commits, so a
 //                  woken waiter observes the committed state that satisfied
-//                  its predicate.
+//                  its predicate. The release/acquire pair lives inside the
+//                  Semaphore implementation; annotated sites only ride it.
 // ---------------------------------------------------------------------------
 
 class WakeIndex {
@@ -173,10 +247,12 @@ class WakeIndex {
       while (word != 0) {
         int s = sw * 64 + __builtin_ctzll(word);
         word &= word - 1;
-        // mo: seq_cst — [wake-publish]: the insert must be totally ordered
-        // with committing writers' seq_cst commit fences, so a registration
-        // that serializes before a commit is visible to that writer's scan.
-        ShardWord(s, w).fetch_or(bit, std::memory_order_seq_cst);
+        // mo: release — [wake-publish]: the insert precedes the registration
+        // transaction's [clock-chain] RMW in program order; a writer whose
+        // commit RMW serializes later therefore sees it (release-sequence
+        // argument in the glossary). The release also pairs directly with
+        // the scan's acquire when the scan reads-from this very insert.
+        ShardWord(s, w).fetch_or(bit, std::memory_order_release);
       }
     }
     TCS_PROTO(if (checker_ != nullptr) checker_->OnWakeRegister(tid, true));
@@ -186,10 +262,10 @@ class WakeIndex {
   // every committing writer must consider it).
   void AddGlobal(int tid) {
     per_tid_global_[tid] = 1;
-    // mo: seq_cst — [wake-publish]: same total-order argument as the shard
-    // insert in AddIndexed; the global list is scanned by every writer.
+    // mo: release — [wake-publish]: same release-sequence argument as the
+    // shard insert in AddIndexed; the global list is scanned by every writer.
     global_[tid / 64].fetch_or(std::uint64_t{1} << (tid % 64),
-                               std::memory_order_seq_cst);
+                               std::memory_order_release);
     TCS_PROTO(if (checker_ != nullptr) checker_->OnWakeRegister(tid, false));
   }
 
@@ -208,16 +284,18 @@ class WakeIndex {
       while (word != 0) {
         int s = sw * 64 + __builtin_ctzll(word);
         word &= word - 1;
-        // mo: seq_cst — [wake-publish]: clearing stays in the same total
-        // order as inserts and writer scans, so a scan never resurrects an
-        // entry the owner already removed.
-        ShardWord(s, w).fetch_and(clear, std::memory_order_seq_cst);
+        // mo: relaxed — [wake-publish] rider: per-word coherence already
+        // keeps insert/clear RMWs on one bitmap word totally ordered, and a
+        // scan that reads the pre-clear value only produces a spurious
+        // candidate, which the transactional wake check rejects (asleep==0).
+        ShardWord(s, w).fetch_and(clear, std::memory_order_relaxed);
       }
     }
     if (per_tid_global_[tid] != 0) {
       per_tid_global_[tid] = 0;
-      // mo: seq_cst — [wake-publish]: same argument as the shard clear above.
-      global_[w].fetch_and(clear, std::memory_order_seq_cst);
+      // mo: relaxed — [wake-publish] rider: same spurious-candidate argument
+      // as the shard clear above.
+      global_[w].fetch_and(clear, std::memory_order_relaxed);
     }
   }
 
@@ -256,10 +334,10 @@ class WakeIndex {
         while (ss != 0) {
           int s = sw * 64 + __builtin_ctzll(ss);
           ss &= ss - 1;
-          // mo: seq_cst — [wake-publish]: the writer-side scan, totally
-          // ordered after its commit fence; pairs with the waiter's seq_cst
-          // insert in AddIndexed.
-          bits |= ShardWord(s, w).load(std::memory_order_seq_cst);
+          // mo: acquire — [wake-publish]: the writer-side scan, ordered
+          // after its commit's [clock-chain] RMW; pairs with the waiter's
+          // release insert in AddIndexed.
+          bits |= ShardWord(s, w).load(std::memory_order_acquire);
         }
       }
       while (bits != 0) {
@@ -271,9 +349,9 @@ class WakeIndex {
       }
     }
     for (int w = 0; w < mask_words_; ++w) {
-      // mo: seq_cst — [wake-publish]: pairs with the waiter's seq_cst insert
-      // in AddGlobal, same total-order argument as the shard scan above.
-      std::uint64_t bits = global_[w].load(std::memory_order_seq_cst);
+      // mo: acquire — [wake-publish]: pairs with the waiter's release insert
+      // in AddGlobal, same clock-chain argument as the shard scan above.
+      std::uint64_t bits = global_[w].load(std::memory_order_acquire);
       // A tid registers either indexed or global, never both, so masking out
       // the shard union usually suppresses a racing re-registration between
       // the passes. It is best-effort, NOT a dedup guarantee: a tid emitted by
@@ -288,9 +366,10 @@ class WakeIndex {
         while (ss != 0) {
           int s = sw * 64 + __builtin_ctzll(ss);
           ss &= ss - 1;
-          // mo: seq_cst — [wake-publish]: de-dup leg of the global pass;
-          // same pairing as the shard scan above.
-          bits &= ~ShardWord(s, w).load(std::memory_order_seq_cst);
+          // mo: relaxed — [wake-publish] rider: best-effort de-dup mask of
+          // the global pass (see the comment above); a stale word only lets
+          // a duplicate candidate through, which callers dedup anyway.
+          bits &= ~ShardWord(s, w).load(std::memory_order_relaxed);
         }
       }
       while (bits != 0) {

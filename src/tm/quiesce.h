@@ -24,9 +24,13 @@ class QuiesceTable {
   QuiesceTable& operator=(const QuiesceTable&) = delete;
 
   // Publishes that `tid` is running a transaction that began at `start`.
-  // mo: seq_cst — Dekker with the committer's quiescence scan: either the scan
+  // mo: seq_cst — [quiesce-dekker] reader leg: W(slot)/R(clock) against the
+  // committer's W(clock)/R(slot).
+  // seq_cst-required: store-buffering exclusion — either the quiescence scan
   // sees this slot active (and waits for it), or this thread's clock sample
-  // is ordered after the commit's increment and start ≥ end.
+  // is ordered after the commit's increment and start ≥ end; release on the
+  // store would let both sides read stale values and privatized memory be
+  // reused under a still-running reader.
   void SetActive(int tid, std::uint64_t start) {
     slots_[tid].start.store(start, std::memory_order_seq_cst);
   }

@@ -86,15 +86,22 @@ void SimHtm::EnterSerial(TxDesc& d) {
   serial_entry_lock_.Lock();
   // mo: seq_cst — [serial-token] Dekker: the token store must be totally
   // ordered against every committer's flag store/re-check in CommitTx.
+  // seq_cst-required: Dekker write leg — W(token)/R(flags) vs the committer's
+  // W(flag)/R(token); a release store would let both sides miss each other.
   serial_owner_.store(d.tid, std::memory_order_seq_cst);
   // mo: seq_cst — [serial-token]: same total order as the token store, so a
   // passive hardware transaction's seq re-check catches a full serial section.
+  // seq_cst-required: must sit in the token store's total order; otherwise a
+  // full enter/exit serial section could hide between a transaction's token
+  // poll and its seq baseline.
   serial_seq_.fetch_add(1, std::memory_order_seq_cst);
   // Drain hardware commits that began before the token was visible.
   for (int t = 0; t < cfg_.max_threads; ++t) {
     // mo: seq_cst — [serial-token] Dekker: either the committer's flag store
     // is ordered before our token store (we wait here), or it is after and the
     // committer's re-check sees the token and aborts.
+    // seq_cst-required: Dekker read leg of the drain; an acquire load could
+    // miss a flag whose store is unordered with our token store.
     while (committing_[t].v.load(std::memory_order_seq_cst) != 0) {
       CpuRelax();
     }
@@ -108,6 +115,8 @@ void SimHtm::ExitSerial(TxDesc& d) {
   d.htm_serial = false;
   // mo: seq_cst — [serial-token]: release the token in the same total order
   // hardware transactions poll it in (BeginTx / SerialInterference).
+  // seq_cst-required: the token word anchors the Dekker; keeping every access
+  // in the single total order is what the exclusion argument quantifies over.
   serial_owner_.store(-1, std::memory_order_seq_cst);
   serial_entry_lock_.Unlock();
 }
@@ -127,12 +136,17 @@ void SimHtm::BeginTx(TxDesc& d) {
   // A hardware transaction cannot start while a serial transaction runs.
   // mo: seq_cst — [serial-token]: poll the token in the same total order
   // EnterSerial/ExitSerial store it in.
+  // seq_cst-required: Dekker read leg — the poll must not be reorderable
+  // around the seq baseline load below.
   while (serial_owner_.load(std::memory_order_seq_cst) != -1) {
     CpuYield();
   }
   // mo: seq_cst — [serial-token]: baseline for SerialInterference's seq
   // re-check; ordered after the token poll above so a serial section between
   // the two is caught by either.
+  // seq_cst-required: the baseline must sit between the token poll and later
+  // re-checks in the single total order; acquire would allow a stale baseline
+  // that masks a completed serial section.
   d.htm_serial_seq0 = serial_seq_.load(std::memory_order_seq_cst);
   d.start = clock_.Load();
   TCS_PROTO(proto_->OnClockObserved(d.tid, d.start));
@@ -247,6 +261,8 @@ bool SimHtm::CommitTx(TxDesc& d) {
   // flag and waits).
   // mo: seq_cst — [serial-token] Dekker: the flag store must be totally
   // ordered against EnterSerial's token store and drain loop.
+  // seq_cst-required: Dekker write leg — W(flag)/R(token) vs the entrant's
+  // W(token)/R(flags); release would let both sides miss each other.
   committing_[d.tid].v.store(1, std::memory_order_seq_cst);
   if (SerialInterference(d)) {
     HwAbort(d, Counter::kHtmConflictAborts, AbortCause::kHtmConflict);
@@ -280,6 +296,8 @@ bool SimHtm::CommitTx(TxDesc& d) {
   }
   // mo: seq_cst — [serial-token] Dekker: clearing the flag in the same total
   // order EnterSerial's drain loop polls it in.
+  // seq_cst-required: the drain loop's exit decision quantifies over the
+  // single total order of flag accesses.
   committing_[d.tid].v.store(0, std::memory_order_seq_cst);
   quiesce_.SetInactive(d.tid);
   if (cfg_.privatization_safety) {
@@ -312,6 +330,8 @@ void SimHtm::Rollback(TxDesc& d) {
   }
   // mo: seq_cst — [serial-token] Dekker: clearing the flag in the same total
   // order EnterSerial's drain loop polls it in.
+  // seq_cst-required: the drain loop's exit decision quantifies over the
+  // single total order of flag accesses.
   committing_[d.tid].v.store(0, std::memory_order_seq_cst);
   d.locks.clear();
   d.reads.clear();
@@ -396,13 +416,19 @@ bool SimHtm::EnterWakeClaimRegion(TxDesc& d) {
   // completed before this region began is harmless — its writes are settled.)
   // mo: seq_cst — [serial-token] Dekker: the flag store must be totally
   // ordered against EnterSerial's token store and drain loop.
+  // seq_cst-required: Dekker write leg — W(flag)/R(token) vs the entrant's
+  // W(token)/R(flags); release would let both sides miss each other.
   committing_[d.tid].v.store(1, std::memory_order_seq_cst);
   // mo: seq_cst — [serial-token] Dekker: either our flag store precedes the
   // serial entrant's token store (its drain loop waits on us), or the token
   // store precedes this load (we see it and bail).
+  // seq_cst-required: Dekker read leg — the re-check after the flag store is
+  // the half that makes the exclusion total; acquire could read a stale -1.
   if (serial_owner_.load(std::memory_order_seq_cst) != -1) {
     // mo: seq_cst — [serial-token] Dekker: clearing the flag in the same
     // total order EnterSerial's drain loop polls it in.
+    // seq_cst-required: the drain loop's exit decision quantifies over the
+    // single total order of flag accesses.
     committing_[d.tid].v.store(0, std::memory_order_seq_cst);
     return false;
   }
@@ -412,6 +438,8 @@ bool SimHtm::EnterWakeClaimRegion(TxDesc& d) {
 void SimHtm::ExitWakeClaimRegion(TxDesc& d) {
   // mo: seq_cst — [serial-token] Dekker: clearing the flag in the same total
   // order EnterSerial's drain loop polls it in.
+  // seq_cst-required: the drain loop's exit decision quantifies over the
+  // single total order of flag accesses.
   committing_[d.tid].v.store(0, std::memory_order_seq_cst);
 }
 

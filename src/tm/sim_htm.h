@@ -84,6 +84,9 @@ class SimHtm final : public TmSystem {
     // mo: seq_cst (both loads) — [serial-token] Dekker: totally ordered against
     // EnterSerial's token/seq stores and this thread's committing_ flag store,
     // so a serial section cannot slip between the flag store and this check.
+    // seq_cst-required: Dekker read leg — with acquire loads, this check and
+    // the serial entrant's drain loop could both read pre-store values and a
+    // serial section would run concurrently with a hardware commit.
     return serial_owner_.load(std::memory_order_seq_cst) != -1 ||
            serial_seq_.load(std::memory_order_seq_cst) != d.htm_serial_seq0;
   }

@@ -259,10 +259,14 @@ void TmSystem::Commit() {
     }
     if (writer) {
       // Order this writer's published state against the waiter-presence peeks
-      // below (see WaiterRegistry's header for the full argument).
-      // mo: seq_cst fence — [wake-publish]: totally ordered against waiters'
-      // seq_cst bitmap inserts, so a registration that serialized before this
-      // commit is visible to the peeks below.
+      // below.
+      // mo: seq_cst fence — [retry-dekker] writer leg: W(orecs)/R(count_)
+      // against the waiter's W(count_)/R(orecs) in WaitForOverlap.
+      // seq_cst-required: store-buffering exclusion needs the fence total
+      // order ([atomics.fences]); acquire/release cannot forbid both sides
+      // reading pre-update values. (The WaiterRegistry/WakeIndex peeks need no
+      // fence — [wake-publish] rides the [clock-chain] release sequence — but
+      // RetryOrig registration performs no clock RMW, hence this Dekker.)
       std::atomic_thread_fence(std::memory_order_seq_cst);
       if (!commit_orecs.empty() && retry_orig_->HasWaiters()) {
         retry_orig_->OnWriterCommit(commit_orecs);

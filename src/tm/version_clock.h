@@ -21,8 +21,12 @@ class alignas(kCacheLineBytes) VersionClock {
   std::uint64_t Load() const { return time_.load(std::memory_order_acquire); }
 
   // Returns the new (post-increment) time.
-  // mo: seq_cst — [clock-chain]: the RMW chain totally orders writer commits
-  // and doubles as each commit's fence for the wake-path presence peeks.
+  // mo: seq_cst — [clock-chain] release/acquire leg, and the committer's
+  // W-side of [quiesce-dekker].
+  // seq_cst-required: the commit's increment must be totally ordered against
+  // readers' SetActive stores so the quiescence scan and the reader's clock
+  // sample cannot both miss each other (store-buffering shape); acq_rel on
+  // this RMW would allow start < end with the scan seeing an inactive slot.
   std::uint64_t Increment() {
     return time_.fetch_add(1, std::memory_order_seq_cst) + 1;
   }

@@ -11,6 +11,13 @@
 
 #include "src/sync/bounded_buffer.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -181,11 +188,13 @@ TEST_P(ComposabilityTest, Produce1Consume2StaysAtomic) {
 
   // Observer: the dangerous scenario's symptom is seeing inprogress == 1.
   std::thread observer([&] {
-    while (!stop.load()) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (!stop.load(std::memory_order_acquire)) {
       std::uint64_t v =
           Atomically(rt_.sys(), [&](Tx& tx) { return tx.Load(inprogress); });
       if (v != 0) {
-        violations.fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        violations.fetch_add(1, std::memory_order_acq_rel);
       }
     }
   });
@@ -226,10 +235,12 @@ TEST_P(ComposabilityTest, Produce1Consume2StaysAtomic) {
   Atomically(rt_.sys(), [&](Tx& tx) { buf.Put(tx, 222); });
 
   composer.join();
-  stop.store(true);
+  // mo: release — [harness] publish state to other harness threads.
+  stop.store(true, std::memory_order_release);
   observer.join();
 
-  EXPECT_EQ(violations.load(), 0) << "composed transaction leaked partial state";
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(violations.load(std::memory_order_acquire), 0) << "composed transaction leaked partial state";
   // FIFO across the composed restart: the helper's element went in while the
   // composer was rolled back, so it comes out first.
   std::multiset<std::uint64_t> got{a, b};

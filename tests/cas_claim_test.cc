@@ -17,6 +17,13 @@
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -164,7 +171,8 @@ TEST_P(CasClaimTest, FastAndBatchedClaimsRaceUnderChurn) {
   for (int w = 0; w < kWriters; ++w) {
     writers.emplace_back([&, w] {
       std::uint64_t i = 0;
-      while (!stop.load()) {
+      // mo: acquire — [harness] observe worker-published state.
+      while (!stop.load(std::memory_order_acquire)) {
         if ((i + w) % 2 == 0) {
           Atomically(rt.sys(),
                      [&](Tx& tx) { tx.Store(hub.v, tx.Load(hub.v) + 1); });
@@ -205,7 +213,8 @@ TEST_P(CasClaimTest, FastAndBatchedClaimsRaceUnderChurn) {
   for (auto& t : waiters) {
     t.join();
   }
-  stop.store(true);
+  // mo: release — [harness] publish state to other harness threads.
+  stop.store(true, std::memory_order_release);
   for (auto& t : writers) {
     t.join();
   }
@@ -222,7 +231,8 @@ TEST_P(CasClaimTest, FastAndBatchedClaimsRaceUnderChurn) {
           tx.Retry();
         }
       });
-      woken.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      woken.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   while (rt.sys().waiters().RegisteredCount() < kWaiters) {
@@ -236,7 +246,8 @@ TEST_P(CasClaimTest, FastAndBatchedClaimsRaceUnderChurn) {
   for (auto& t : waiters) {
     t.join();
   }
-  EXPECT_EQ(woken.load(), kWaiters);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(woken.load(std::memory_order_acquire), kWaiters);
   TxStats s = rt.AggregateStats();
   EXPECT_EQ(s.Get(Counter::kFalseWakeups), 0u)
       << "a claim path woke a waiter whose predicate never changed";
@@ -264,20 +275,23 @@ TEST_P(CasClaimTest, WakeSingleBudgetHoldsOnTheFastPath) {
           tx.Retry();
         }
       });
-      woken.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      woken.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   AwaitCounter(rt, Counter::kSleeps, kWaiters);
   rt.ResetStats();
   Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
-  while (woken.load() < 1) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (woken.load(std::memory_order_acquire) < 1) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_EQ(rt.AggregateStats().Get(Counter::kWakeups), 1u)
       << "wake_single leaked extra wakeups through the fast path";
   // The woken waiter's read-only commit wakes nobody; drive the rest out.
-  while (woken.load() < kWaiters) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (woken.load(std::memory_order_acquire) < kWaiters) {
     Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }

@@ -16,6 +16,13 @@
 #include "src/core/transaction.h"
 #include "src/core/tvar.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -346,20 +353,24 @@ TEST_P(CondSyncTest, RetryPreservesAtomicityWhereCondVarBreaksIt) {
     });
   });
   std::thread observer([&] {
-    while (!stop.load()) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (!stop.load(std::memory_order_acquire)) {
       std::uint64_t v =
           Atomically(rt_.sys(), [&](Tx& tx) { return tx.Load(partial); });
       if (v != 0) {
-        violations.fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        violations.fetch_add(1, std::memory_order_acq_rel);
       }
     }
   });
   AwaitCounter(rt_, Counter::kSleeps, 1);
   Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{1}); });
   waiter.join();
-  stop.store(true);
+  // mo: release — [harness] publish state to other harness threads.
+  stop.store(true, std::memory_order_release);
   observer.join();
-  EXPECT_EQ(violations.load(), 0);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(violations.load(std::memory_order_acquire), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, CondSyncTest,
@@ -406,20 +417,24 @@ TEST_P(RetryOrigTest, SilentStoreWakesOrigButNotOurs) {
   std::atomic<int> attempts{0};
   std::thread waiter([&] {
     Atomically(rt_.sys(), [&](Tx& tx) {
-      attempts.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      attempts.fetch_add(1, std::memory_order_acq_rel);
       if (tx.Load(flag) == 0) {
         tx.RetryOrig();
       }
     });
   });
   AwaitCounter(rt_, Counter::kSleeps, 1);
-  int before = attempts.load();
+  // mo: acquire — [harness] observe worker-published state.
+  int before = attempts.load(std::memory_order_acquire);
   Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{0}); });  // silent
   // The orec version changed, so Retry-Orig wakes and the body re-runs.
-  for (int i = 0; i < 10000 && attempts.load() == before; ++i) {
+  // mo: acquire — [harness] observe worker-published state.
+  for (int i = 0; i < 10000 && attempts.load(std::memory_order_acquire) == before; ++i) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
-  EXPECT_GT(attempts.load(), before) << "Retry-Orig should wake on a silent store";
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_GT(attempts.load(std::memory_order_acquire), before) << "Retry-Orig should wake on a silent store";
   Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(flag, std::uint64_t{1}); });
   waiter.join();
 }
@@ -809,12 +824,14 @@ TEST_P(TimedWaitTest, DeadlineSpansRestartsNotSleeps) {
       }
       return true;
     });
-    done.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    done.store(true, std::memory_order_release);
   });
   // Unsatisfying wakeups: noise changes, target stays 0.
   auto start = std::chrono::steady_clock::now();
   std::uint64_t n = 0;
-  while (!done.load() &&
+  // mo: acquire — [harness] observe worker-published state.
+  while (!done.load(std::memory_order_acquire) &&
          std::chrono::steady_clock::now() - start < std::chrono::seconds(20)) {
     Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(noise, ++n); });
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -838,14 +855,16 @@ TEST_P(TimedWaitTest, SequentialTimedWaitsGetIndependentDeadlines) {
   std::thread waiter([&] {
     step2_seen = Atomically(rt_.sys(), [&](Tx& tx) -> bool {
       if (tx.Load(step1) == 0) {
-        phase.store(1);
+        // mo: release — [harness] publish state to other harness threads.
+        phase.store(1, std::memory_order_release);
         if (tx.AwaitFor(std::chrono::milliseconds(500), step1) ==
             WaitResult::kTimedOut) {
           return false;
         }
       }
       if (tx.Load(step2) == 0) {
-        phase.store(2);
+        // mo: release — [harness] publish state to other harness threads.
+        phase.store(2, std::memory_order_release);
         if (tx.AwaitFor(std::chrono::seconds(30), step2) ==
             WaitResult::kTimedOut) {
           return false;
@@ -854,11 +873,13 @@ TEST_P(TimedWaitTest, SequentialTimedWaitsGetIndependentDeadlines) {
       return true;
     });
   });
-  while (phase.load() < 1) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (phase.load(std::memory_order_acquire) < 1) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(step1, std::uint64_t{1}); });
-  while (phase.load() < 2) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (phase.load(std::memory_order_acquire) < 2) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   // Publish step2 well after the first call's 500ms budget is gone; the
@@ -888,7 +909,8 @@ TEST_P(TimedWaitTest, SameCallSiteSequentialWaitsGetIndependentDeadlines) {
         if (tx.Load(cell) != 0) {
           return true;
         }
-        phase.store(ph);
+        // mo: release — [harness] publish state to other harness threads.
+        phase.store(ph, std::memory_order_release);
         // One shared call site for every wait in this transaction.
         return tx.RetryFor(timeout) != WaitResult::kTimedOut;
       };
@@ -901,11 +923,13 @@ TEST_P(TimedWaitTest, SameCallSiteSequentialWaitsGetIndependentDeadlines) {
       return true;
     });
   });
-  while (phase.load() < 1) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (phase.load(std::memory_order_acquire) < 1) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(step1, std::uint64_t{1}); });
-  while (phase.load() < 2) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (phase.load(std::memory_order_acquire) < 2) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(1500));

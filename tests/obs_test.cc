@@ -20,6 +20,13 @@
 #include "src/obs/latency_histogram.h"
 #include "src/obs/trace_ring.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -261,8 +268,10 @@ TEST(ObsSeededTest, EagerLockCollisionAttributed) {
   std::thread a([&] {
     Atomically(rt.sys(), [&](Tx& tx) {
       tx.Store(x, std::uint64_t{1});  // acquires x's orec in place
-      a_holding.store(true);
-      while (!b_aborted.load()) {
+      // mo: release — [harness] publish state to other harness threads.
+      a_holding.store(true, std::memory_order_release);
+      // mo: acquire — [harness] observe worker-published state.
+      while (!b_aborted.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
     });
@@ -271,11 +280,13 @@ TEST(ObsSeededTest, EagerLockCollisionAttributed) {
     int attempts = 0;
     Atomically(rt.sys(), [&](Tx& tx) {
       if (++attempts == 1) {
-        while (!a_holding.load()) {
+        // mo: acquire — [harness] observe worker-published state.
+        while (!a_holding.load(std::memory_order_acquire)) {
           std::this_thread::yield();
         }
       } else {
-        b_aborted.store(true);  // lets A commit and release the orec
+        // mo: release — [harness] publish state to other harness threads.
+        b_aborted.store(true, std::memory_order_release);  // lets A commit and release the orec
       }
       tx.Store(x, std::uint64_t{2});
     });
@@ -309,7 +320,10 @@ TEST(ObsSeededTest, LazyCommitValidationAttributed) {
       std::uint64_t v = tx.Load(x);
       tx.Store(y, v + 1);
       if (++attempts == 1) {
-        a_read.store(true);
+        // mo: release — [harness] publish state to other harness threads.
+        a_read.store(true, std::memory_order_release);
+        // mo: relaxed — [harness] spin until the sibling thread's escape
+        // write lands; only the value matters, no payload is acquired.
         while (std::atomic_ref<const std::uint64_t>(x).load(
                    std::memory_order_relaxed) != 41) {
           std::this_thread::yield();
@@ -318,7 +332,8 @@ TEST(ObsSeededTest, LazyCommitValidationAttributed) {
     });
   });
   std::thread b([&] {
-    while (!a_read.load()) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (!a_read.load(std::memory_order_acquire)) {
       std::this_thread::yield();
     }
     Atomically(rt.sys(), [&](Tx& tx) { tx.Store(x, std::uint64_t{41}); });
@@ -345,8 +360,10 @@ TEST(ObsSeededTest, HtmConflictAttributed) {
   std::thread a([&] {
     Atomically(rt.sys(), [&](Tx& tx) {
       tx.Store(x, std::uint64_t{1});  // locks x's line in the sim footprint
-      a_holding.store(true);
-      while (!b_aborted.load()) {
+      // mo: release — [harness] publish state to other harness threads.
+      a_holding.store(true, std::memory_order_release);
+      // mo: acquire — [harness] observe worker-published state.
+      while (!b_aborted.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
     });
@@ -355,11 +372,13 @@ TEST(ObsSeededTest, HtmConflictAttributed) {
     int attempts = 0;
     Atomically(rt.sys(), [&](Tx& tx) {
       if (++attempts == 1) {
-        while (!a_holding.load()) {
+        // mo: acquire — [harness] observe worker-published state.
+        while (!a_holding.load(std::memory_order_acquire)) {
           std::this_thread::yield();
         }
       } else {
-        b_aborted.store(true);
+        // mo: release — [harness] publish state to other harness threads.
+        b_aborted.store(true, std::memory_order_release);
       }
       tx.Store(x, std::uint64_t{2});
     });

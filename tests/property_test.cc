@@ -18,6 +18,13 @@
 #include "src/tm/undo_log.h"
 #include "tests/matrix.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -114,7 +121,8 @@ TEST_P(TmInvariantTest, SumPreservingRandomTransfersWithFullAudit) {
             sum += tx.Load(cells[c]);
           }
           if (sum != kTotal) {
-            violations.fetch_add(1);
+            // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+            violations.fetch_add(1, std::memory_order_acq_rel);
             return;
           }
           std::uint64_t f = tx.Load(cells[from]);
@@ -129,7 +137,8 @@ TEST_P(TmInvariantTest, SumPreservingRandomTransfersWithFullAudit) {
   for (auto& t : ts) {
     t.join();
   }
-  EXPECT_EQ(violations.load(), 0);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(violations.load(std::memory_order_acquire), 0);
   std::uint64_t total = 0;
   for (auto c : cells) {
     total += c;
@@ -150,14 +159,16 @@ TEST_P(TmInvariantTest, CommitCounterMatchesExternalCount) {
     ts.emplace_back([&] {
       for (int i = 0; i < kOpsPerThread; ++i) {
         Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(counter, tx.Load(counter) + 1); });
-        external.fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        external.fetch_add(1, std::memory_order_acq_rel);
       }
     });
   }
   for (auto& t : ts) {
     t.join();
   }
-  EXPECT_EQ(counter, external.load());
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(counter, external.load(std::memory_order_acquire));
   EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
 }
 
@@ -261,7 +272,8 @@ TEST(MechanismInteropTest, MixedWaitersShareOneRuntime) {
         tx.Retry();
       }
     });
-    done.fetch_add(1);
+    // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+    done.fetch_add(1, std::memory_order_acq_rel);
   });
   std::thread await_waiter([&] {
     Atomically(rt.sys(), [&](Tx& tx) {
@@ -269,7 +281,8 @@ TEST(MechanismInteropTest, MixedWaitersShareOneRuntime) {
         tx.Await(counter);
       }
     });
-    done.fetch_add(1);
+    // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+    done.fetch_add(1, std::memory_order_acq_rel);
   });
   std::thread orig_waiter([&] {
     Atomically(rt.sys(), [&](Tx& tx) {
@@ -277,7 +290,8 @@ TEST(MechanismInteropTest, MixedWaitersShareOneRuntime) {
         tx.RetryOrig();
       }
     });
-    done.fetch_add(1);
+    // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+    done.fetch_add(1, std::memory_order_acq_rel);
   });
 
   for (int i = 1; i <= 3; ++i) {
@@ -287,7 +301,8 @@ TEST(MechanismInteropTest, MixedWaitersShareOneRuntime) {
   retry_waiter.join();
   await_waiter.join();
   orig_waiter.join();
-  EXPECT_EQ(done.load(), 3);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(done.load(std::memory_order_acquire), 3);
 }
 
 TEST(MechanismInteropTest, RandomMixedWaitStress) {

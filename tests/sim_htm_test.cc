@@ -11,6 +11,13 @@
 #include "src/core/transaction.h"
 #include "src/tm/sim_htm.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -120,30 +127,35 @@ TEST(SimHtmTest, MixedSerialAndHardwareIsCorrect) {
         }
       });
     }
-    stop.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    stop.store(true, std::memory_order_release);
   });
   std::vector<std::thread> small_writers;
   std::atomic<std::uint64_t> small_ops{0};
   for (int t = 0; t < 2; ++t) {
     small_writers.emplace_back([&] {
-      while (!stop.load()) {
+      // mo: acquire — [harness] observe worker-published state.
+      while (!stop.load(std::memory_order_acquire)) {
         Atomically(rt.sys(), [&](Tx& tx) {
           tx.Store(small_counter, tx.Load(small_counter) + 1);
         });
-        small_ops.fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        small_ops.fetch_add(1, std::memory_order_acq_rel);
       }
     });
   }
   // Readers verify the big array is always uniform (serial writes are atomic).
   std::atomic<int> violations{0};
   std::thread reader([&] {
-    while (!stop.load()) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (!stop.load(std::memory_order_acquire)) {
       Atomically(rt.sys(), [&](Tx& tx) {
         std::uint64_t first = tx.Load(big[0]);
         std::uint64_t mid = tx.Load(big[512]);
         std::uint64_t last = tx.Load(big[1023]);
         if (first != mid || mid != last) {
-          violations.fetch_add(1);
+          // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+          violations.fetch_add(1, std::memory_order_acq_rel);
         }
       });
     }
@@ -153,8 +165,10 @@ TEST(SimHtmTest, MixedSerialAndHardwareIsCorrect) {
   for (auto& t : small_writers) {
     t.join();
   }
-  EXPECT_EQ(violations.load(), 0);
-  EXPECT_EQ(small_counter, small_ops.load());
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(violations.load(std::memory_order_acquire), 0);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(small_counter, small_ops.load(std::memory_order_acquire));
   EXPECT_EQ(big[7], 50u);
 }
 

@@ -11,6 +11,13 @@
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -192,17 +199,20 @@ TEST_P(StmConcurrentTest, ReadersSeeConsistentPairs) {
         tx.Store(y, static_cast<std::uint64_t>(i));
       });
     }
-    stop.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    stop.store(true, std::memory_order_release);
   });
   std::vector<std::thread> readers;
   for (int t = 0; t < 2; ++t) {
     readers.emplace_back([&] {
-      while (!stop.load()) {
+      // mo: acquire — [harness] observe worker-published state.
+      while (!stop.load(std::memory_order_acquire)) {
         auto pair = Atomically(rt_.sys(), [&](Tx& tx) {
           return std::make_pair(tx.Load(x), tx.Load(y));
         });
         if (pair.first != pair.second) {
-          violations.fetch_add(1);
+          // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+          violations.fetch_add(1, std::memory_order_acq_rel);
         }
       }
     });
@@ -211,7 +221,8 @@ TEST_P(StmConcurrentTest, ReadersSeeConsistentPairs) {
   for (auto& t : readers) {
     t.join();
   }
-  EXPECT_EQ(violations.load(), 0);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(violations.load(std::memory_order_acquire), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, StmConcurrentTest,

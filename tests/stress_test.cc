@@ -13,6 +13,13 @@
 #include "src/sync/work_queue.h"
 #include "tests/matrix.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -72,7 +79,8 @@ TEST_P(StressTest, BarrierAndQueueInterleaved) {
         // One task per worker per round, dynamically claimed.
         auto t = queue.Pop();
         if (t.has_value()) {
-          popped.fetch_add(1);
+          // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+          popped.fetch_add(1, std::memory_order_acq_rel);
         }
         barrier.ArriveAndWait();
       }
@@ -90,7 +98,8 @@ TEST_P(StressTest, BarrierAndQueueInterleaved) {
     w.join();
   }
   queue.Close();
-  EXPECT_EQ(popped.load(), static_cast<std::uint64_t>(kWorkers) * kRounds);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(popped.load(std::memory_order_acquire), static_cast<std::uint64_t>(kWorkers) * kRounds);
 }
 
 TEST_P(StressTest, RandomSleepWakeChurn) {
@@ -122,24 +131,28 @@ TEST_P(StressTest, RandomSleepWakeChurn) {
           }
         });
       }
-      completed.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      completed.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   std::thread writer([&] {
     SplitMix64 rng(99);
-    while (completed.load() < kWaiters) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (completed.load(std::memory_order_acquire) < kWaiters) {
       int cell = static_cast<int>(rng.NextBounded(kCells));
       Atomically(rt_.sys(), [&](Tx& tx) {
         tx.Store(cells[cell], tx.Load(cells[cell]) + 1);
       });
     }
-    stop.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    stop.store(true, std::memory_order_release);
   });
   for (auto& w : waiters) {
     w.join();
   }
   writer.join();
-  EXPECT_EQ(completed.load(), kWaiters);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(completed.load(std::memory_order_acquire), kWaiters);
 }
 
 TEST_P(StressTest, ProducersConsumersWithMixedMechanisms) {
@@ -168,7 +181,8 @@ TEST_P(StressTest, ProducersConsumersWithMixedMechanisms) {
         }
         return buf.Get(tx);
       });
-      consumed_sum.fetch_add(v);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      consumed_sum.fetch_add(v, std::memory_order_acq_rel);
     }
   };
 
@@ -181,7 +195,8 @@ TEST_P(StressTest, ProducersConsumersWithMixedMechanisms) {
   c1.join();
   c2.join();
   c3.join();
-  EXPECT_EQ(consumed_sum.load(), kItems * (kItems - 1) / 2);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(consumed_sum.load(std::memory_order_acquire), kItems * (kItems - 1) / 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, StressTest,

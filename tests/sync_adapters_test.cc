@@ -16,6 +16,13 @@
 #include "src/sync/work_queue.h"
 #include "tests/matrix.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -64,7 +71,8 @@ TEST_P(AdapterMatrixTest, WorkQueueCloseWakesIdleWorkers) {
     workers.emplace_back([&] {
       while (q.Pop()) {
       }
-      exited.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      exited.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -72,7 +80,8 @@ TEST_P(AdapterMatrixTest, WorkQueueCloseWakesIdleWorkers) {
   for (auto& t : workers) {
     t.join();
   }
-  EXPECT_EQ(exited.load(), 3);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(exited.load(std::memory_order_acquire), 3);
 }
 
 TEST_P(AdapterMatrixTest, PhaseBarrierSynchronizesRounds) {
@@ -87,10 +96,13 @@ TEST_P(AdapterMatrixTest, PhaseBarrierSynchronizesRounds) {
   for (int t = 0; t < kThreads; ++t) {
     ts.emplace_back([&] {
       for (int r = 0; r < kRounds; ++r) {
-        arrived[r].fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        arrived[r].fetch_add(1, std::memory_order_acq_rel);
         barrier.ArriveAndWait();
-        if (arrived[r].load() != kThreads) {
-          violations.fetch_add(1);
+        // mo: acquire — [harness] observe worker-published state.
+        if (arrived[r].load(std::memory_order_acquire) != kThreads) {
+          // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+          violations.fetch_add(1, std::memory_order_acq_rel);
         }
       }
     });
@@ -98,7 +110,8 @@ TEST_P(AdapterMatrixTest, PhaseBarrierSynchronizesRounds) {
   for (auto& t : ts) {
     t.join();
   }
-  EXPECT_EQ(violations.load(), 0);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(violations.load(std::memory_order_acquire), 0);
 }
 
 TEST_P(AdapterMatrixTest, TicketGateOrdersDependentWork) {
@@ -108,14 +121,16 @@ TEST_P(AdapterMatrixTest, TicketGateOrdersDependentWork) {
   std::thread consumer([&] {
     for (std::uint64_t s = 1; s <= kSteps; ++s) {
       gate.WaitFor(s);
-      last_seen.store(s);
+      // mo: release — [harness] publish state to other harness threads.
+      last_seen.store(s, std::memory_order_release);
     }
   });
   for (std::uint64_t s = 1; s <= kSteps; ++s) {
     gate.Publish(s);
   }
   consumer.join();
-  EXPECT_EQ(last_seen.load(), kSteps);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(last_seen.load(std::memory_order_acquire), kSteps);
 }
 
 TEST_P(AdapterMatrixTest, PipelineChannelClosesAfterLastProducer) {

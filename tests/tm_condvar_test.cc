@@ -11,6 +11,13 @@
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -48,7 +55,8 @@ TEST_P(TmCondVarTest, SignalWakesExactlyOne) {
           tx.CondWait(cv);
         }
       });
-      awake.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      awake.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   AwaitWaiters(kWaiters);
@@ -56,7 +64,8 @@ TEST_P(TmCondVarTest, SignalWakesExactlyOne) {
   // re-checks, and re-queues (the condvar while-loop idiom).
   Atomically(rt_.sys(), [&](Tx& tx) { tx.CondSignal(cv); });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_EQ(awake.load(), 0);  // woke but re-waited; none exited
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(awake.load(std::memory_order_acquire), 0);  // woke but re-waited; none exited
   AwaitWaiters(kWaiters + 1);  // the woken thread re-queued
 
   Atomically(rt_.sys(), [&](Tx& tx) {
@@ -66,7 +75,8 @@ TEST_P(TmCondVarTest, SignalWakesExactlyOne) {
   for (auto& w : waiters) {
     w.join();
   }
-  EXPECT_EQ(awake.load(), kWaiters);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(awake.load(std::memory_order_acquire), kWaiters);
 }
 
 TEST_P(TmCondVarTest, BroadcastWakesAll) {
@@ -128,7 +138,8 @@ TEST_P(TmCondVarTest, DeferredSignalDiesWithAbortedAttempt) {
         tx.CondWait(cv);
       }
     });
-    woken.fetch_add(1);
+    // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+    woken.fetch_add(1, std::memory_order_acq_rel);
   });
   AwaitWaiters(1);
   // The transaction signals, then restarts itself; on the re-execution it does
@@ -143,13 +154,15 @@ TEST_P(TmCondVarTest, DeferredSignalDiesWithAbortedAttempt) {
     // no signal on the second attempt
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_EQ(woken.load(), 0) << "aborted attempt's deferred signal leaked";
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(woken.load(std::memory_order_acquire), 0) << "aborted attempt's deferred signal leaked";
   Atomically(rt_.sys(), [&](Tx& tx) {
     tx.Store(go, std::uint64_t{1});
     tx.CondSignal(cv);
   });
   waiter.join();
-  EXPECT_EQ(woken.load(), 1);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(woken.load(std::memory_order_acquire), 1);
 }
 
 TEST_P(TmCondVarTest, TwoCondVarsAreIndependent) {
@@ -165,7 +178,8 @@ TEST_P(TmCondVarTest, TwoCondVarsAreIndependent) {
         tx.CondWait(cv_a);
       }
     });
-    a_done.store(1);
+    // mo: release — [harness] publish state to other harness threads.
+    a_done.store(1, std::memory_order_release);
   });
   std::thread tb([&] {
     Atomically(rt_.sys(), [&](Tx& tx) {
@@ -173,7 +187,8 @@ TEST_P(TmCondVarTest, TwoCondVarsAreIndependent) {
         tx.CondWait(cv_b);
       }
     });
-    b_done.store(1);
+    // mo: release — [harness] publish state to other harness threads.
+    b_done.store(1, std::memory_order_release);
   });
   AwaitWaiters(2);
   Atomically(rt_.sys(), [&](Tx& tx) {
@@ -181,8 +196,10 @@ TEST_P(TmCondVarTest, TwoCondVarsAreIndependent) {
     tx.CondSignal(cv_b);
   });
   tb.join();
-  EXPECT_EQ(b_done.load(), 1);
-  EXPECT_EQ(a_done.load(), 0) << "signal on cv_b must not wake cv_a's waiter";
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(b_done.load(std::memory_order_acquire), 1);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(a_done.load(std::memory_order_acquire), 0) << "signal on cv_b must not wake cv_a's waiter";
   Atomically(rt_.sys(), [&](Tx& tx) {
     tx.Store(go_a, std::uint64_t{1});
     tx.CondSignal(cv_a);
@@ -208,7 +225,8 @@ TEST_P(TmCondVarTest, MoreWaitersThanCapacityLoseNoWakeups) {
           tx.CondWait(cv);
         }
       });
-      awake.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      awake.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   AwaitWaiters(kWaiters);
@@ -219,7 +237,8 @@ TEST_P(TmCondVarTest, MoreWaitersThanCapacityLoseNoWakeups) {
   for (auto& w : waiters) {
     w.join();
   }
-  EXPECT_EQ(awake.load(), kWaiters);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(awake.load(std::memory_order_acquire), kWaiters);
   TxStats s = rt_.AggregateStats();
   EXPECT_GE(s.Get(Counter::kCondVarRingGrowths), 1u)
       << "11 concurrent waiters on a 2-slot ring never grew it";
@@ -247,7 +266,8 @@ TEST_P(TmCondVarTest, WrappedCursorsSurviveRepeatedOverflow) {
             tx.CondWait(cv);
           }
         });
-        awake.fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        awake.fetch_add(1, std::memory_order_acq_rel);
       });
     }
     AwaitWaiters(round_waits + kWaiters);
@@ -259,7 +279,8 @@ TEST_P(TmCondVarTest, WrappedCursorsSurviveRepeatedOverflow) {
       w.join();
     }
   }
-  EXPECT_EQ(awake.load(), kWaiters * kRounds);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(awake.load(std::memory_order_acquire), kWaiters * kRounds);
 }
 
 using TmCondVarDeathTest = TmCondVarTest;

@@ -13,6 +13,13 @@
 #include "src/core/transaction.h"
 #include "src/core/tvar.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -119,19 +126,23 @@ TEST_P(TVarTest, NoTornMultiWordReads) {
     for (std::uint64_t i = 1; i <= 2000; ++i) {
       Atomically(rt_.sys(), [&](Tx& tx) { tx.Store(cell, Triple{i, i, i}); });
     }
-    stop.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    stop.store(true, std::memory_order_release);
   });
   std::thread reader([&] {
-    while (!stop.load()) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (!stop.load(std::memory_order_acquire)) {
       Triple t = Atomically(rt_.sys(), [&](Tx& tx) { return tx.Load(cell); });
       if (t.a != t.b || t.b != t.c) {
-        torn.fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        torn.fetch_add(1, std::memory_order_acq_rel);
       }
     }
   });
   writer.join();
   reader.join();
-  EXPECT_EQ(torn.load(), 0);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(torn.load(std::memory_order_acquire), 0);
   EXPECT_EQ(cell.UnsafeRead(), (Triple{2000, 2000, 2000}));
 }
 

@@ -13,6 +13,13 @@
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -131,6 +138,7 @@ TEST(RetryOrigRegistryTest, ValidationFailureSkipsSleep) {
   RetryOrigRegistry reg(4);
   TxDesc d(0, 1);
   Orec o;
+  // mo: relaxed — pre-concurrency test setup; no other thread runs yet.
   o.word.store(Orec::MakeVersion(10), std::memory_order_relaxed);
   // The orec's version (10) is newer than the transaction's start (5): something
   // committed since the snapshot, so the thread must not sleep.
@@ -143,6 +151,8 @@ TEST(RetryOrigRegistryTest, OwnReleasedOrecDoesNotBlockSleep) {
   Orec o;
   // The transaction read AND wrote this orec; its own rollback released it at
   // version 11 (prev 10 + 1). That must validate as "unchanged".
+  // mo: relaxed — pre-concurrency test setup; the waker thread is created
+  // afterwards and thread creation orders the store before it.
   o.word.store(Orec::MakeVersion(11), std::memory_order_relaxed);
   std::vector<RetryOrigRegistry::ReleasedOrec> released = {
       {&o, Orec::MakeVersion(11)}};
@@ -167,12 +177,14 @@ TEST(RetryOrigRegistryTest, NonOverlappingCommitDoesNotWake) {
   RetryOrigRegistry reg(4);
   Orec read_orec;
   Orec other_orec;
+  // mo: relaxed — pre-concurrency test setup; no other thread runs yet.
   read_orec.word.store(Orec::MakeVersion(1), std::memory_order_relaxed);
   TxDesc d(0, 1);
   std::atomic<bool> woke{false};
   std::thread sleeper([&] {
     reg.WaitForOverlap(d, {&read_orec}, /*start=*/5, {});
-    woke.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    woke.store(true, std::memory_order_release);
   });
   for (int i = 0; i < 100000 && !reg.HasWaiters(); ++i) {
     std::this_thread::sleep_for(std::chrono::microseconds(50));
@@ -180,10 +192,12 @@ TEST(RetryOrigRegistryTest, NonOverlappingCommitDoesNotWake) {
   // A commit touching a different orec: the intersection is empty, no wake.
   reg.OnWriterCommit({&other_orec});
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  EXPECT_FALSE(woke.load());
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_FALSE(woke.load(std::memory_order_acquire));
   reg.OnWriterCommit({&read_orec});
   sleeper.join();
-  EXPECT_TRUE(woke.load());
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_TRUE(woke.load(std::memory_order_acquire));
 }
 
 }  // namespace

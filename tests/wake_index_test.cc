@@ -22,6 +22,13 @@
 #include "src/core/tvar.h"
 #include "src/tm/orec_table.h"
 
+// mo-edge: [harness] (minimal: release/acquire) — test/bench harness
+// coordination: flags and counters published by worker threads and
+// observed by the test body or sibling threads (often additionally
+// ordered by thread join). acquire/release is a uniform upper bound
+// chosen over per-site minimality; none of these sites needs seq_cst
+// totality.
+
 namespace tcs {
 namespace {
 
@@ -397,7 +404,8 @@ TEST_P(WakeIndexBackendTest, EveryDisjointWaiterWakesOnItsOwnWrite) {
           tx.Retry();
         }
       });
-      woken.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      woken.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   AwaitCounter(rt, Counter::kSleeps, kWaiters);
@@ -409,7 +417,8 @@ TEST_P(WakeIndexBackendTest, EveryDisjointWaiterWakesOnItsOwnWrite) {
   for (auto& t : waiters) {
     t.join();
   }
-  EXPECT_EQ(woken.load(), kWaiters);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(woken.load(std::memory_order_acquire), kWaiters);
 }
 
 // WaitPred has no address list, so it must take the global-fallback path and
@@ -472,7 +481,8 @@ TEST_P(WakeIndexBackendTest, ManyWaitersChurnLeavesNoEntries) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     std::uint64_t i = 0;
-    while (!stop.load()) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (!stop.load(std::memory_order_acquire)) {
       // Bump a rotating cell so some waits are satisfied and some time out.
       int target = static_cast<int>(i % kThreads);
       Atomically(rt.sys(), [&](Tx& tx) {
@@ -505,7 +515,8 @@ TEST_P(WakeIndexBackendTest, ManyWaitersChurnLeavesNoEntries) {
   for (auto& t : waiters) {
     t.join();
   }
-  stop.store(true);
+  // mo: release — [harness] publish state to other harness threads.
+  stop.store(true, std::memory_order_release);
   writer.join();
   EXPECT_EQ(rt.sys().waiters().RegisteredCount(), 0);
   EXPECT_TRUE(rt.sys().wake_index().Empty())
@@ -540,9 +551,11 @@ TEST_P(EmptyWaitsetTest, EmptyWaitsetWaiterIsWokenByAnyWriterCommit) {
     Atomically(rt.sys(), [&](Tx& tx) {
       // `go` is a plain atomic (an escape read), so the retry waitset stays
       // empty; the generous deadline only bounds the pre-fix hang.
+      // mo: acquire — [harness] observe the main thread's release of `go`.
       if (!go.load(std::memory_order_acquire)) {
         if (tx.RetryFor(std::chrono::seconds(5)) == WaitResult::kTimedOut) {
-          timed_out.store(true);
+          // mo: release — [harness] publish state to other harness threads.
+          timed_out.store(true, std::memory_order_release);
         }
       }
     });
@@ -552,10 +565,12 @@ TEST_P(EmptyWaitsetTest, EmptyWaitsetWaiterIsWokenByAnyWriterCommit) {
       << "empty waitset must register as a global deschedule";
   EXPECT_EQ(rt.AggregateStats().Get(Counter::kIndexedDeschedules), 0u);
   EXPECT_EQ(rt.sys().wake_index().GlobalPopulation(), 1);
+  // mo: release — [harness] publish `go` before the wake-triggering commit.
   go.store(true, std::memory_order_release);
   Atomically(rt.sys(), [&](Tx& tx) { tx.Store(unrelated, std::uint64_t{1}); });
   waiter.join();
-  EXPECT_FALSE(timed_out.load())
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_FALSE(timed_out.load(std::memory_order_acquire))
       << "empty-waitset waiter was not wakeable by a writer commit";
   TxStats s = rt.AggregateStats();
   EXPECT_GE(s.Get(Counter::kWakeups), 1u);
@@ -573,16 +588,20 @@ TEST_P(EmptyWaitsetTest, EmptyWaitsetTimedWaitTimesOutCleanly) {
   std::atomic<bool> timed_out{false};
   std::thread waiter([&] {
     Atomically(rt.sys(), [&](Tx& tx) {
+      // mo: relaxed — [harness] same-thread re-read; the flag is only ever
+      // written by this thread below.
       if (!timed_out.load(std::memory_order_relaxed)) {
         if (tx.RetryFor(std::chrono::milliseconds(30)) ==
             WaitResult::kTimedOut) {
-          timed_out.store(true);
+          // mo: release — [harness] publish state to other harness threads.
+          timed_out.store(true, std::memory_order_release);
         }
       }
     });
   });
   waiter.join();
-  EXPECT_TRUE(timed_out.load());
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_TRUE(timed_out.load(std::memory_order_acquire));
   EXPECT_GE(rt.AggregateStats().Get(Counter::kWaitTimeouts), 1u);
   EXPECT_EQ(rt.sys().waiters().RegisteredCount(), 0);
   EXPECT_TRUE(rt.sys().wake_index().Empty());
@@ -685,7 +704,8 @@ TEST_P(WakeSingleLocalityTest, PrefersShardLocalWaiterOverGlobalFallback) {
         tx.WaitPred(&AlwaysReadCellPred, args);
       }
     });
-    pred_woke.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    pred_woke.store(true, std::memory_order_release);
   });
   AwaitCounter(rt, Counter::kGlobalDeschedules, 1);
   std::thread indexed_waiter([&] {
@@ -694,19 +714,23 @@ TEST_P(WakeSingleLocalityTest, PrefersShardLocalWaiterOverGlobalFallback) {
         tx.Retry();
       }
     });
-    indexed_woke.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    indexed_woke.store(true, std::memory_order_release);
   });
   AwaitCounter(rt, Counter::kSleeps, 2);
 
   Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{1}); });
-  while (!indexed_woke.load()) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (!indexed_woke.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   indexed_waiter.join();
   // Give a mis-ordered wakeup time to surface before asserting.
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_TRUE(indexed_woke.load());
-  EXPECT_FALSE(pred_woke.load())
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_TRUE(indexed_woke.load(std::memory_order_acquire));
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_FALSE(pred_woke.load(std::memory_order_acquire))
       << "wake_single woke the global-fallback waiter over the shard-local one";
   EXPECT_EQ(rt.AggregateStats().Get(Counter::kWakeups), 1u);
 
@@ -738,6 +762,7 @@ TEST(WakeSingleEmptyWaitsetTest, VacuousWakeDoesNotStealTheSingleWakeup) {
   // the global list).
   std::thread empty_waiter([&] {
     Atomically(rt.sys(), [&](Tx& tx) {
+      // mo: acquire — [harness] observe the main thread's release of `go`.
       if (!go.load(std::memory_order_acquire)) {
         (void)tx.RetryFor(std::chrono::seconds(10));
       }
@@ -754,16 +779,19 @@ TEST(WakeSingleEmptyWaitsetTest, VacuousWakeDoesNotStealTheSingleWakeup) {
         tx.WaitPred(&CellAtLeastPred, args);
       }
     });
-    pred_done.store(true);
+    // mo: release — [harness] publish state to other harness threads.
+    pred_done.store(true, std::memory_order_release);
   });
   AwaitCounter(rt, Counter::kSleeps, 2);
   // One writer commit both vacuously wakes the empty-waitset waiter and
   // satisfies the predicate; the single-wakeup budget must go to the
   // satisfied waiter.
+  // mo: release — [harness] publish `go` before the wake-triggering commit.
   go.store(true, std::memory_order_release);
   Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell, std::uint64_t{1}); });
   bool ok = false;
-  for (int i = 0; i < 2000 && !(ok = pred_done.load()); ++i) {
+  // mo: acquire — [harness] observe worker-published state.
+  for (int i = 0; i < 2000 && !(ok = pred_done.load(std::memory_order_acquire)); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_TRUE(ok)
@@ -820,7 +848,8 @@ TEST_P(WakeBatchingTest, StressChurnMidBatchLosesNothing) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     std::uint64_t i = 0;
-    while (!stop.load()) {
+    // mo: acquire — [harness] observe worker-published state.
+    while (!stop.load(std::memory_order_acquire)) {
       if (i % 3 == 0) {
         // Hub bump: every parked waiter is a candidate (multi-claim batches).
         Atomically(rt.sys(),
@@ -861,7 +890,8 @@ TEST_P(WakeBatchingTest, StressChurnMidBatchLosesNothing) {
   for (auto& t : waiters) {
     t.join();
   }
-  stop.store(true);
+  // mo: release — [harness] publish state to other harness threads.
+  stop.store(true, std::memory_order_release);
   writer.join();
 
   // Deterministic finale: everyone parks untimed on their own cell, then each
@@ -876,7 +906,8 @@ TEST_P(WakeBatchingTest, StressChurnMidBatchLosesNothing) {
           tx.Retry();
         }
       });
-      woken.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      woken.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   while (rt.sys().waiters().RegisteredCount() < kThreads) {
@@ -890,7 +921,8 @@ TEST_P(WakeBatchingTest, StressChurnMidBatchLosesNothing) {
   for (auto& t : waiters) {
     t.join();
   }
-  EXPECT_EQ(woken.load(), kThreads);
+  // mo: acquire — [harness] observe worker-published state.
+  EXPECT_EQ(woken.load(std::memory_order_acquire), kThreads);
   EXPECT_EQ(rt.sys().waiters().RegisteredCount(), 0);
   EXPECT_TRUE(rt.sys().wake_index().Empty())
       << "an index entry leaked through the batched churn";
@@ -923,7 +955,8 @@ TEST_P(WakeBatchingTest, MultiClaimBatchesNeverDoublePost) {
             tx.Retry();
           }
         });
-        round_done.fetch_add(1);
+        // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+        round_done.fetch_add(1, std::memory_order_acq_rel);
       }
     });
   }
@@ -932,13 +965,15 @@ TEST_P(WakeBatchingTest, MultiClaimBatchesNeverDoublePost) {
   // waiter wakes per commit, so repeat silent-value commits until all K moved
   // on (each re-commit re-offers the remaining sleepers).
   Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
-  for (int spins = 0; round_done.load() < kWaiters && spins < 20000; ++spins) {
+  // mo: acquire — [harness] observe worker-published state.
+  for (int spins = 0; round_done.load(std::memory_order_acquire) < kWaiters && spins < 20000; ++spins) {
     if (wake_single()) {
       Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
-  ASSERT_EQ(round_done.load(), kWaiters) << "round-1 wakeup lost";
+  // mo: acquire — [harness] observe worker-published state.
+  ASSERT_EQ(round_done.load(std::memory_order_acquire), kWaiters) << "round-1 wakeup lost";
   // Everyone re-parks for value 2; a stale double-post token would wake a
   // waiter instantly into a false wakeup here.
   AwaitCounter(rt, Counter::kSleeps, 2 * kWaiters);
@@ -946,14 +981,16 @@ TEST_P(WakeBatchingTest, MultiClaimBatchesNeverDoublePost) {
   EXPECT_EQ(rt.AggregateStats().Get(Counter::kFalseWakeups), 0u)
       << "a batched claim was posted more than once";
   Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{2}); });
-  for (int spins = 0; round_done.load() < 2 * kWaiters && spins < 20000;
+  // mo: acquire — [harness] observe worker-published state.
+  for (int spins = 0; round_done.load(std::memory_order_acquire) < 2 * kWaiters && spins < 20000;
        ++spins) {
     if (wake_single()) {
       Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{2}); });
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
-  ASSERT_EQ(round_done.load(), 2 * kWaiters) << "round-2 wakeup lost";
+  // mo: acquire — [harness] observe worker-published state.
+  ASSERT_EQ(round_done.load(std::memory_order_acquire), 2 * kWaiters) << "round-2 wakeup lost";
   for (auto& t : waiters) {
     t.join();
   }
@@ -1044,13 +1081,15 @@ TEST(WakeBatchCountersTest, WakeSingleStopsAcrossBatches) {
           tx.Retry();
         }
       });
-      woken.fetch_add(1);
+      // mo: acq_rel — [harness] cross-thread counter/flag RMW.
+      woken.fetch_add(1, std::memory_order_acq_rel);
     });
   }
   AwaitCounter(rt, Counter::kSleeps, kWaiters);
   rt.ResetStats();
   Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
-  while (woken.load() < 1) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (woken.load(std::memory_order_acquire) < 1) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -1058,7 +1097,8 @@ TEST(WakeBatchCountersTest, WakeSingleStopsAcrossBatches) {
       << "wake_single leaked extra wakeups across batch boundaries";
   // The woken waiter committed; its own post-commit wake pass (and ours)
   // releases the rest eventually — drive it with further commits.
-  while (woken.load() < kWaiters) {
+  // mo: acquire — [harness] observe worker-published state.
+  while (woken.load(std::memory_order_acquire) < kWaiters) {
     Atomically(rt.sys(), [&](Tx& tx) { tx.Store(cell.v, std::uint64_t{1}); });
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
@@ -1153,7 +1193,8 @@ TEST(OrElseOrecReleaseTest, EagerReleaseUnblocksConcurrentWriter) {
             // Escape action (runs at most a handful of times on restart):
             // start a writer targeting the released orec and wait for it.
             sidecar = std::thread([&] {
-              for (int i = 0; i < 10000 && !sidecar_done.load(); ++i) {
+              // mo: acquire — [harness] observe worker-published state.
+              for (int i = 0; i < 10000 && !sidecar_done.load(std::memory_order_acquire); ++i) {
                 bool won = Atomically(rt.sys(), [&](Tx& tx2) -> bool {
                   if (tx2.Load(contested) == 0) {
                     tx2.Store(contested, std::uint64_t{1});
@@ -1165,11 +1206,13 @@ TEST(OrElseOrecReleaseTest, EagerReleaseUnblocksConcurrentWriter) {
                   break;
                 }
               }
-              sidecar_done.store(true);
+              // mo: release — [harness] publish state to other harness threads.
+              sidecar_done.store(true, std::memory_order_release);
             });
           }
           // Wait outside the contested orec until the sidecar committed.
-          if (t.Load(gate) == 0 && !sidecar_done.load()) {
+          // mo: acquire — [harness] observe worker-published state.
+          if (t.Load(gate) == 0 && !sidecar_done.load(std::memory_order_acquire)) {
             if (t.RetryFor(std::chrono::milliseconds(2)) ==
                 WaitResult::kTimedOut) {
               t.RestartNow();

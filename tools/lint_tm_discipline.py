@@ -1,21 +1,26 @@
 #!/usr/bin/env python3
 """Atomics-discipline lint for the tcsync source tree.
 
-Enforces three rules over src/ (run: tools/lint_tm_discipline.py src):
+Per-site rules over src/ (run: tools/lint_tm_discipline.py src). The heavier
+cross-file analysis — the happens-before edge graph, the seq_cst budget, and
+implicit-ordering detection — lives in tools/tm_analyze.py; both front-ends
+share the parsing core in tools/tm_lint_lib.py.
 
 1. mo-justification: every `std::memory_order_*` argument must carry a
    `// mo:` comment naming its happens-before partner — on the same line, or
    on a preceding line reachable by walking up through comment lines and
    statement-continuation lines (a line not ending in `;` or `}`), up to
    12 lines. The recurring cross-file edges ([orec-publish], [clock-chain],
-   [wake-publish], [serial-token], [sem]) are defined in the appendix at the
-   top of src/condsync/wake_index.h.
+   [wake-publish], [serial-token], [sem], ...) are defined in the appendix at
+   the top of src/condsync/wake_index.h.
 
 2. atomics-allowlist: raw atomic primitives (`std::atomic`, `std::atomic_ref`,
    `std::atomic_thread_fence`, `<atomic>` includes) are allowed only under
-   src/tm/, src/common/, and src/condsync/. Everything else must use the
-   TVar/Atomically API (or a sync/ adapter built on it) — the memory-order
-   reasoning lives in the allowlisted layers, nowhere else.
+   src/tm/, src/common/, src/condsync/, and src/obs/. Everything else must use
+   the TVar/Atomically API (or a sync/ adapter built on it) — the memory-order
+   reasoning lives in the allowlisted layers, nowhere else. (This rule is
+   src-scoped by design: tests, benches, and examples may use raw atomics for
+   harness coordination, policed by tm_analyze instead.)
 
 3. no-dcheck-in-hot-loop: in files tagged with a `lint:hot-path` marker
    comment, TCS_DCHECK must not appear inside a loop body. Debug iterations
@@ -31,111 +36,26 @@ import re
 import sys
 from pathlib import Path
 
-ATOMIC_ALLOWLIST = ("src/tm/", "src/common/", "src/condsync/", "src/obs/")
-SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-MO_RE = re.compile(r"\bstd::memory_order_\w+")
-ATOMIC_RE = re.compile(
-    r"\bstd::atomic(?:_ref\b|_thread_fence\b|_signal_fence\b|\b|<)"
-    r"|#\s*include\s*<atomic>"
-)
-MO_COMMENT_RE = re.compile(r"//.*\bmo:")
+import tm_lint_lib as lib
+
+ATOMIC_ALLOWLIST = ("src/tm/", "src/common/", "src/condsync/", "src/obs/")
+
 HOT_PATH_TAG_RE = re.compile(r"lint:hot-path")
 DCHECK_RE = re.compile(r"\bTCS_DCHECK(?:_MSG)?\s*\(")
 LOOP_HEADER_RE = re.compile(r"(?:^|[^\w])(?:for|while)\s*\(|(?:^|[^\w])do\s*\{")
 
-MAX_WALK_UP = 12
-
-
-def strip_comments(lines):
-    """Per-line code with // and /* */ comments blanked (strings kept)."""
-    code = []
-    in_block = False
-    for line in lines:
-        out = []
-        i = 0
-        n = len(line)
-        in_str = None
-        while i < n:
-            c = line[i]
-            if in_block:
-                if line.startswith("*/", i):
-                    in_block = False
-                    i += 2
-                else:
-                    i += 1
-                continue
-            if in_str:
-                out.append(c)
-                if c == "\\" and i + 1 < n:
-                    out.append(line[i + 1])
-                    i += 2
-                    continue
-                if c == in_str:
-                    in_str = None
-                i += 1
-                continue
-            if c in "\"'":
-                in_str = c
-                out.append(c)
-                i += 1
-                continue
-            if line.startswith("//", i):
-                break
-            if line.startswith("/*", i):
-                in_block = True
-                i += 2
-                continue
-            out.append(c)
-            i += 1
-        code.append("".join(out))
-    return code
-
-
-def is_comment_line(line):
-    s = line.strip()
-    return s.startswith("//") or s.startswith("*") or s.startswith("/*")
-
-
-def has_mo_comment(line):
-    return MO_COMMENT_RE.search(line) is not None
-
-
-def mo_justified(lines, idx):
-    """True if lines[idx] (0-based, contains memory_order) is annotated."""
-    if has_mo_comment(lines[idx]):
-        return True
-    pos = idx
-    for _ in range(MAX_WALK_UP):
-        if pos == 0:
-            return False
-        prev = lines[pos - 1]
-        stripped = prev.strip()
-        if is_comment_line(prev):
-            if has_mo_comment(prev):
-                return True
-            pos -= 1
-            continue
-        # A preceding line that ends a statement or block (or a blank line)
-        # severs the attachment; anything else is a continuation the comment
-        # may sit above.
-        if not stripped or stripped.endswith(";") or stripped.endswith("}"):
-            return False
-        if has_mo_comment(prev):
-            return True
-        pos -= 1
-    return False
-
 
 def check_file(path, rel, findings):
-    text = path.read_text(encoding="utf-8")
-    lines = text.split("\n")
-    code = strip_comments(lines)
+    text, lines = lib.read_lines(path)
+    code = lib.strip_comments(lines)
 
     # Rule 1: mo-justification (all files — allowlisted dirs are where the
     # atomics live, so this is effectively their rule).
     for i, cl in enumerate(code):
-        if MO_RE.search(cl) and not mo_justified(lines, i):
+        if lib.MO_RE.search(cl) and \
+                lib.find_annotation_start(lines, i) is None:
             findings.append(
                 (rel, i + 1, "mo-justification",
                  "std::memory_order_* without a `// mo:` justification "
@@ -145,12 +65,13 @@ def check_file(path, rel, findings):
     allowed = any(rel.startswith(p) for p in ATOMIC_ALLOWLIST)
     if not allowed:
         for i, cl in enumerate(code):
-            m = ATOMIC_RE.search(cl)
+            m = lib.ATOMIC_RE.search(cl)
             if m:
                 findings.append(
                     (rel, i + 1, "atomics-allowlist",
                      f"raw atomic primitive `{m.group(0).strip()}` outside "
-                     "src/tm|common|condsync — use the TVar/Atomically API"))
+                     "src/tm|common|condsync|obs — use the TVar/Atomically "
+                     "API"))
 
     # Rule 3: no-dcheck-in-hot-loop (tagged files only).
     if HOT_PATH_TAG_RE.search(text):
@@ -177,22 +98,18 @@ def main(argv):
     roots = argv[1:] or ["src"]
     findings = []
     seen_any_file = False
-    for root in roots:
-        rootp = Path(root)
-        files = (
-            sorted(p for p in rootp.rglob("*") if p.suffix in SOURCE_SUFFIXES)
-            if rootp.is_dir() else [rootp]
-        )
-        for p in files:
-            seen_any_file = True
-            check_file(p, p.as_posix(), findings)
+    for p in lib.iter_source_files(roots):
+        seen_any_file = True
+        check_file(p, p.as_posix(), findings)
     if not seen_any_file:
-        print(f"lint_tm_discipline: no source files under {roots}", file=sys.stderr)
+        print(f"lint_tm_discipline: no source files under {roots}",
+              file=sys.stderr)
         return 1
     for rel, line, rule, msg in findings:
         print(f"{rel}:{line}: [{rule}] {msg}")
     if findings:
-        print(f"lint_tm_discipline: {len(findings)} finding(s)", file=sys.stderr)
+        print(f"lint_tm_discipline: {len(findings)} finding(s)",
+              file=sys.stderr)
         return 1
     return 0
 
