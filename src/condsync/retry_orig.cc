@@ -97,4 +97,14 @@ void RetryOrigRegistry::OnWriterCommit(const std::vector<const Orec*>& write_ore
   }
 }
 
+void RetryOrigRegistry::WakeAllSleepers() {
+  SpinLockGuard g(lock_);
+  for (Entry& e : entries_) {
+    if (e.sleeping) {
+      e.sleeping = false;
+      e.sem->Post();
+    }
+  }
+}
+
 }  // namespace tcs

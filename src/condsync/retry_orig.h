@@ -23,6 +23,16 @@
 // validation observes the commit (waiter restarts) or the peek observes the
 // raised count (writer scans and posts). The count ops themselves are relaxed
 // riders anchored by the fences.
+//
+// Only the writer's POST-fence peek participates in that exclusion. The commit
+// path also peeks count_ earlier, inside SnapshotCommitOrecsIfNeeded, to decide
+// whether copying the write-orec set is worth it — that peek runs before the
+// fence, so the store-buffering outcome can make it miss a racing registration.
+// Missing there is safe because it only skips the copy: when the post-fence
+// peek then finds waiters with no snapshot to intersect, the commit path calls
+// WakeAllSleepers() instead of OnWriterCommit() — every sleeper restarts,
+// revalidates under the waiting lock, and re-sleeps if still valid, so the
+// race costs a spurious wakeup, never a lost one.
 #ifndef TCS_CONDSYNC_RETRY_ORIG_H_
 #define TCS_CONDSYNC_RETRY_ORIG_H_
 
@@ -45,11 +55,17 @@ class RetryOrigRegistry {
   RetryOrigRegistry(const RetryOrigRegistry&) = delete;
   RetryOrigRegistry& operator=(const RetryOrigRegistry&) = delete;
 
-  // Conservative fast-path check used by committing writers.
-  // mo: relaxed — [retry-dekker] rider: the peek is ordered by the writer's
-  // commit-side seq_cst fence (tm_system.cc), which excludes the SB outcome
-  // against the waiter's raise+fence in WaitForOverlap; the load itself only
-  // needs atomicity.
+  // Waiter-presence peek used by committing writers, at two sites with two
+  // different strengths of guarantee (see the header comment): after the
+  // commit-side seq_cst fence in tm_system.cc it is the sound [retry-dekker]
+  // R-leg; before that fence (SnapshotCommitOrecsIfNeeded) it is only a
+  // heuristic that may miss a racing registration, and the caller must treat
+  // a miss as "skip an optimization", never "skip the wakeup".
+  // mo: relaxed — [retry-dekker] rider: the gating peek is ordered by the
+  // writer's commit-side seq_cst fence (tm_system.cc), which excludes the SB
+  // outcome against the waiter's raise+fence in WaitForOverlap; the pre-fence
+  // snapshot peek is heuristic-only (misses fall back to WakeAllSleepers).
+  // The load itself only needs atomicity.
   bool HasWaiters() const { return count_.load(std::memory_order_relaxed) > 0; }
 
   // Algorithm 1, Retry lines 3-8: under the waiting lock, re-validate the read
@@ -66,6 +82,14 @@ class RetryOrigRegistry {
   // Algorithm 1, TxCommit lines 10-15: wake every sleeper whose read-orec set
   // intersects this writer's write-orec set.
   void OnWriterCommit(const std::vector<const Orec*>& write_orecs);
+
+  // Conservative fallback for a writer whose post-fence HasWaiters peek found
+  // waiters but whose pre-fence snapshot heuristic skipped copying the write
+  // set (tm_system.cc Commit): with no write-orec set left to intersect, wake
+  // every sleeper. Spurious for non-overlapping sleepers, never wrong — each
+  // woken waiter restarts, revalidates under the waiting lock, and re-sleeps
+  // if its reads are still valid.
+  void WakeAllSleepers();
 
  private:
   struct Entry {

@@ -144,6 +144,18 @@ struct Orec;
 //                  committed state and the waiter never sleeps on a satisfied
 //                  predicate. Either way no wakeup is lost — seq_cst added
 //                  nothing but a total order the argument never used.
+//                  One backend path commits with NO clock RMW: sim-HTM
+//                  serial-mode commits (SimHtm::CommitTx, d.htm_serial).
+//                  There the post-commit scan is instead ordered by the
+//                  seq_cst [serial-token] handshake: the serial entrant's
+//                  drain loop reads the registration commit's seq_cst
+//                  committing_ = 0 store, or — when the registrant starts
+//                  while the writer is already serial — the registrant's
+//                  BeginTx poll reads ExitSerial's token store and its
+//                  double-check runs against the writer's committed state.
+//                  Either leg orders waiter inserts and the writer's scan
+//                  without the clock chain, so the release/acquire bitmap
+//                  endpoints stay sufficient on this path too.
 //
 //  [serial-token]  (minimal: seq_cst)
 //                  sim-HTM's Dekker pair: each committer's per-thread
@@ -164,6 +176,14 @@ struct Orec;
 //                  not sleep) or the writer's peek sees the raised count (and
 //                  scans the sleeper list). The count and peek themselves
 //                  ride the fences at relaxed — the fences are the edge.
+//                  The commit path's earlier count_ peek (inside
+//                  SnapshotCommitOrecsIfNeeded) runs BEFORE the writer's
+//                  fence and is outside this edge entirely: the SB outcome
+//                  may hide a racing registration from it. It only gates
+//                  copying the write-orec set; when the post-fence peek then
+//                  finds waiters with no snapshot, Commit() falls back to
+//                  RetryOrigRegistry::WakeAllSleepers (spurious wakeups, not
+//                  lost ones).
 //
 //  [quiesce-dekker] (minimal: seq_cst)
 //                  Privatization-safety Dekker between a raw snapshot reader
@@ -424,10 +444,19 @@ class WakeIndex {
   }
 
   // Conservative count of tids present in shard `s` / on the global list.
+  // Precondition for an exact answer: the caller must externally order every
+  // concurrent Add*/Remove before the call (join the waiter threads, or
+  // otherwise sequence a barrier) — the loads are acquire, so a count taken
+  // mid-run is stale-but-ordered at best, and nothing here enforces the
+  // precondition. Tests and post-join leak checks satisfy it; do not assert
+  // on these from in-flight threads.
   int ShardPopulation(int s) const;
   int GlobalPopulation() const;
 
-  // True iff no shard and no global word holds any bit (leak detector).
+  // True iff no shard and no global word holds any bit (leak detector). Same
+  // precondition as the population accessors: only meaningful once every
+  // waiter thread's final Remove has been ordered before this call (thread
+  // join); a mid-run call may race registrations and flicker.
   bool Empty() const;
 
  private:

@@ -268,8 +268,20 @@ void TmSystem::Commit() {
       // fence — [wake-publish] rides the [clock-chain] release sequence — but
       // RetryOrig registration performs no clock RMW, hence this Dekker.)
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (!commit_orecs.empty() && retry_orig_->HasWaiters()) {
-        retry_orig_->OnWriterCommit(commit_orecs);
+      if (retry_orig_->HasWaiters()) {
+        // This post-fence peek is the sound [retry-dekker] R-leg. The peek
+        // inside SnapshotCommitOrecsIfNeeded ran BEFORE the fence and only
+        // decides whether the write-orec set gets copied; if it missed a
+        // racing registration, commit_orecs is empty and the write set is
+        // gone (the descriptor was reset above). Waking every sleeper then
+        // is the conservative repair: each revalidates under the waiting
+        // lock and re-sleeps, so the race costs a spurious wakeup, never a
+        // lost one.
+        if (!commit_orecs.empty()) {
+          retry_orig_->OnWriterCommit(commit_orecs);
+        } else {
+          retry_orig_->WakeAllSleepers();
+        }
       }
       if (waiters_->HasWaiters()) {
         WakeWaiters(commit_orecs);
@@ -406,6 +418,12 @@ void TmSystem::SnapshotCommitOrecsIfNeeded(TxDesc& d) {
   if (d.internal) {
     return;
   }
+  // Both peeks run BEFORE the commit-side [retry-dekker] seq_cst fence in
+  // Commit(), so either may miss a registration racing this commit
+  // (store-buffering); they are heuristics that only avoid the copy, never
+  // correctness gates. Commit() re-peeks after the fence: a missed RetryOrig
+  // waiter is woken conservatively (WakeAllSleepers), and a missed WakeIndex
+  // waiter is covered by WakeWaiters' empty-snapshot global scan.
   if (!retry_orig_->HasWaiters() &&
       !(cfg_.targeted_wakeup && waiters_->HasWaiters())) {
     return;

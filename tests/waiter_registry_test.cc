@@ -173,6 +173,38 @@ TEST(RetryOrigRegistryTest, OwnReleasedOrecDoesNotBlockSleep) {
   EXPECT_EQ(d.stats.Get(Counter::kSleeps), 1u);
 }
 
+// Pins the lost-wakeup repair for the pre-fence snapshot race: a writer whose
+// post-fence HasWaiters peek finds waiters but whose snapshot heuristic
+// skipped copying the write set has no orecs to intersect, so Commit() calls
+// WakeAllSleepers — every sleeper must be posted, whatever it reads.
+TEST(RetryOrigRegistryTest, WakeAllSleepersWakesEverySleeperConservatively) {
+  RetryOrigRegistry reg(4);
+  Orec a;
+  Orec b;
+  // mo: relaxed — pre-concurrency test setup; no other thread runs yet.
+  a.word.store(Orec::MakeVersion(1), std::memory_order_relaxed);
+  // mo: relaxed — pre-concurrency test setup; no other thread runs yet.
+  b.word.store(Orec::MakeVersion(1), std::memory_order_relaxed);
+  TxDesc d0(0, 2);
+  TxDesc d1(1, 2);
+  std::thread s0([&] { reg.WaitForOverlap(d0, {&a}, /*start=*/5, {}); });
+  std::thread s1([&] { reg.WaitForOverlap(d1, {&b}, /*start=*/5, {}); });
+  for (int i = 0; i < 100000; ++i) {
+    if (d0.stats.Get(Counter::kSleeps) == 1 &&
+        d1.stats.Get(Counter::kSleeps) == 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  ASSERT_TRUE(reg.HasWaiters());
+  reg.WakeAllSleepers();
+  s0.join();
+  s1.join();
+  EXPECT_FALSE(reg.HasWaiters());
+  // Idempotent on an empty list.
+  reg.WakeAllSleepers();
+}
+
 TEST(RetryOrigRegistryTest, NonOverlappingCommitDoesNotWake) {
   RetryOrigRegistry reg(4);
   Orec read_orec;
