@@ -6,8 +6,10 @@
 // Flags:
 //   --quick              CI-sized run: eager backend only, small op counts
 //   --out=PATH           output file (default BENCH_wakeup.json)
-//   --scenario=NAME      all | wake_index | bounded | parsec (default all)
+//   --scenario=NAME      all | wake_index | waiter_scale | bounded | parsec
+//                        (default all)
 //   --ops=N --trials=N --scale=N --max_threads=N --commits=N --many_commits=N
+//   --scale_waiters=N    waiter_scale point size (default 1e5, --quick 1e4)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -20,6 +22,7 @@
 #include "bench/bounded_grid.h"
 #include "bench/parsec_grid.h"
 #include "src/common/json_writer.h"
+#include "bench/waiter_scale.h"
 #include "bench/wake_scenarios.h"
 
 namespace tcs {
@@ -353,6 +356,98 @@ void EmitMoDiet(JsonWriter& w, std::uint64_t ops) {
   w.EndArray();
 }
 
+void EmitWaiterScaleRow(JsonWriter& w, const WaiterScaleResult& r) {
+  w.BeginObject();
+  w.Key("backend").String(BackendName(r.backend));
+  w.Key("requested_waiters").Int(r.requested_waiters);
+  w.Key("waiters").Int(r.waiters);
+  w.Key("spawned").Int(r.spawned);
+  w.Key("park_backend").Int(r.park_backend);
+  w.Key("uses_futex").Bool(r.uses_futex);
+  w.Key("timer_wheel").Bool(r.timer_wheel);
+  w.Key("park_seconds").Double(r.park_seconds);
+  w.Key("wake_seconds").Double(r.wake_seconds);
+  w.Key("wake_rounds").U64(r.wake_rounds);
+  w.Key("acks").U64(r.acks);
+  w.Key("lost_wakeups").U64(r.lost_wakeups);
+  w.Key("registry_bytes").U64(r.registry_bytes);
+  w.Key("wake_index_bytes").U64(r.wake_index_bytes);
+  w.Key("registry_segments").Int(r.registry_segments);
+  w.Key("mem_bytes_per_waiter").Double(r.mem_bytes_per_waiter);
+  w.Key("timed_waits").U64(r.timed_waits);
+  w.Key("wheel_ticks").U64(r.wheel_ticks);
+  w.Key("wheel_scheduled").U64(r.wheel_scheduled);
+  w.Key("wheel_fired").U64(r.wheel_fired);
+  w.Key("wheel_stale").U64(r.wheel_stale);
+  w.Key("wheel_max_lag_ns").U64(r.wheel_max_lag_ns);
+  w.Key("wake_latency_count").U64(r.wake_latency_count);
+  w.Key("wake_p50_ns").U64(r.wake_p50_ns);
+  w.Key("wake_p99_ns").U64(r.wake_p99_ns);
+  w.Key("wake_p999_ns").U64(r.wake_p999_ns);
+  w.EndObject();
+}
+
+void PrintWaiterScaleRow(const char* variant, const WaiterScaleResult& r) {
+  if (r.waiters < r.requested_waiters) {
+    std::printf(
+        "waiter_scale: requested %d waiters clamped to %d by the machine's "
+        "PID budget (kernel.pid_max)\n",
+        r.requested_waiters, r.waiters);
+  }
+  std::printf(
+      "waiter_scale backend=%-10s variant=%-9s waiters=%-7d spawned=%-7d "
+      "lost=%llu mem/waiter=%.0fB wake_p99=%lluns timed=%llu ticks=%llu\n",
+      BackendName(r.backend), variant, r.waiters, r.spawned,
+      static_cast<unsigned long long>(r.lost_wakeups), r.mem_bytes_per_waiter,
+      static_cast<unsigned long long>(r.wake_p99_ns),
+      static_cast<unsigned long long>(r.timed_waits),
+      static_cast<unsigned long long>(r.wheel_ticks));
+}
+
+// Capacity-tier sweep: one 10^4/10^5-waiter point per backend (pooled parking
+// + timer wheel at defaults), plus two eager-backend variant rows — the
+// portable mutex+condvar parking pool, and the wheel off (per-wait kernel
+// timeouts) — so the defaults' wins are visible in the same artifact. The CI
+// gate (bench-smoke) asserts lost_wakeups == 0, bounded mem_bytes_per_waiter,
+// and wheel_ticks < timed_waits over these rows.
+void EmitWaiterScale(JsonWriter& w, const std::vector<Backend>& backends,
+                     int waiters, int variant_waiters) {
+  w.Key("waiter_scale_sweep").BeginArray();
+  for (Backend b : backends) {
+    WaiterScaleOptions opts;
+    opts.backend = b;
+    opts.waiters = waiters;
+    WaiterScaleResult r = RunWaiterScaleTrial(opts);
+    EmitWaiterScaleRow(w, r);
+    PrintWaiterScaleRow("default", r);
+  }
+  {
+    WaiterScaleOptions opts;
+    opts.backend = Backend::kEagerStm;
+    opts.waiters = variant_waiters;
+    opts.park_backend = 2;  // mutex+condvar pool (portable fallback)
+    WaiterScaleResult r = RunWaiterScaleTrial(opts);
+    EmitWaiterScaleRow(w, r);
+    PrintWaiterScaleRow("pool", r);
+  }
+  {
+    WaiterScaleOptions opts;
+    opts.backend = Backend::kEagerStm;
+    // Smaller than the other variants: without the wheel, timed-wait expiries
+    // land scattered instead of batched at tick boundaries, so the churners'
+    // commits (and their quiescence) never leave a quiet window for the rest
+    // of the park phase — at 10^4 waiters the row alone costs minutes. The
+    // contrast the row exists for (per-wait timeouts vs one wheel) is just as
+    // visible at this size.
+    opts.waiters = std::min(variant_waiters, 2500);
+    opts.timer_wheel = false;  // per-wait kernel timeouts (pre-capacity tier)
+    WaiterScaleResult r = RunWaiterScaleTrial(opts);
+    EmitWaiterScaleRow(w, r);
+    PrintWaiterScaleRow("no_wheel", r);
+  }
+  w.EndArray();
+}
+
 void EmitBounded(JsonWriter& w, const std::vector<Backend>& backends,
                  const BoundedGridOptions& base) {
   w.Key("bounded_buffer").BeginArray();
@@ -452,6 +547,15 @@ int Run(int argc, char** argv) {
     EmitWakeBatchSweep(w, backends, many_waiter_counts, many_commits);
     EmitCasClaimAblation(w, backends, commits);
     EmitMoDiet(w, flags.GetU64("mo_diet_ops", quick ? 2000000 : 20000000));
+  }
+  if (scenario == "all" || scenario == "waiter_scale") {
+    // 10^5 parked waiters per full-run point; CI (--quick) runs the 10^4
+    // point. Variant rows (pool parking, wheel off) stay at the CI size even
+    // in full runs — they exist for comparison, not for the capacity record.
+    const int scale_waiters = static_cast<int>(
+        flags.GetU64("scale_waiters", quick ? 10000 : 100000));
+    const int variant_waiters = std::min(scale_waiters, 10000);
+    EmitWaiterScale(w, backends, scale_waiters, variant_waiters);
   }
   if (scenario == "all" || scenario == "bounded") {
     EmitBounded(w, backends, bounded);

@@ -1,9 +1,11 @@
-// Counting semaphore used to put descheduled threads to sleep and wake them.
+// Counting semaphore (POSIX sem_t wrapper).
 //
 // The paper's Deschedule mechanism parks each waiting thread on a per-thread
-// semaphore (Algorithm 4): the registration transaction and the waker's check run
-// inside transactions, but the actual sleep/wake transitions happen strictly
-// outside any transaction, so a plain POSIX semaphore is the right tool.
+// semaphore (Algorithm 4). The runtime's wake path no longer does: per-waiter
+// sem_t objects don't scale to the capacity tier's 10^5+ parked waiters, so
+// descheduled threads now park on ParkSpot words through the shared
+// ParkingLot (src/common/parking_lot.h). This class stays as a standalone
+// primitive for tests and harnesses that need plain counting semantics.
 #ifndef TCS_COMMON_SEMAPHORE_H_
 #define TCS_COMMON_SEMAPHORE_H_
 

@@ -74,7 +74,7 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
   RollbackForDeschedule(d);
 
   WaiterSlot& slot = waiters_->slot(d.tid);
-  slot.Prepare(fn, args, &d.sem);
+  slot.Prepare(fn, args, &d.park);
   // Clear any stale wake-post stamp before this sleep's waker can write a new
   // one (the previous claimer's post — and therefore its stamp — was consumed
   // before this thread could re-deschedule).
@@ -124,17 +124,36 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
     std::uint64_t sleep_start_ns = cfg_.latency_metrics ? ObsNowNs() : 0;
     bool acquired = true;
     if (timed) {
-      // Set by the DeadlineExpired check of the *For call that led here.
-      acquired = d.sem.WaitUntil(d.active_deadline);
+      // Deadline set by the DeadlineExpired check of the *For call that led
+      // here. With the timer wheel, the sleep registers an epoch-stamped
+      // timeout with the shared ticker and parks for either token; a stale
+      // fire (a wheel post for an earlier epoch of this spot) wakes us with
+      // the timeout token but no expired deadline, so we re-arm and re-park —
+      // ArmTimed bumps the epoch, which retires the stale registration.
+      if (wheel_ != nullptr) {
+        for (;;) {
+          std::uint64_t epoch = lot_.ArmTimed(d.park);
+          wheel_->Schedule(&d.park, epoch, d.active_deadline);
+          acquired = lot_.ParkEither(d.park);
+          if (acquired || std::chrono::steady_clock::now() >= d.active_deadline) {
+            break;
+          }
+        }
+      } else {
+        // Wheel disabled: one absolute-deadline timer per sleeper, the
+        // pre-capacity-tier behavior.
+        acquired = lot_.ParkUntil(d.park, d.active_deadline);
+      }
     } else {
-      d.sem.Wait();
+      lot_.ConsumeToken(d.park);
     }
     if (cfg_.latency_metrics) {
       std::uint64_t now = ObsNowNs();
       d.obs.wait_duration.Record(now - sleep_start_ns);
       if (acquired) {
-        // The claiming waker stamped the post time just before Post; the [sem]
-        // edge ordered that stamp before this load (see WaiterSlot).
+        // The claiming waker stamped the post time just before Post; the
+        // [park-handoff] edge ordered that stamp before this load (see
+        // WaiterSlot).
         std::uint64_t posted = slot.LoadWakePost();
         if (posted != 0 && now >= posted) {
           d.obs.wake_latency.Record(now - posted);
@@ -150,10 +169,37 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
       d.woke_from_sleep = true;
     } else {
       // Timed out. Deregister, racing against a waker that may have already
-      // claimed this slot (set asleep=0) and be about to post the semaphore.
+      // claimed this slot (set asleep=0) and be about to post the wake token.
       // The deregistration transaction serializes against the wake-check
       // transaction: if the waker won, we must drain its post so the stale
       // token cannot satisfy this thread's *next* sleep instantly.
+      //
+      // Why the drain can never hang, and never leaks a token — the ordering
+      // argument, in full, because both the per-sleeper timer path and the
+      // timer wheel inherit it unchanged (timeout delivery only changes how
+      // `acquired == false` is produced above; the claim/post protocol below
+      // is oblivious to it):
+      //
+      //   1. A waker posts the wake token strictly AFTER its claiming
+      //      transaction (or CAS claim) commits the asleep 1→0 transition.
+      //   2. Our deregistration transaction reads asleep transactionally, so
+      //      it serializes against every claim. Exactly two interleavings
+      //      exist:
+      //        * Claim-first: we read asleep == 0. The claim is durable, so
+      //          by (1) its post is already issued or imminent — ConsumeToken
+      //          terminates (it parks at most until that post lands) and
+      //          consumes the token, leaving the spot clean for the next
+      //          sleep. No leak, no hang.
+      //        * Dereg-first: we read asleep == 1 and commit active = 0,
+      //          asleep = 0. Every later wake check (transactional or CAS)
+      //          reads our committed zeros and skips; no post is ever issued
+      //          for this sleep, so there is nothing to drain and
+      //          claimed_by_waker correctly stays false.
+      //   3. A racing wheel fire for THIS sleep's epoch can additionally set
+      //      the timeout token, never the wake token, and ConsumeToken
+      //      ignores and clears pending timeout tokens while waiting — so a
+      //      late tick cannot satisfy the drain in place of the waker's post,
+      //      and the next ArmTimed retires the epoch anyway.
       bool claimed_by_waker = false;
       RunInternalTx([&] {
         claimed_by_waker = (Read(&slot.asleep) == 0);
@@ -161,9 +207,7 @@ void TmSystem::DescheduleImpl(WaitPredFn fn, const WaitArgs& args, bool timed) {
         Write(&slot.asleep, 0);
       });
       if (claimed_by_waker) {
-        // The waker posts strictly after its transaction commits, and ours
-        // serialized after it, so the post is already issued or imminent.
-        d.sem.Wait();
+        lot_.ConsumeToken(d.park);
       }
     }
   }
@@ -284,7 +328,7 @@ TmSystem::CasClaimResult TmSystem::TryCasWakeClaim(TxDesc& d, int waiter_tid) {
   // Re-read under the lock; only now are the loads decisive (see step 2).
   // mo: acquire — pairs with the registration transaction's commit release
   // [orec-publish]: asleep == 1 proves the registration committed, which
-  // makes the slot's plain-stored fn/args/sem visible and frozen.
+  // makes the slot's plain-stored fn/args/park visible and frozen.
   bool published =
       std::atomic_ref<const TmWord>(slot.active)
               .load(std::memory_order_acquire) == 1 &&
@@ -384,7 +428,7 @@ TmSystem::CasClaimResult TmSystem::TryCasWakeClaim(TxDesc& d, int waiter_tid) {
   if (cfg_.latency_metrics) {
     slot.StampWakePost(ObsNowNs());
   }
-  slot.sem->Post();
+  lot_.Post(*slot.park);
   d.stats.Bump(Counter::kWakeups);
   return CasClaimResult::kClaimed;
 }
@@ -401,12 +445,20 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
   // candidate's wake-check cost and skew the precision counters.
   std::vector<int>& cands = d.wake_candidates;
   cands.clear();
+  // Sized to the registry's populated tid bound, not max_threads: a 64Ki-thread
+  // ceiling must not cost every committing writer an 8KB bitmap clear.
   const std::size_t seen_words =
-      (static_cast<std::size_t>(waiters_->capacity()) + 63) / 64;
+      (static_cast<std::size_t>(waiters_->TidBound()) + 63) / 64;
   d.wake_seen_scratch.assign(seen_words, 0);
   auto collect = [&](int tid) {
     if (tid != d.tid) {
-      std::uint64_t& word = d.wake_seen_scratch[static_cast<std::size_t>(tid) / 64];
+      const std::size_t wi = static_cast<std::size_t>(tid) / 64;
+      if (wi >= d.wake_seen_scratch.size()) {
+        // A segment published after the bound was sampled can emit tids past
+        // it mid-pass; grow (zero-filled) rather than drop the candidate.
+        d.wake_seen_scratch.resize(wi + 1, 0);
+      }
+      std::uint64_t& word = d.wake_seen_scratch[wi];
       const std::uint64_t bit = std::uint64_t{1} << (tid % 64);
       if ((word & bit) == 0) {
         word |= bit;
@@ -419,12 +471,22 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
     // Targeted pass: only the shards this write set covers, plus the global
     // fallback list. Work scales with relevant waiters, not registered ones.
     // The shard-set bitmap is built once into per-thread scratch (reused
-    // commit to commit) via the index's two-phase collect/visit API.
+    // commit to commit) via the index's two-phase collect/visit API. The
+    // registry's segment summary — snapshotted repair-stably — masks the
+    // index walk down to segments holding at least one registered waiter:
+    // sound because a waiter's summary bit, like its index entry, is set
+    // before its registration transaction can commit, so any waiter this
+    // commit is obliged to wake has both visible here (see wake_index.h).
     d.wake_shard_scratch.resize(
         static_cast<std::size_t>(wake_index_->shard_words()));
     wake_index_->BuildShardSet(write_orecs.data(), write_orecs.size(),
                                d.wake_shard_scratch.data());
-    wake_index_->ForEachCandidateIn(d.wake_shard_scratch.data(), collect);
+    d.wake_seg_scratch.resize(
+        static_cast<std::size_t>(waiters_->summary_words()));
+    waiters_->SnapshotSummary(d.wake_seg_scratch.data());
+    wake_index_->ForEachCandidateInSegments(d.wake_shard_scratch.data(),
+                                            d.wake_seg_scratch.data(),
+                                            waiters_->summary_words(), collect);
   } else {
     // Global scan: targeting disabled, or the write-set snapshot was not taken
     // (no waiter was visible mid-commit; any waiter visible now either
@@ -554,12 +616,12 @@ void TmSystem::WakeWaiters(const std::vector<const Orec*>& write_orecs) {
       TCS_PROTO(proto_->OnWakePost(c.tid));
       WaiterSlot& claimed = waiters_->slot(c.tid);
       if (cfg_.latency_metrics) {
-        // Stamp strictly before the post so the waiter's read (after Wait
-        // returns) observes it via the [sem] edge. Exclusive: this writer won
-        // the transactional asleep 1→0 claim for this sleep.
+        // Stamp strictly before the post so the waiter's read (after the park
+        // returns) observes it via the [park-handoff] edge. Exclusive: this
+        // writer won the transactional asleep 1→0 claim for this sleep.
         claimed.StampWakePost(ObsNowNs());
       }
-      claimed.sem->Post();
+      lot_.Post(*claimed.park);
       d.stats.Bump(Counter::kWakeups);
       if (c.vacuous) {
         // A vacuous (empty-waitset) wake is no evidence anyone was satisfied;

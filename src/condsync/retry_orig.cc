@@ -6,15 +6,24 @@
 
 namespace tcs {
 
-RetryOrigRegistry::RetryOrigRegistry(int max_threads) {
-  entries_.resize(static_cast<std::size_t>(max_threads));
+RetryOrigRegistry::RetryOrigRegistry(int max_threads, ParkingLot* lot)
+    : lot_(lot != nullptr ? lot : &ParkingLot::Default()),
+      max_threads_(max_threads) {
+  TCS_CHECK(max_threads > 0);
+}
+
+RetryOrigRegistry::Entry& RetryOrigRegistry::EntryOf(int tid) {
+  TCS_CHECK(tid >= 0 && tid < max_threads_);
+  if (static_cast<std::size_t>(tid) >= entries_.size()) {
+    entries_.resize(static_cast<std::size_t>(tid) + 1);
+  }
+  return entries_[static_cast<std::size_t>(tid)];
 }
 
 void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
                                        std::vector<const Orec*> read_orecs,
                                        std::uint64_t start,
                                        const std::vector<ReleasedOrec>& released) {
-  Entry& e = entries_[static_cast<std::size_t>(d.tid)];
   // The count is raised before validation; a committing writer that reads zero is
   // thereby guaranteed to have released its orecs before our validation loads,
   // so validation will observe its commit ([retry-dekker] pairing with the
@@ -56,16 +65,20 @@ void RetryOrigRegistry::WaitForOverlap(TxDesc& d,
       }
     }
     if (valid) {
+      Entry& e = EntryOf(d.tid);
       e.reads = std::move(read_orecs);
-      e.sem = &d.sem;
+      e.spot = &d.park;
       e.sleeping = true;
       slept = true;
     }
   }
   if (slept) {
     d.stats.Bump(Counter::kSleeps);
-    d.sem.Wait();
+    lot_->ConsumeToken(d.park);
     SpinLockGuard g(lock_);
+    // Re-fetch: another waiter's first registration may have grown entries_
+    // while we slept, invalidating any reference held across the unlock.
+    Entry& e = EntryOf(d.tid);
     e.sleeping = false;
     e.reads.clear();
   }
@@ -90,7 +103,7 @@ void RetryOrigRegistry::OnWriterCommit(const std::vector<const Orec*>& write_ore
     for (const Orec* o : e.reads) {
       if (writes.count(o) != 0) {
         e.sleeping = false;
-        e.sem->Post();
+        lot_->Post(*e.spot);
         break;
       }
     }
@@ -102,7 +115,7 @@ void RetryOrigRegistry::WakeAllSleepers() {
   for (Entry& e : entries_) {
     if (e.sleeping) {
       e.sleeping = false;
-      e.sem->Post();
+      lot_->Post(*e.spot);
     }
   }
 }

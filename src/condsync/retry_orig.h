@@ -41,7 +41,7 @@
 #include <memory>
 #include <vector>
 
-#include "src/common/semaphore.h"
+#include "src/common/parking_lot.h"
 #include "src/common/spin_lock.h"
 #include "src/tm/orec_table.h"
 #include "src/tm/tx_desc.h"
@@ -50,7 +50,11 @@ namespace tcs {
 
 class RetryOrigRegistry {
  public:
-  explicit RetryOrigRegistry(int max_threads);
+  // `max_threads` only bounds tids; the per-tid entry table grows lazily under
+  // the waiting lock, so a 64Ki-thread ceiling costs nothing up front. Sleepers
+  // park on their descriptor's ParkSpot through `lot` (the owning domain's
+  // ParkingLot; standalone/test instances fall back to the process default).
+  explicit RetryOrigRegistry(int max_threads, ParkingLot* lot = nullptr);
 
   RetryOrigRegistry(const RetryOrigRegistry&) = delete;
   RetryOrigRegistry& operator=(const RetryOrigRegistry&) = delete;
@@ -70,8 +74,8 @@ class RetryOrigRegistry {
 
   // Algorithm 1, Retry lines 3-8: under the waiting lock, re-validate the read
   // orecs against `start` (honoring `released`, see above); if still valid,
-  // publish the read set and sleep on d.sem. Returns after wakeup, or immediately
-  // when validation failed. The caller restarts the transaction either way.
+  // publish the read set and park on d.park. Returns after wakeup, or
+  // immediately when validation failed. The caller restarts either way.
   struct ReleasedOrec {
     const Orec* orec;
     std::uint64_t word_after_release;
@@ -94,12 +98,19 @@ class RetryOrigRegistry {
  private:
   struct Entry {
     std::vector<const Orec*> reads;
-    Semaphore* sem = nullptr;
+    ParkSpot* spot = nullptr;
     bool sleeping = false;
   };
 
+  // The entry for `tid`, growing the table if needed. Caller holds lock_; the
+  // returned reference is invalidated by any later growth, so it must be
+  // re-fetched after every lock reacquisition.
+  Entry& EntryOf(int tid);
+
+  ParkingLot* lot_;
+  int max_threads_;
   SpinLock lock_;  // Algorithm 1's global `waiting` lock
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_;  // grown lazily under lock_
   std::atomic<int> count_{0};
 };
 

@@ -1,0 +1,24 @@
+// Shared segment geometry for the capacity tier's waiter-side structures.
+//
+// WaiterRegistry, WakeIndex, and QuiesceTable all grow by appending
+// 256-thread segment control blocks instead of sizing flat slabs to
+// max_threads up front. One shared shift keeps their tid→segment math in
+// lockstep, which is what makes the registry's segment-summary bitmap a
+// valid iteration mask for the wake index (see
+// WakeIndex::ForEachCandidateInSegments).
+#ifndef TCS_CONDSYNC_SEGMENT_H_
+#define TCS_CONDSYNC_SEGMENT_H_
+
+namespace tcs {
+
+// 256 tids per segment: one segment's presence bitmap is exactly four
+// 64-bit words (kCondSyncSegmentWords), and a segment's slot slab stays in
+// the tens-of-KB range — cheap enough to allocate on first touch, large
+// enough that 10^6 waiters need only ~4k directory entries.
+inline constexpr int kCondSyncSegmentShift = 8;
+inline constexpr int kCondSyncSegmentSize = 1 << kCondSyncSegmentShift;
+inline constexpr int kCondSyncSegmentWords = kCondSyncSegmentSize / 64;
+
+}  // namespace tcs
+
+#endif  // TCS_CONDSYNC_SEGMENT_H_

@@ -80,7 +80,7 @@ void TmCondVar::Wait(TmSystem& sys) {
     // Counted after the commit so aborted attempts don't inflate it.
     d.stats.Bump(Counter::kCondVarRingGrowths);
   }
-  d.sem.Wait();
+  sys.parking().ConsumeToken(d.park);
   d.skip_backoff = true;
   d.woke_from_sleep = true;
   throw TxRestart{};
@@ -136,7 +136,7 @@ std::size_t TmCondVar::PopBatch(TmSystem& sys, std::size_t max,
 void TmCondVar::SignalNow(TmSystem& sys) {
   std::vector<int> tids;
   if (PopBatch(sys, 1, tids) > 0) {
-    sys.SemOf(tids[0]).Post();
+    sys.PostParked(tids[0]);
   }
 }
 
@@ -156,7 +156,7 @@ void TmCondVar::BroadcastNow(TmSystem& sys) {
       return;
     }
     for (int tid : tids) {
-      sys.SemOf(tid).Post();
+      sys.PostParked(tid);
     }
   }
 }

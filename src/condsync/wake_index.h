@@ -12,6 +12,19 @@
 // covering a waitset address; a committing writer unions the shards of its
 // commit-time write-set orecs and wake-checks only those candidates.
 //
+// Segmented layout (capacity tier). The tid dimension is segmented: instead of
+// one flat bitmap slab sized to max_threads, the index is a directory of
+// lazily allocated 256-tid segment control blocks (geometry in segment.h).
+// Each segment owns its own shard→tid bitmap slab, global-fallback words, and
+// owner-side bookkeeping; publication of a fresh segment is a release-CAS on
+// the directory entry (the [seg-publish] edge). Capacity grows by appending
+// segments — 10^6 waiters cost ~4k directory words up front, with bitmap
+// slabs materializing only for tid ranges that actually wait. Writer scans
+// iterate allocated segments; TmSystem::WakeWaiters narrows that further to
+// segments whose WaiterRegistry summary bit is set (ForEachCandidateInSegments)
+// so a full-capacity index costs a writer popcount(segment mask) segment
+// visits, not a 4096-shard flat walk.
+//
 // Shard-set representation. A waiter's shard membership is a per-tid *bitmap*
 // of `shard_words()` 64-bit words (owner-thread-only bookkeeping), so the
 // shard count can range over any power of two in [1, kMaxShards] — large orec
@@ -47,7 +60,10 @@
 // begins, and a writer reads shards (acquire) only after its commit's
 // [clock-chain] RMW, so "registration serialized before my commit" implies
 // "I see the entries" — see the [wake-publish] glossary entry below for the
-// full release-sequence argument that let these drop from seq_cst.
+// full release-sequence argument that let these drop from seq_cst. Segment
+// publication composes with it: the waiter's directory CAS precedes its
+// inserts, so a writer that would see the inserts sees the segment pointer
+// first ([seg-publish]).
 #ifndef TCS_CONDSYNC_WAKE_INDEX_H_
 #define TCS_CONDSYNC_WAKE_INDEX_H_
 
@@ -58,6 +74,7 @@
 
 #include "src/common/assert.h"
 #include "src/common/cache_line.h"
+#include "src/condsync/segment.h"
 #include "src/tm/protocol_checker.h"
 
 namespace tcs {
@@ -129,17 +146,18 @@ struct Orec;
 //
 //  [wake-publish]  (minimal: release/acquire)
 //                  The bitmap operations in this file plus the WaiterRegistry
-//                  presence bitmap. A waiter inserts entries (release) before
-//                  its registration transaction begins; that transaction
-//                  writes slot words, so its commit performs a [clock-chain]
-//                  RMW. A committing writer's own commit RMW reads the chain,
-//                  so if the registration's RMW precedes the writer's in the
-//                  clock's modification order, the writer's increment
-//                  synchronizes with the registration's and the insert —
-//                  sequenced before it — is visible to the writer's acquire
-//                  scan (write-read coherence: a load ordered after the
-//                  insert by happens-before cannot read an older bitmap
-//                  word). If instead the writer's RMW serializes first, the
+//                  presence bitmap and its segment-summary mask. A waiter
+//                  inserts entries (release) before its registration
+//                  transaction begins; that transaction writes slot words, so
+//                  its commit performs a [clock-chain] RMW. A committing
+//                  writer's own commit RMW reads the chain, so if the
+//                  registration's RMW precedes the writer's in the clock's
+//                  modification order, the writer's increment synchronizes
+//                  with the registration's and the insert — sequenced before
+//                  it — is visible to the writer's acquire scan (write-read
+//                  coherence: a load ordered after the insert by
+//                  happens-before cannot read an older bitmap word). If
+//                  instead the writer's RMW serializes first, the
 //                  registration's double-check runs against the writer's
 //                  committed state and the waiter never sleeps on a satisfied
 //                  predicate. Either way no wakeup is lost — seq_cst added
@@ -156,6 +174,12 @@ struct Orec;
 //                  Either leg orders waiter inserts and the writer's scan
 //                  without the clock chain, so the release/acquire bitmap
 //                  endpoints stay sufficient on this path too.
+//                  The registry's summary mask adds one wrinkle: clearing a
+//                  summary bit when a segment drains races a concurrent
+//                  re-registration, so the clear runs under a seqlock-guarded
+//                  repair (clear, rescan the segment mask, conditionally
+//                  re-set) and readers retry odd/changed generations — see
+//                  WaiterRegistry::HasWaiters for the interleaving argument.
 //
 //  [serial-token]  (minimal: seq_cst)
 //                  sim-HTM's Dekker pair: each committer's per-thread
@@ -196,13 +220,41 @@ struct Orec;
 //                  the published slot (and waits for the reader) — the
 //                  store-buffering exclusion that gates memory reclamation.
 //
-//  [sem]           (minimal: external)
-//                  Semaphore post/wait: everything before Post() happens-
-//                  before the matching Wait() return. The wake path posts
-//                  strictly after the claiming transaction commits, so a
-//                  woken waiter observes the committed state that satisfied
-//                  its predicate. The release/acquire pair lives inside the
-//                  Semaphore implementation; annotated sites only ride it.
+//  [seg-publish]   (minimal: release/acquire)
+//                  Lazy publication of 256-tid segment control blocks
+//                  (WaiterRegistry, WakeIndex, QuiesceTable): the allocating
+//                  thread zero-initializes the block, then installs its
+//                  pointer with a release (acq_rel) directory CAS; every
+//                  reader loads directory entries with acquire. The pairing
+//                  guarantees a reader that sees the pointer sees a fully
+//                  initialized block. A null entry is itself information —
+//                  "no tid of this range ever registered" — so scans skip
+//                  null segments without ordering. Losing CAS racers delete
+//                  their unpublished block and adopt the winner's; the
+//                  protocol checker's OnSegmentPublished hook asserts each
+//                  index is published at most once per structure.
+//
+//  [park-handoff]  (minimal: release/acquire)
+//                  ParkingLot wake-token delivery: a claiming waker posts the
+//                  token with a release fetch_or (ParkingLot::Post) strictly
+//                  after the claim transaction commits and the wake-post
+//                  stamp is written; the spot's owner consumes it with an
+//                  acquire RMW (ConsumeToken/ParkEither/ParkUntil). The pair
+//                  makes the committed claim and the stamp visible to the
+//                  woken waiter — the same contract the retired per-slot
+//                  semaphore's internal post/wait pair used to provide. The
+//                  futex/condvar machinery underneath only adds sleep/wake
+//                  and carries no data ordering of its own.
+//
+//  [wheel-tick]    (minimal: release/acquire)
+//                  TimerWheel timeout-token delivery: the ticker posts the
+//                  timeout token with a release fetch_or
+//                  (ParkingLot::PostTimeout) and the timed waiter consumes it
+//                  with an acquire RMW (ParkEither). Stale and spurious fires
+//                  are benign by construction: the epoch filter drops most,
+//                  and a waiter woken with `now < deadline` re-arms and
+//                  re-parks (deschedule.cc), so the edge only needs to carry
+//                  the token itself, never timing data.
 // ---------------------------------------------------------------------------
 
 class WakeIndex {
@@ -214,6 +266,7 @@ class WakeIndex {
 
   // `num_shards` must be a power of two in [1, kMaxShards].
   WakeIndex(int max_threads, int num_shards);
+  ~WakeIndex();
 
   WakeIndex(const WakeIndex&) = delete;
   WakeIndex& operator=(const WakeIndex&) = delete;
@@ -224,7 +277,8 @@ class WakeIndex {
 
   // Optional dynamic protocol checker (TCS_PROTOCOL_CHECKS builds): the owning
   // TmSystem attaches its checker so Add*/Remove report registration-balance
-  // transitions. Standalone instances (unit tests) leave it unset.
+  // transitions and segment publication stays add-once. Standalone instances
+  // (unit tests) leave it unset.
   void AttachProtocolChecker(ProtocolChecker* checker) { checker_ = checker; }
 
   // Shard covering an orec. Stable for the index's lifetime, so the waiter and
@@ -252,7 +306,9 @@ class WakeIndex {
       AddGlobal(tid);
       return;
     }
-    std::uint64_t* set = PerTidShards(tid);
+    IndexSegment& seg = EnsureSegment(tid >> kCondSyncSegmentShift);
+    const int rel = tid & (kCondSyncSegmentSize - 1);
+    std::uint64_t* set = PerTidShards(seg, rel);
     for (int sw = 0; sw < shard_words_; ++sw) {
       set[sw] = 0;
     }
@@ -260,8 +316,8 @@ class WakeIndex {
       int s = ShardOf(orecs[i]);
       set[s >> 6] |= std::uint64_t{1} << (s & 63);
     }
-    const std::uint64_t bit = std::uint64_t{1} << (tid % 64);
-    const int w = tid / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (rel % 64);
+    const int w = rel / 64;
     for (int sw = 0; sw < shard_words_; ++sw) {
       std::uint64_t word = set[sw];
       while (word != 0) {
@@ -272,7 +328,7 @@ class WakeIndex {
         // commit RMW serializes later therefore sees it (release-sequence
         // argument in the glossary). The release also pairs directly with
         // the scan's acquire when the scan reads-from this very insert.
-        ShardWord(s, w).fetch_or(bit, std::memory_order_release);
+        ShardWord(seg, s, w).fetch_or(bit, std::memory_order_release);
       }
     }
     TCS_PROTO(if (checker_ != nullptr) checker_->OnWakeRegister(tid, true));
@@ -281,11 +337,13 @@ class WakeIndex {
   // Registers tid on the global fallback list (predicate with no address list:
   // every committing writer must consider it).
   void AddGlobal(int tid) {
-    per_tid_global_[tid] = 1;
+    IndexSegment& seg = EnsureSegment(tid >> kCondSyncSegmentShift);
+    const int rel = tid & (kCondSyncSegmentSize - 1);
+    seg.per_tid_global[rel] = 1;
     // mo: release — [wake-publish]: same release-sequence argument as the
     // shard insert in AddIndexed; the global list is scanned by every writer.
-    global_[tid / 64].fetch_or(std::uint64_t{1} << (tid % 64),
-                               std::memory_order_release);
+    seg.global[rel / 64].fetch_or(std::uint64_t{1} << (rel % 64),
+                                  std::memory_order_release);
     TCS_PROTO(if (checker_ != nullptr) checker_->OnWakeRegister(tid, false));
   }
 
@@ -295,9 +353,14 @@ class WakeIndex {
   // path alike — a timed wait that expires leaves nothing behind.
   void Remove(int tid) {
     TCS_PROTO(if (checker_ != nullptr) checker_->OnWakeDeregister(tid));
-    std::uint64_t* set = PerTidShards(tid);
-    const std::uint64_t clear = ~(std::uint64_t{1} << (tid % 64));
-    const int w = tid / 64;
+    IndexSegment* seg = SegmentOf(tid >> kCondSyncSegmentShift);
+    if (seg == nullptr) {
+      return;  // Never registered: nothing to clear.
+    }
+    const int rel = tid & (kCondSyncSegmentSize - 1);
+    std::uint64_t* set = PerTidShards(*seg, rel);
+    const std::uint64_t clear = ~(std::uint64_t{1} << (rel % 64));
+    const int w = rel / 64;
     for (int sw = 0; sw < shard_words_; ++sw) {
       std::uint64_t word = set[sw];
       set[sw] = 0;
@@ -308,14 +371,14 @@ class WakeIndex {
         // keeps insert/clear RMWs on one bitmap word totally ordered, and a
         // scan that reads the pre-clear value only produces a spurious
         // candidate, which the transactional wake check rejects (asleep==0).
-        ShardWord(s, w).fetch_and(clear, std::memory_order_relaxed);
+        ShardWord(*seg, s, w).fetch_and(clear, std::memory_order_relaxed);
       }
     }
-    if (per_tid_global_[tid] != 0) {
-      per_tid_global_[tid] = 0;
+    if (seg->per_tid_global[rel] != 0) {
+      seg->per_tid_global[rel] = 0;
       // mo: relaxed — [wake-publish] rider: same spurious-candidate argument
       // as the shard clear above.
-      global_[w].fetch_and(clear, std::memory_order_relaxed);
+      seg->global[w].fetch_and(clear, std::memory_order_relaxed);
     }
   }
 
@@ -344,59 +407,102 @@ class WakeIndex {
   // actually cover, so under wake_single (which stops at the first wakeup)
   // the writer prefers a waiter it probably satisfied over an
   // arbitrary-predicate waiter it merely might have. Zero allocation; cost is
-  // O(mask_words × (1 + distinct shards touched)).
+  // O(allocated segments × (1 + distinct shards touched)). Callers with a
+  // registry summary in hand should prefer ForEachCandidateInSegments, which
+  // walks only the populated segments.
   template <typename Fn>
   void ForEachCandidateIn(const std::uint64_t* shard_set, Fn&& fn) {
-    for (int w = 0; w < mask_words_; ++w) {
-      std::uint64_t bits = 0;
-      for (int sw = 0; sw < shard_words_; ++sw) {
-        std::uint64_t ss = shard_set[sw];
-        while (ss != 0) {
-          int s = sw * 64 + __builtin_ctzll(ss);
-          ss &= ss - 1;
-          // mo: acquire — [wake-publish]: the writer-side scan, ordered
-          // after its commit's [clock-chain] RMW; pairs with the waiter's
-          // release insert in AddIndexed.
-          bits |= ShardWord(s, w).load(std::memory_order_acquire);
-        }
+    ForEachCandidateInSegments(shard_set, nullptr, 0, std::forward<Fn>(fn));
+  }
+
+  // Masked variant: visits only segments whose bit is set in `seg_summary`
+  // (seg_summary_words words; a WaiterRegistry::SnapshotSummary copy). Sound
+  // because a waiter's index insert and its registry MarkRegistered both
+  // precede its registration commit: any waiter a writer's commit serialized
+  // after has its summary bit set in a stable snapshot, so an unset bit — or
+  // a null index segment — proves no relevant waiter, never hides one.
+  // Passing seg_summary == nullptr visits every allocated segment.
+  template <typename Fn>
+  void ForEachCandidateInSegments(const std::uint64_t* shard_set,
+                                  const std::uint64_t* seg_summary,
+                                  int seg_summary_words, Fn&& fn) {
+    // Pass 1: shard-indexed candidates, ascending tid.
+    for (int si = 0; si < num_segments_; ++si) {
+      if (seg_summary != nullptr && !SummaryHas(seg_summary, seg_summary_words,
+                                                si)) {
+        continue;
       }
-      while (bits != 0) {
-        int bit = __builtin_ctzll(bits);
-        bits &= bits - 1;
-        if (!fn(w * 64 + bit)) {
-          return;
+      // mo: acquire — [seg-publish]: pairs with the allocator's release
+      // directory CAS; a non-null pointer implies a fully initialized block.
+      IndexSegment* seg = segments_[si].load(std::memory_order_acquire);
+      if (seg == nullptr) {
+        continue;
+      }
+      for (int w = 0; w < kCondSyncSegmentWords; ++w) {
+        std::uint64_t cand = 0;
+        for (int sw = 0; sw < shard_words_; ++sw) {
+          std::uint64_t ss = shard_set[sw];
+          while (ss != 0) {
+            int s = sw * 64 + __builtin_ctzll(ss);
+            ss &= ss - 1;
+            // mo: acquire — [wake-publish]: the writer-side scan, ordered
+            // after its commit's [clock-chain] RMW; pairs with the waiter's
+            // release insert in AddIndexed.
+            cand |= ShardWord(*seg, s, w).load(std::memory_order_acquire);
+          }
+        }
+        while (cand != 0) {
+          int bit = __builtin_ctzll(cand);
+          cand &= cand - 1;
+          if (!fn(si * kCondSyncSegmentSize + w * 64 + bit)) {
+            return;
+          }
         }
       }
     }
-    for (int w = 0; w < mask_words_; ++w) {
-      // mo: acquire — [wake-publish]: pairs with the waiter's release insert
-      // in AddGlobal, same clock-chain argument as the shard scan above.
-      std::uint64_t bits = global_[w].load(std::memory_order_acquire);
-      // A tid registers either indexed or global, never both, so masking out
-      // the shard union usually suppresses a racing re-registration between
-      // the passes. It is best-effort, NOT a dedup guarantee: a tid emitted by
-      // the shard pass that deregistered and re-registered globally before
-      // this mask is sampled has already cleared its shard bits, so the mask
-      // misses it and the global pass emits it a second time. Callers that
-      // need distinct tids must dedup themselves (WakeWaiters keeps a seen
-      // bitmap); claiming stays correct regardless because a second claim
-      // attempt observes asleep == 0 and skips.
-      for (int sw = 0; sw < shard_words_; ++sw) {
-        std::uint64_t ss = shard_set[sw];
-        while (ss != 0) {
-          int s = sw * 64 + __builtin_ctzll(ss);
-          ss &= ss - 1;
-          // mo: relaxed — [wake-publish] rider: best-effort de-dup mask of
-          // the global pass (see the comment above); a stale word only lets
-          // a duplicate candidate through, which callers dedup anyway.
-          bits &= ~ShardWord(s, w).load(std::memory_order_relaxed);
-        }
+    // Pass 2: global-fallback candidates, ascending tid.
+    for (int si = 0; si < num_segments_; ++si) {
+      if (seg_summary != nullptr && !SummaryHas(seg_summary, seg_summary_words,
+                                                si)) {
+        continue;
       }
-      while (bits != 0) {
-        int bit = __builtin_ctzll(bits);
-        bits &= bits - 1;
-        if (!fn(w * 64 + bit)) {
-          return;
+      // mo: acquire — [seg-publish]: pairs with the allocator's release
+      // directory CAS (see pass 1).
+      IndexSegment* seg = segments_[si].load(std::memory_order_acquire);
+      if (seg == nullptr) {
+        continue;
+      }
+      for (int w = 0; w < kCondSyncSegmentWords; ++w) {
+        // mo: acquire — [wake-publish]: pairs with the waiter's release
+        // insert in AddGlobal, same clock-chain argument as the shard scan.
+        std::uint64_t cand = seg->global[w].load(std::memory_order_acquire);
+        // A tid registers either indexed or global, never both, so masking
+        // out the shard union usually suppresses a racing re-registration
+        // between the passes. It is best-effort, NOT a dedup guarantee: a tid
+        // emitted by the shard pass that deregistered and re-registered
+        // globally before this mask is sampled has already cleared its shard
+        // bits, so the mask misses it and the global pass emits it a second
+        // time. Callers that need distinct tids must dedup themselves
+        // (WakeWaiters keeps a seen bitmap); claiming stays correct
+        // regardless because a second claim attempt observes asleep == 0 and
+        // skips.
+        for (int sw = 0; sw < shard_words_; ++sw) {
+          std::uint64_t ss = shard_set[sw];
+          while (ss != 0) {
+            int s = sw * 64 + __builtin_ctzll(ss);
+            ss &= ss - 1;
+            // mo: relaxed — [wake-publish] rider: best-effort de-dup mask of
+            // the global pass (see the comment above); a stale word only lets
+            // a duplicate candidate through, which callers dedup anyway.
+            cand &= ~ShardWord(*seg, s, w).load(std::memory_order_relaxed);
+          }
+        }
+        while (cand != 0) {
+          int bit = __builtin_ctzll(cand);
+          cand &= cand - 1;
+          if (!fn(si * kCondSyncSegmentSize + w * 64 + bit)) {
+            return;
+          }
         }
       }
     }
@@ -410,14 +516,19 @@ class WakeIndex {
     ForEachCandidateIn(shard_set, std::forward<Fn>(fn));
   }
 
-  // --- introspection (tests, leak checks) ---
+  // --- introspection (tests, leak checks, metrics) ---
 
   // True if tid holds any entry, indexed or global.
   bool HasEntries(int tid) const {
-    if (per_tid_global_[tid] != 0) {
+    const IndexSegment* seg = SegmentOf(tid >> kCondSyncSegmentShift);
+    if (seg == nullptr) {
+      return false;
+    }
+    const int rel = tid & (kCondSyncSegmentSize - 1);
+    if (seg->per_tid_global[rel] != 0) {
       return true;
     }
-    const std::uint64_t* set = PerTidShards(tid);
+    const std::uint64_t* set = PerTidShards(*seg, rel);
     for (int sw = 0; sw < shard_words_; ++sw) {
       if (set[sw] != 0) {
         return true;
@@ -426,11 +537,20 @@ class WakeIndex {
     return false;
   }
 
-  bool IsGlobal(int tid) const { return per_tid_global_[tid] != 0; }
+  bool IsGlobal(int tid) const {
+    const IndexSegment* seg = SegmentOf(tid >> kCondSyncSegmentShift);
+    return seg != nullptr &&
+           seg->per_tid_global[tid & (kCondSyncSegmentSize - 1)] != 0;
+  }
 
   // Number of distinct shards tid registered under.
   int ShardSetPopulation(int tid) const {
-    const std::uint64_t* set = PerTidShards(tid);
+    const IndexSegment* seg = SegmentOf(tid >> kCondSyncSegmentShift);
+    if (seg == nullptr) {
+      return 0;
+    }
+    const std::uint64_t* set =
+        PerTidShards(*seg, tid & (kCondSyncSegmentSize - 1));
     int n = 0;
     for (int sw = 0; sw < shard_words_; ++sw) {
       n += __builtin_popcountll(set[sw]);
@@ -440,7 +560,13 @@ class WakeIndex {
 
   // True iff tid registered under shard s.
   bool InShardSet(int tid, int s) const {
-    return (PerTidShards(tid)[s >> 6] & (std::uint64_t{1} << (s & 63))) != 0;
+    const IndexSegment* seg = SegmentOf(tid >> kCondSyncSegmentShift);
+    if (seg == nullptr) {
+      return false;
+    }
+    const std::uint64_t* set =
+        PerTidShards(*seg, tid & (kCondSyncSegmentSize - 1));
+    return (set[s >> 6] & (std::uint64_t{1} << (s & 63))) != 0;
   }
 
   // Conservative count of tids present in shard `s` / on the global list.
@@ -459,37 +585,67 @@ class WakeIndex {
   // join); a mid-run call may race registrations and flicker.
   bool Empty() const;
 
+  // Bytes currently committed to this index: the directory plus every
+  // allocated segment's slabs. Feeds the memory-per-waiter metric.
+  std::size_t FootprintBytes() const;
+
+  // Number of segments with an allocated control block.
+  int AllocatedSegments() const;
+
  private:
   static constexpr int kMaxShardWords = kMaxShards / 64;
 
-  std::atomic<std::uint64_t>& ShardWord(int shard, int word) {
-    return bits_[static_cast<std::size_t>(shard) * stride_ + word];
+  // One 256-tid segment control block: a shard-major bitmap slab (shard s,
+  // word w at bits[s * kCondSyncSegmentWords + w]), the segment's global-
+  // fallback words, and owner-thread bookkeeping. Adjacent shards share cache
+  // lines within a segment — benign, because cross-thread traffic on one
+  // segment is already bounded to its 256 tids and the flat layout keeps the
+  // slab ~8x smaller than per-shard line padding would.
+  struct alignas(kCacheLineBytes) IndexSegment {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> bits;
+    std::atomic<std::uint64_t> global[kCondSyncSegmentWords];
+    // Owner-thread-only bookkeeping of what each tid registered (one
+    // shard_words_-word bitmap per tid), so Remove can clear exactly those
+    // entries without scanning all shards.
+    std::unique_ptr<std::uint64_t[]> per_tid_shards;
+    std::uint8_t per_tid_global[kCondSyncSegmentSize];
+  };
+
+  static bool SummaryHas(const std::uint64_t* summary, int words, int si) {
+    int w = si >> 6;
+    return w < words && (summary[w] & (std::uint64_t{1} << (si & 63))) != 0;
   }
-  const std::atomic<std::uint64_t>& ShardWord(int shard, int word) const {
-    return bits_[static_cast<std::size_t>(shard) * stride_ + word];
+
+  std::atomic<std::uint64_t>& ShardWord(IndexSegment& seg, int shard,
+                                        int word) const {
+    return seg.bits[static_cast<std::size_t>(shard) * kCondSyncSegmentWords +
+                    word];
   }
-  std::uint64_t* PerTidShards(int tid) {
-    return &per_tid_shards_[static_cast<std::size_t>(tid) * shard_words_];
+  std::uint64_t* PerTidShards(IndexSegment& seg, int rel) const {
+    return &seg.per_tid_shards[static_cast<std::size_t>(rel) * shard_words_];
   }
-  const std::uint64_t* PerTidShards(int tid) const {
-    return &per_tid_shards_[static_cast<std::size_t>(tid) * shard_words_];
+  const std::uint64_t* PerTidShards(const IndexSegment& seg, int rel) const {
+    return &seg.per_tid_shards[static_cast<std::size_t>(rel) * shard_words_];
+  }
+
+  // Returns the segment's control block, allocating and publishing it on
+  // first touch (waiter side). SegmentOf is the read-only variant: null means
+  // no tid of that range ever registered.
+  IndexSegment& EnsureSegment(int si);
+  IndexSegment* SegmentOf(int si) const {
+    // mo: acquire — [seg-publish]: pairs with the allocator's release
+    // directory CAS; a non-null pointer implies a fully initialized block.
+    return segments_[si].load(std::memory_order_acquire);
   }
 
   int capacity_;
-  int mask_words_;
+  int num_segments_;
   int num_shards_;
   int shards_log2_;
   int shard_words_;
-  // Cache-line-aligned stride so concurrent registrations in different shards
-  // do not false-share.
-  std::size_t stride_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> bits_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> global_;
-  // Owner-thread-only bookkeeping of what each tid registered (one
-  // shard_words_-word bitmap per tid), so Remove can clear exactly those
-  // entries without scanning all shards.
-  std::unique_ptr<std::uint64_t[]> per_tid_shards_;
-  std::unique_ptr<std::uint8_t[]> per_tid_global_;
+  // Directory of lazily allocated segments; entries are owned (deleted in the
+  // destructor) and published at most once via release-CAS.
+  std::unique_ptr<std::atomic<IndexSegment*>[]> segments_;
   ProtocolChecker* checker_ = nullptr;
 };
 

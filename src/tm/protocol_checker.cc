@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/common/assert.h"
+#include "src/condsync/segment.h"
 #include "src/tm/orec_table.h"
 
 namespace tcs {
@@ -30,11 +31,24 @@ void DefaultFailureHandler(void* ctx, const char* protocol, const char* detail) 
 ProtocolChecker::ProtocolChecker(const OrecTable& orecs, int max_threads)
     : orecs_(orecs),
       max_threads_(max_threads),
+      segment_shadow_words_(((max_threads + kCondSyncSegmentSize - 1) >>
+                             kCondSyncSegmentShift) /
+                                64 +
+                            1),
       handler_(&DefaultFailureHandler) {
   TCS_CHECK(max_threads > 0);
   orec_shadow_ = std::make_unique<OrecShadow[]>(orecs.size());
   tid_shadow_ =
       std::make_unique<TidShadow[]>(static_cast<std::size_t>(max_threads));
+  for (auto& shadow : segment_shadow_) {
+    shadow = std::make_unique<std::atomic<std::uint64_t>[]>(
+        static_cast<std::size_t>(segment_shadow_words_));
+    for (int w = 0; w < segment_shadow_words_; ++w) {
+      // mo: relaxed — single-threaded construction; the checker is attached
+      // before worker threads start.
+      shadow[w].store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 void ProtocolChecker::SetFailureHandler(FailureHandler handler, void* ctx) {
@@ -259,7 +273,8 @@ void ProtocolChecker::OnWakeClaimCommitted(int waiter_tid) {
   TidShadow& t = TidOf(waiter_tid, "wake-claim");
   // mo: relaxed RMW — claim and post are same-thread (the waker); a different
   // waker can only claim after the waiter consumed the post and re-registered,
-  // a chain ordered by the semaphore [sem] and the registration transaction.
+  // a chain ordered by the wake token [park-handoff] and the registration
+  // transaction.
   int pending = t.pending_posts.fetch_add(1, std::memory_order_relaxed);
   if (pending != 0) {
     Fail("wake-claim",
@@ -273,8 +288,8 @@ void ProtocolChecker::OnWakeClaimCas(int waiter_tid) {
   TidShadow& t = TidOf(waiter_tid, "wake-claim");
   // mo: relaxed RMW — same claim/post chain argument as OnWakeClaimCommitted:
   // the CAS claim and its post are same-thread (the waker), and any later
-  // claim of this waiter is ordered behind the post by [sem] plus the
-  // waiter's re-registration.
+  // claim of this waiter is ordered behind the post by [park-handoff] plus
+  // the waiter's re-registration.
   int pending = t.pending_posts.fetch_add(1, std::memory_order_relaxed);
   if (pending != 0) {
     Fail("wake-claim",
@@ -297,6 +312,34 @@ void ProtocolChecker::OnWakePost(int waiter_tid) {
          waiter_tid, pending,
          pending <= 0 ? "post without a committed claim (double post)"
                       : "claim/post imbalance");
+  }
+}
+
+// --- segment publication balance ---
+
+void ProtocolChecker::OnSegmentPublished(SegmentKind kind, int index) {
+  const char* name =
+      kind == SegmentKind::kWaiterRegistry ? "waiter-registry" : "wake-index";
+  const int max_segments =
+      (max_threads_ + kCondSyncSegmentSize - 1) >> kCondSyncSegmentShift;
+  if (index < 0 || index >= max_segments) {
+    Fail("segment-publish", "%s published segment %d outside [0, %d)", name,
+         index, max_segments);
+    return;
+  }
+  auto& shadow = segment_shadow_[static_cast<int>(kind)];
+  const std::uint64_t bit = std::uint64_t{1} << (index % 64);
+  // mo: relaxed RMW — atomicity only: publication attempts are already
+  // serialized by the directory's [seg-publish] CAS (exactly one winner per
+  // entry calls this hook); the exchange just makes a buggy double-publish
+  // deterministic.
+  std::uint64_t prev =
+      shadow[index / 64].fetch_or(bit, std::memory_order_relaxed);
+  if ((prev & bit) != 0) {
+    Fail("segment-publish",
+         "%s published segment %d twice (directory entry overwritten or a "
+         "losing CAS racer reported publication)",
+         name, index);
   }
 }
 

@@ -34,6 +34,11 @@
 //    (the transactional asleep 1→0 transition in deschedule.cc) is posted
 //    exactly once, and a wake-path post never happens without a committed
 //    claim. A violation here IS a double or lost wakeup.
+//  * Segment publication balance — each 256-tid segment control block of the
+//    segmented WaiterRegistry / WakeIndex is published at most once (the
+//    [seg-publish] CAS admits one winner; a double report means a lost CAS
+//    racer leaked its block into the directory or a directory entry was
+//    overwritten).
 //
 // The checker is passive shadow state: it never synchronizes the checked code
 // (its shadow writes ride the happens-before edges the real protocol already
@@ -132,8 +137,20 @@ class ProtocolChecker {
   // transaction — the orec release IS its commit point). Same pairing
   // contract as OnWakeClaimCommitted: exactly one post must follow.
   void OnWakeClaimCas(int waiter_tid);
-  // Called by the waker immediately before posting the claimed semaphore.
+  // Called by the waker immediately before posting the claimed waiter's wake
+  // token (ParkingLot::Post).
   void OnWakePost(int waiter_tid);
+
+  // --- segment publication balance (segmented registry / wake index) ---
+  // Which segmented structure published a segment control block.
+  enum class SegmentKind : int {
+    kWaiterRegistry = 0,
+    kWakeIndex = 1,
+  };
+  // Called by the thread whose directory CAS won, immediately after the CAS.
+  // Each (kind, index) pair may be published at most once per structure
+  // lifetime.
+  void OnSegmentPublished(SegmentKind kind, int index);
 
  private:
   struct OrecShadow {
@@ -154,7 +171,8 @@ class ProtocolChecker {
     std::atomic<int> presence{0};
     // mo: relaxed RMW — claim (waker) and post (same waker, after commit) are
     // same-thread; a different waker can only claim after the waiter consumed
-    // the post and re-registered, a chain ordered by the semaphore itself.
+    // the post and re-registered, a chain ordered by the [park-handoff] token
+    // edge itself.
     std::atomic<int> pending_posts{0};
   };
 
@@ -164,8 +182,12 @@ class ProtocolChecker {
 
   const OrecTable& orecs_;
   const int max_threads_;
+  const int segment_shadow_words_;
   std::unique_ptr<OrecShadow[]> orec_shadow_;
   std::unique_ptr<TidShadow[]> tid_shadow_;
+  // One published-bit per (kind, segment index); set via relaxed RMW (the
+  // publishing CAS already serializes publication attempts).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> segment_shadow_[2];
 
   std::atomic<std::uint64_t> violations_{0};
   FailureHandler handler_;

@@ -5,6 +5,17 @@
 // otherwise read memory the committer just privatized and is about to reclaim or
 // access non-transactionally. This matches the "privatization-safe variant of
 // TinySTM" ("ml-wt") the paper benchmarks.
+//
+// Capacity tier: slots live in lazily allocated 256-thread segments behind an
+// atomic directory ([seg-publish]), so a 64Ki-thread ceiling costs a few
+// directory words, not a 4MB slab, and the commit-path scan walks only the
+// segments threads actually touched. A null directory entry is safe to skip:
+// a thread's segment publication (release CAS) is sequenced before its first
+// SetActive, and SetActive's seq_cst store orders all program-order-earlier
+// stores before itself — so any committer whose [quiesce-dekker] anchor
+// obliges it to observe the straggler's slot also observes the segment
+// pointer, and a committer that reads null is one the straggler's clock
+// sample is ordered after (start ≥ end).
 #ifndef TCS_TM_QUIESCE_H_
 #define TCS_TM_QUIESCE_H_
 
@@ -13,12 +24,14 @@
 #include <memory>
 
 #include "src/common/cache_line.h"
+#include "src/condsync/segment.h"
 
 namespace tcs {
 
 class QuiesceTable {
  public:
   explicit QuiesceTable(int max_threads);
+  ~QuiesceTable();
 
   QuiesceTable(const QuiesceTable&) = delete;
   QuiesceTable& operator=(const QuiesceTable&) = delete;
@@ -32,14 +45,14 @@ class QuiesceTable {
   // store would let both sides read stale values and privatized memory be
   // reused under a still-running reader.
   void SetActive(int tid, std::uint64_t start) {
-    slots_[tid].start.store(start, std::memory_order_seq_cst);
+    SlotOf(tid).start.store(start, std::memory_order_seq_cst);
   }
 
   // mo: release — pairs with WaitForReadersBefore's acquire load: the
   // transaction's last transactional read is ordered before the committer
   // proceeds to reuse privatized memory.
   void SetInactive(int tid) {
-    slots_[tid].start.store(kInactive, std::memory_order_release);
+    SlotOf(tid).start.store(kInactive, std::memory_order_release);
   }
 
   // Blocks until every thread other than `self` either is inactive or is running a
@@ -54,8 +67,19 @@ class QuiesceTable {
   struct alignas(kCacheLineBytes) Slot {
     std::atomic<std::uint64_t> start{kInactive};
   };
+  struct Segment {
+    Slot slots[kCondSyncSegmentSize];
+  };
 
-  std::unique_ptr<Slot[]> slots_;
+  // The slot for `tid`, allocating its segment on first touch.
+  Slot& SlotOf(int tid) {
+    return EnsureSegment(tid >> kCondSyncSegmentShift)
+        .slots[tid & (kCondSyncSegmentSize - 1)];
+  }
+  Segment& EnsureSegment(int si);
+
+  std::unique_ptr<std::atomic<Segment*>[]> segments_;
+  int num_segments_;
   int max_threads_;
 };
 

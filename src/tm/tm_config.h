@@ -24,7 +24,28 @@ struct TmConfig {
   std::size_t orec_table_log2 = 18;
 
   // Maximum number of threads that may ever register with this domain.
-  int max_threads = 256;
+  // Registration past it fails loudly (TCS_CHECK in RegisterThread). The
+  // capacity tier makes a large ceiling cheap: waiter-side structures
+  // (WaiterRegistry, WakeIndex, QuiesceTable) allocate 256-thread segments
+  // on first touch, so an unused ceiling costs a few directory words per
+  // 256 tids, not slabs.
+  int max_threads = 65536;
+
+  // ---- Capacity-tier knobs ----
+  // ParkingLot backend (ParkingLot::Backend numbering): 0 auto (futex on
+  // Linux, else the mutex+condvar pool), 1 futex, 2 pool. The pool fallback
+  // is also the portable reference implementation for tests.
+  int park_backend = 0;
+  // Route timed waits (RetryFor/AwaitFor/WaitPredFor deadlines) through the
+  // shared hierarchical TimerWheel: N concurrent timed waits cost one ticker
+  // thread and O(1) per tick instead of N independent kernel timeouts. Off,
+  // each timed wait parks with its own deadline (ablation baseline; also the
+  // pre-capacity-tier behavior).
+  bool timer_wheel = true;
+  // TimerWheel level-0 tick in microseconds: the granularity (and worst-case
+  // added latency) of wheel-serviced timeouts. Timed waits never fire early;
+  // they fire up to one tick late plus ticker scheduling lag.
+  int timer_wheel_tick_us = 1000;
 
   // Run commit-time quiescence so privatization is safe (Appendix A).
   bool privatization_safety = true;

@@ -71,17 +71,23 @@ TmSystem::TmSystem(const TmConfig& config)
       quiesce_(config.max_threads),
       // mo: relaxed — uid allocation only needs uniqueness (atomicity), not
       // ordering; no other data is published through this counter.
-      uid_(g_system_uid.fetch_add(1, std::memory_order_relaxed)) {
+      uid_(g_system_uid.fetch_add(1, std::memory_order_relaxed)),
+      lot_(static_cast<ParkingLot::Backend>(config.park_backend)) {
   descs_.resize(static_cast<std::size_t>(cfg_.max_threads));
   waiters_ = std::make_unique<WaiterRegistry>(cfg_.max_threads);
-  retry_orig_ = std::make_unique<RetryOrigRegistry>(cfg_.max_threads);
+  retry_orig_ = std::make_unique<RetryOrigRegistry>(cfg_.max_threads, &lot_);
   wake_index_ =
       std::make_unique<WakeIndex>(cfg_.max_threads, cfg_.wake_index_shards);
+  if (cfg_.timer_wheel) {
+    wheel_ = std::make_unique<TimerWheel>(
+        &lot_, static_cast<std::uint64_t>(cfg_.timer_wheel_tick_us) * 1000);
+  }
 #if TCS_PROTOCOL_CHECKS
   proto_ = std::make_unique<ProtocolChecker>(orecs_, cfg_.max_threads);
-  // Standalone WakeIndex instances (unit tests) stay unchecked; only the
-  // domain-owned index participates in the add/remove-balance protocol.
+  // Standalone WakeIndex/WaiterRegistry instances (unit tests) stay unchecked;
+  // only the domain-owned structures participate in the balance protocols.
   wake_index_->AttachProtocolChecker(proto_.get());
+  waiters_->AttachProtocolChecker(proto_.get());
 #endif
   std::lock_guard<std::mutex> g(LiveSystemsMutex());
   LiveSystems().emplace(uid_, this);
@@ -112,10 +118,9 @@ TxDesc& TmSystem::RegisterThread() {
     int tid = free_tids_.back();
     free_tids_.pop_back();
     TxDesc& d = *descs_[static_cast<std::size_t>(tid)];
-    // Drain any stale semaphore post left by a racing waker after the previous
-    // owner of this slot had already woken.
-    while (d.sem.TryWait()) {
-    }
+    // Clear any stale wake/timeout token left by a racing waker (or a late
+    // wheel fire) after the previous owner of this slot had already woken.
+    lot_.Reset(d.park);
     return d;
   }
   TCS_CHECK_MSG(next_tid_ < cfg_.max_threads, "too many threads for this TM domain");
@@ -158,7 +163,7 @@ TxDesc& TmSystem::Desc() {
   return d;
 }
 
-Semaphore& TmSystem::SemOf(int tid) {
+ParkSpot& TmSystem::SpotOf(int tid) {
   // Always-on: an out-of-range tid here dereferences a null descriptor slot,
   // and this runs only on the condvar signal slow path. Bounds come from the
   // immutable config rather than next_tid_ (which a concurrent registration
@@ -166,8 +171,8 @@ Semaphore& TmSystem::SemOf(int tid) {
   // after its registration, so its slot is visibly non-null.
   TCS_CHECK(tid >= 0 && tid < cfg_.max_threads);
   TxDesc* d = descs_[static_cast<std::size_t>(tid)].get();
-  TCS_CHECK_MSG(d != nullptr, "SemOf for a never-registered tid");
-  return d->sem;
+  TCS_CHECK_MSG(d != nullptr, "SpotOf for a never-registered tid");
+  return d->park;
 }
 
 std::uint64_t TmSystem::ProtocolViolations() const {
@@ -859,6 +864,15 @@ TmSystem::ObsSnapshot TmSystem::SnapshotObs(std::size_t top_n_orecs) const {
   for (const auto& [idx, count] : orec_counts) {
     snap.hot_orecs.push_back({idx, count});
   }
+  snap.condsync_registry_bytes = waiters_->FootprintBytes();
+  snap.condsync_wake_index_bytes = wake_index_->FootprintBytes();
+  snap.registry_segments = waiters_->AllocatedSegments();
+  snap.wake_index_segments = wake_index_->AllocatedSegments();
+  snap.registered_waiters = waiters_->RegisteredCount();
+  if (wheel_ != nullptr) {
+    snap.wheel_enabled = true;
+    snap.wheel = wheel_->SnapshotStats();
+  }
   return snap;
 }
 
@@ -908,6 +922,24 @@ void TmSystem::SnapshotMetrics(JsonWriter& w, std::size_t top_n_orecs) const {
   EmitHistogram(w, "abort_to_commit", snap.abort_to_commit);
   EmitHistogram(w, "wait_duration", snap.wait_duration);
   EmitHistogram(w, "wake_latency", snap.wake_latency);
+  w.EndObject();
+  w.Key("condsync").BeginObject();
+  w.Key("registry_bytes").U64(snap.condsync_registry_bytes);
+  w.Key("wake_index_bytes").U64(snap.condsync_wake_index_bytes);
+  w.Key("registry_segments").U64(static_cast<std::uint64_t>(snap.registry_segments));
+  w.Key("wake_index_segments")
+      .U64(static_cast<std::uint64_t>(snap.wake_index_segments));
+  w.Key("registered_waiters")
+      .U64(static_cast<std::uint64_t>(snap.registered_waiters));
+  w.EndObject();
+  w.Key("timer_wheel").BeginObject();
+  w.Key("enabled").Bool(snap.wheel_enabled);
+  w.Key("ticks").U64(snap.wheel.ticks);
+  w.Key("scheduled").U64(snap.wheel.scheduled);
+  w.Key("fired").U64(snap.wheel.fired);
+  w.Key("stale").U64(snap.wheel.stale);
+  w.Key("cascades").U64(snap.wheel.cascades);
+  w.Key("max_lag_ns").U64(snap.wheel.max_lag_ns);
   w.EndObject();
   w.EndObject();
 }

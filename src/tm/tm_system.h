@@ -23,8 +23,10 @@
 #include <string>
 
 #include "src/common/assert.h"
+#include "src/common/parking_lot.h"
 #include "src/common/spin_lock.h"
 #include "src/common/stats.h"
+#include "src/common/timer_wheel.h"
 #include "src/obs/abort_attribution.h"
 #include "src/obs/latency_histogram.h"
 #include "src/tm/orec_table.h"
@@ -181,8 +183,14 @@ class TmSystem {
   RetryOrigRegistry& retry_orig() { return *retry_orig_; }
   WakeIndex& wake_index() { return *wake_index_; }
 
-  // Sleep semaphore of a registered thread (used by TMCondVar signalers).
-  Semaphore& SemOf(int tid);
+  // The domain's parking lot: every waiter parks on its descriptor's ParkSpot
+  // through this lot (futex-backed on Linux; see src/common/parking_lot.h).
+  ParkingLot& parking() { return lot_; }
+  // Parking spot of a registered thread (used by TMCondVar signalers and the
+  // wake paths in deschedule.cc).
+  ParkSpot& SpotOf(int tid);
+  // Posts `tid`'s wake token (ParkingLot::Post on its spot).
+  void PostParked(int tid) { lot_.Post(SpotOf(tid)); }
 
   // --- dynamic protocol checker (TCS_PROTOCOL_CHECKS builds) ---
   // Violations detected so far on this domain; always 0 when the checker is
@@ -216,6 +224,18 @@ class TmSystem {
     // Highest per-thread wake-transaction abort-rate EWMA (permille) — the
     // signal adaptive_wake_batch steers on (see TxDesc).
     std::uint64_t wake_abort_ewma_permille = 0;
+    // --- capacity tier (segmented condsync structures + timer wheel) ---
+    // Heap footprint of the waiter registry / wake index (directory plus every
+    // allocated segment), and how many 256-tid segments each has materialized.
+    std::uint64_t condsync_registry_bytes = 0;
+    std::uint64_t condsync_wake_index_bytes = 0;
+    int registry_segments = 0;
+    int wake_index_segments = 0;
+    // Currently registered (published) waiters.
+    int registered_waiters = 0;
+    // Timer-wheel counters (all zero when the wheel is disabled).
+    bool wheel_enabled = false;
+    TimerWheel::Stats wheel;
   };
   ObsSnapshot SnapshotObs(std::size_t top_n_orecs = 16) const;
   // Appends the snapshot as one JSON object (backend, counters, abort-cause
@@ -387,6 +407,15 @@ class TmSystem {
   std::unique_ptr<WaiterRegistry> waiters_;
   std::unique_ptr<RetryOrigRegistry> retry_orig_;
   std::unique_ptr<WakeIndex> wake_index_;
+
+  // Pooled parking for every waiter in the domain. Declared before the wheel
+  // (and after descs_) so destruction runs wheel → lot → descriptors: the
+  // ticker thread stops while the spots it posts into are still alive.
+  ParkingLot lot_;
+  // Hierarchical timer wheel for timed waits; null when cfg_.timer_wheel is
+  // off (timed waits then park with an absolute deadline, one timer per
+  // sleeper, exactly the pre-capacity-tier behavior).
+  std::unique_ptr<TimerWheel> wheel_;
 };
 
 // The wait predicate implementing Retry and Await wakeups: true iff any ⟨addr,val⟩

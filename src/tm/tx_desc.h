@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "src/common/backoff.h"
-#include "src/common/semaphore.h"
+#include "src/common/parking_lot.h"
 #include "src/common/stats.h"
 #include "src/obs/thread_obs.h"
 #include "src/tm/orec_table.h"
@@ -101,7 +101,7 @@ struct TxDesc {
   // --- condition synchronization (Algorithms 4-7) ---
   WaitSet waitset;
   bool retry_logging = false;  // the paper's is_retry: log ⟨addr,value⟩ on every read
-  Semaphore sem;               // per-thread sleep semaphore
+  ParkSpot park;               // per-thread parking place (ParkingLot tokens)
   bool woke_from_sleep = false;
 
   // --- OrElse / timed-wait state ---
@@ -159,8 +159,14 @@ struct TxDesc {
   // Per-tid seen bitmap (one bit per possible waiter tid) used to drop
   // duplicate candidates: a waiter that deregisters and re-registers globally
   // between the shard pass and the global pass of ForEachCandidateIn can be
-  // emitted twice (see wake_index.h). Zeroed lazily per wake pass.
+  // emitted twice (see wake_index.h). Zeroed lazily per wake pass; sized to
+  // the registry's populated tid bound, growing on demand for segments
+  // published mid-pass.
   std::vector<std::uint64_t> wake_seen_scratch;
+  // Repair-stable copy of the registry's segment summary (summary_words()
+  // words), taken once per wake pass and used as the wake index's segment
+  // iteration mask (WakeIndex::ForEachCandidateInSegments).
+  std::vector<std::uint64_t> wake_seg_scratch;
   // Wake-transaction abort rate, EWMA in permille (0..1000), alpha = 1/8:
   // updated by the owning writer after each wake pass from (batch lambda
   // executions - committed batches). adaptive_wake_batch shrinks the

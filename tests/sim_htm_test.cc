@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/semaphore.h"
 #include "src/core/runtime.h"
 #include "src/core/transaction.h"
 #include "src/tm/sim_htm.h"

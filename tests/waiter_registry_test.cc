@@ -79,11 +79,11 @@ TEST(WaiterRegistryTest, SlotPrepareStoresPublication) {
   WaitArgs args;
   args.v[0] = 0xDEAD;
   args.n = 1;
-  Semaphore sem;
-  s.Prepare(&FindChangesPred, args, &sem);
+  ParkSpot spot;
+  s.Prepare(&FindChangesPred, args, &spot);
   EXPECT_EQ(s.fn, &FindChangesPred);
   EXPECT_EQ(s.args.v[0], 0xDEADu);
-  EXPECT_EQ(s.sem, &sem);
+  EXPECT_EQ(s.park, &spot);
 }
 
 // A stale presence bit (waiter between wake and unmark) must only cost the

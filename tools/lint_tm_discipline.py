@@ -11,7 +11,7 @@ share the parsing core in tools/tm_lint_lib.py.
    on a preceding line reachable by walking up through comment lines and
    statement-continuation lines (a line not ending in `;` or `}`), up to
    12 lines. The recurring cross-file edges ([orec-publish], [clock-chain],
-   [wake-publish], [serial-token], [sem], ...) are defined in the appendix at
+   [wake-publish], [serial-token], [park-handoff], ...) are defined in the appendix at
    the top of src/condsync/wake_index.h.
 
 2. atomics-allowlist: raw atomic primitives (`std::atomic`, `std::atomic_ref`,
